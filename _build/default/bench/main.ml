@@ -1,0 +1,1165 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) plus the ablations, and
+   runs Bechamel microbenchmarks of the two engines.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe fig10 cpu  -- selected experiments
+     dune exec bench/main.exe fast       -- everything, skipping the
+                                            slowest transistor-level runs
+
+   Absolute numbers differ from the 1997 paper (its SPICE decks and
+   process files are not public); the quantities to compare are the
+   shapes: who wins, by what factor, where the crossovers sit. *)
+
+module BP = Mtcmos.Breakpoint_sim
+module SR = Mtcmos.Spice_ref
+module S = Netlist.Signal
+
+let t07 = Device.Tech.mtcmos_07um
+let t03 = Device.Tech.mtcmos_03um
+
+let eng = Phys.Units.to_eng_string
+let header title = Format.printf "@.=== %s ===@." title
+
+(* optional CSV dumps: `dune exec bench/main.exe -- csv=DIR ...` *)
+let csv_dir : string option ref = ref None
+
+let maybe_csv name table =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (name ^ ".csv") in
+    Phys.Table.write_csv table ~path;
+    Format.printf "(csv written to %s)@." path
+
+let sleep_of tech wl =
+  BP.Sleep_fet
+    (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+       ~vdd:tech.Device.Tech.vdd)
+
+let bp_delay ?(config = BP.default_config) c ~before ~after =
+  let r = BP.simulate_ints ~config c ~before ~after in
+  match BP.critical_delay r with Some (_, d) -> d | None -> nan
+
+let sp_delay ~config c ~before ~after =
+  let r = SR.run_ints ~config c ~before ~after in
+  match SR.critical_delay r with Some (_, d) -> d | None -> nan
+
+(* ---- shared fixtures ------------------------------------------------------ *)
+
+let tree = Circuits.Inverter_tree.make t07 ~stages:3 ~fanout:3
+let tree_c = tree.Circuits.Inverter_tree.circuit
+let tree_vec = ([ (1, 0) ], [ (1, 1) ])
+
+let adder = Circuits.Ripple_adder.make t07 ~bits:3
+let adder_c = adder.Circuits.Ripple_adder.circuit
+
+let mult = Circuits.Csa_multiplier.make t03 ~bits:8
+let mult_c = mult.Circuits.Csa_multiplier.circuit
+
+let mult_vec_a =
+  let (x0, y0), (x1, y1) = Circuits.Csa_multiplier.vector_a in
+  ([ (8, x0); (8, y0) ], [ (8, x1); (8, y1) ])
+
+let mult_vec_b =
+  let (x0, y0), (x1, y1) = Circuits.Csa_multiplier.vector_b in
+  ([ (8, x0); (8, y0) ], [ (8, x1); (8, y1) ])
+
+let fig5_wls = [ 2.0; 5.0; 8.0; 11.0; 14.0; 17.0; 20.0 ]
+
+(* ---- FIG 5: inverter-tree transients vs W/L ------------------------------- *)
+
+let fig5 () =
+  header
+    "FIG 5: inverter-tree leaf transients and virtual-ground bump \
+     (transistor level)";
+  Format.printf
+    "paper: output slows visibly as W/L shrinks 20 -> 2; vgnd shows a \
+     small bump (stage 1) then a large one (stage 3)@.";
+  let leaf = Circuits.Inverter_tree.leaf_net tree in
+  let runs =
+    List.map
+      (fun wl ->
+        let config =
+          { SR.default_config with SR.sleep = sleep_of t07 wl;
+            t_stop = 16e-9; dt = Some 4e-12 }
+        in
+        (wl, SR.run_ints ~config tree_c ~before:(fst tree_vec)
+               ~after:(snd tree_vec)))
+      fig5_wls
+  in
+  Format.printf "@.%-8s %-14s %-14s@." "W/L" "leaf 50% fall" "vgnd peak";
+  List.iter
+    (fun (wl, r) ->
+      let d =
+        match SR.net_delay r leaf with Some d -> d | None -> nan
+      in
+      Format.printf "%-8.0f %-14s %-14s@." wl (eng ~unit:"s" d)
+        (eng ~unit:"V" (SR.vx_peak r)))
+    runs;
+  (* the transient family, sampled: leaf output per W/L *)
+  Format.printf "@.leaf output voltage [V] vs time:@.%-10s" "t";
+  List.iter (fun (wl, _) -> Format.printf "W/L=%-6.0f" wl) runs;
+  Format.printf "@.";
+  let t_grid = Phys.Float_utils.linspace 0.0 12e-9 13 in
+  Array.iter
+    (fun t ->
+      Format.printf "%-10s" (eng ~unit:"s" t);
+      List.iter
+        (fun (_, r) ->
+          let w = SR.net_waveform r leaf in
+          Format.printf "%-10.3f" (Phys.Pwl.value_at w t))
+        runs;
+      Format.printf "@.")
+    t_grid;
+  (* the two-bump virtual ground at a mid size *)
+  let _, r8 = List.nth runs 2 in
+  (match SR.vground_waveform r8 with
+   | Some vg ->
+     Format.printf "@.virtual ground at W/L = 8 (note stage-1 bump then \
+                    stage-3 bump):@.%s@."
+       (Phys.Ascii_plot.waveforms ~t0:0.0 ~t1:8e-9 [ ('*', vg) ])
+   | None -> ());
+  (* leaf transient family, fastest and slowest *)
+  (match (runs, List.rev runs) with
+   | (wl_lo, r_lo) :: _, (wl_hi, r_hi) :: _ ->
+     Format.printf
+       "@.leaf transients: '%c' = W/L %.0f, '%c' = W/L %.0f:@.%s@." 'a'
+       wl_lo 'z' wl_hi
+       (Phys.Ascii_plot.waveforms ~t0:0.0 ~t1:14e-9
+          [ ('a', SR.net_waveform r_lo leaf);
+            ('z', SR.net_waveform r_hi leaf) ])
+   | _ -> ())
+
+(* ---- FIG 10: tree delay, SPICE vs switch-level, vs W/L --------------------- *)
+
+let fig10 () =
+  header "FIG 10: inverter-tree delay vs W/L, both engines";
+  Format.printf
+    "paper: the switch-level simulator tracks the SPICE curve shape@.";
+  Format.printf "@.%-8s %-12s %-12s %-8s@." "W/L" "spice" "switch-level"
+    "ratio";
+  let table =
+    Phys.Table.create ~columns:[ "wl"; "spice_s"; "switch_level_s" ]
+  in
+  let ratios =
+    List.map
+      (fun wl ->
+        let sp =
+          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level tree_c
+            ~vectors:[ tree_vec ] ~wl
+        in
+        let bp =
+          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint tree_c
+            ~vectors:[ tree_vec ] ~wl
+        in
+        let ratio =
+          bp.Mtcmos.Sizing.mtcmos_delay /. sp.Mtcmos.Sizing.mtcmos_delay
+        in
+        Phys.Table.add_floats table
+          [ wl; sp.Mtcmos.Sizing.mtcmos_delay;
+            bp.Mtcmos.Sizing.mtcmos_delay ];
+        Format.printf "%-8.0f %-12s %-12s %-8.2f@." wl
+          (eng ~unit:"s" sp.Mtcmos.Sizing.mtcmos_delay)
+          (eng ~unit:"s" bp.Mtcmos.Sizing.mtcmos_delay)
+          ratio;
+        ratio)
+      fig5_wls
+  in
+  maybe_csv "fig10" table;
+  let s = Phys.Stats.summarize (Array.of_list ratios) in
+  Format.printf "ratio spread: %a@." Phys.Stats.pp_summary s
+
+(* ---- FIG 11: ground-bounce transient comparison ---------------------------- *)
+
+let fig11 () =
+  header "FIG 11: virtual-ground transient, SPICE vs switch-level (W/L = 14)";
+  Format.printf
+    "paper: simulator's stepwise bounce tracks the SPICE transient@.";
+  let wl = 14.0 in
+  let sp_cfg =
+    { SR.default_config with SR.sleep = sleep_of t07 wl; t_stop = 8e-9;
+      dt = Some 4e-12 }
+  in
+  let sp = SR.run_ints ~config:sp_cfg tree_c ~before:(fst tree_vec)
+      ~after:(snd tree_vec) in
+  let bp_cfg = { BP.default_config with BP.sleep = sleep_of t07 wl } in
+  let bp = BP.simulate_ints ~config:bp_cfg tree_c ~before:(fst tree_vec)
+      ~after:(snd tree_vec) in
+  let vg_sp =
+    match SR.vground_waveform sp with
+    | Some w -> w
+    | None -> Phys.Pwl.constant 0.0
+  in
+  (* align the simulator's t=0 input step with the spice ramp midpoint *)
+  let vg_bp =
+    Phys.Pwl.shift (BP.vground_waveform bp)
+      (sp_cfg.SR.t_start +. (sp_cfg.SR.ramp /. 2.0))
+  in
+  Format.printf "@.%-10s %-12s %-12s@." "t" "vx spice" "vx switch-level";
+  Array.iter
+    (fun t ->
+      Format.printf "%-10s %-12.4f %-12.4f@." (eng ~unit:"s" t)
+        (Phys.Pwl.value_at vg_sp t)
+        (Phys.Pwl.value_at vg_bp t))
+    (Phys.Float_utils.linspace 0.0 6e-9 16);
+  maybe_csv "fig11"
+    (Phys.Table.waveform_csv
+       [ ("vx_spice", vg_sp); ("vx_switch_level", vg_bp) ]
+       ~t0:0.0 ~t1:6e-9 ~n:200);
+  Format.printf "peaks: spice %s, switch-level %s@."
+    (eng ~unit:"V" (SR.vx_peak sp))
+    (eng ~unit:"V" (BP.vx_peak bp))
+
+(* ---- FIG 7 + TABLE 1: multiplier input-vector dependence -------------------- *)
+
+let fig7 ~fast () =
+  header "FIG 7: 8x8 multiplier delay vs W/L for two input vectors";
+  Format.printf
+    "paper: vector A (00,00)->(FF,81) floods the array and needs W/L>170 \
+     for 5%%;@.vector B (7F,81)->(FF,81) ripples and would mislead sizing \
+     to W/L~60@.";
+  let wls = [ 30.0; 60.0; 100.0; 170.0; 300.0; 500.0 ] in
+  Format.printf "@.switch-level sweep:@.%-10s %-26s %-26s@." "W/L"
+    "vector A delay (degr.)" "vector B delay (degr.)";
+  let sweep vec = Mtcmos.Sizing.sweep mult_c ~vectors:[ vec ] ~wls in
+  let ms_a = sweep mult_vec_a and ms_b = sweep mult_vec_b in
+  List.iter2
+    (fun (a : Mtcmos.Sizing.measurement) (b : Mtcmos.Sizing.measurement) ->
+      Format.printf "%-10.0f %-12s (%5.1f%%)       %-12s (%5.1f%%)@."
+        a.Mtcmos.Sizing.wl
+        (eng ~unit:"s" a.Mtcmos.Sizing.mtcmos_delay)
+        (100.0 *. a.Mtcmos.Sizing.degradation)
+        (eng ~unit:"s" b.Mtcmos.Sizing.mtcmos_delay)
+        (100.0 *. b.Mtcmos.Sizing.degradation))
+    ms_a ms_b;
+  (* Fig. 6's caption gives the 4x4 version's vectors verbatim *)
+  Format.printf
+    "@.4x4 version with Fig. 6's literal vectors (1: X 0000->1111, \
+     Y 0000->1001; 2: X 0111->1111, Y 1001):@.";
+  let m4 = Circuits.Csa_multiplier.make t03 ~bits:4 in
+  let c4 = m4.Circuits.Csa_multiplier.circuit in
+  let v1 = ([ (4, 0x0); (4, 0x0) ], [ (4, 0xF); (4, 0x9) ]) in
+  let v2 = ([ (4, 0x7); (4, 0x9) ], [ (4, 0xF); (4, 0x9) ]) in
+  List.iter
+    (fun (name, vec) ->
+      let ms =
+        Mtcmos.Sizing.sweep c4 ~vectors:[ vec ] ~wls:[ 15.0; 30.0; 60.0 ]
+      in
+      Format.printf "  vector %s:" name;
+      List.iter
+        (fun (m : Mtcmos.Sizing.measurement) ->
+          Format.printf "  W/L=%-3.0f %5.1f%%" m.Mtcmos.Sizing.wl
+            (100.0 *. m.Mtcmos.Sizing.degradation))
+        ms;
+      Format.printf "@.")
+    [ ("1 (larger currents)", v1); ("2 (smaller currents)", v2) ];
+  if not fast then begin
+    Format.printf
+      "@.transistor-level anchors at W/L = 170 (full Level-1 netlist, %d \
+       devices):@."
+      (Netlist.Circuit.transistor_count mult_c + 1);
+    let anchor name vec =
+      let config =
+        { SR.default_config with SR.sleep = sleep_of t03 170.0;
+          t_stop = 8e-9; dt = Some 4e-12; t_start = 500e-12 }
+      in
+      let d = sp_delay ~config mult_c ~before:(fst vec) ~after:(snd vec) in
+      Format.printf "  vector %s: %s@." name (eng ~unit:"s" d)
+    in
+    anchor "A" mult_vec_a;
+    anchor "B" mult_vec_b
+  end
+
+let table1 () =
+  header "TABLE 1: % degradation vs W/L for the two multiplier vectors";
+  Format.printf
+    "paper values:      W/L=60: A 18.1%%  |  W/L=170: A ~5%%  |  W/L=500: \
+     A 1.7%%;@.sizing by vector B at 5%% picks W/L=60 and costs ~18%% on \
+     vector A@.";
+  let wls = [ 60.0; 170.0; 500.0 ] in
+  let row name vec =
+    let ms = Mtcmos.Sizing.sweep mult_c ~vectors:[ vec ] ~wls in
+    Format.printf "%-10s" name;
+    List.iter
+      (fun (m : Mtcmos.Sizing.measurement) ->
+        Format.printf "  W/L=%-4.0f %5.1f%%" m.Mtcmos.Sizing.wl
+          (100.0 *. m.Mtcmos.Sizing.degradation))
+      ms;
+    Format.printf "@."
+  in
+  Format.printf "@.measured:@.";
+  row "vector A" mult_vec_a;
+  row "vector B" mult_vec_b;
+  let wl_a =
+    Mtcmos.Sizing.size_for_degradation mult_c ~vectors:[ mult_vec_a ]
+      ~target:0.05
+  in
+  let wl_b =
+    Mtcmos.Sizing.size_for_degradation mult_c ~vectors:[ mult_vec_b ]
+      ~target:0.05
+  in
+  let trap =
+    Mtcmos.Sizing.delay_at mult_c ~vectors:[ mult_vec_a ] ~wl:wl_b
+  in
+  Format.printf
+    "5%% sizing: by vector A -> W/L = %.0f; by vector B -> W/L = %.0f \
+     (then vector A degrades %.1f%%)@."
+    wl_a wl_b
+    (100.0 *. trap.Mtcmos.Sizing.degradation);
+  (* §4: the peak-current method *)
+  Format.printf "@.SEC 4: peak-current sizing baseline@.";
+  Format.printf
+    "paper: peak 1.174 mA held to 50 mV needs W/L > 500, ~3x larger than \
+     necessary@.";
+  let i_peak =
+    Mtcmos.Estimators.peak_current_of_transition mult_c
+      ~before:(fst mult_vec_a) ~after:(snd mult_vec_a)
+  in
+  let wl_pc = Mtcmos.Estimators.peak_current_wl t03 ~i_peak ~v_budget:0.05 in
+  Format.printf
+    "measured: peak %s held to 50 mV needs W/L = %.0f, i.e. %.1fx the \
+     simulator-driven size %.0f@."
+    (eng ~unit:"A" i_peak) wl_pc (wl_pc /. wl_a) wl_a;
+  Format.printf "sum-of-widths baseline: W/L = %.0f (%.1fx)@."
+    (Mtcmos.Estimators.sum_of_widths mult_c)
+    (Mtcmos.Estimators.sum_of_widths mult_c /. wl_a);
+  (* transistor-level confirmation of the peak current on the tree *)
+  let sp_cfg =
+    { SR.default_config with SR.sleep = sleep_of t07 20.0; t_stop = 8e-9 }
+  in
+  let sp = SR.run_ints ~config:sp_cfg tree_c ~before:(fst tree_vec)
+      ~after:(snd tree_vec) in
+  let bp = BP.simulate_ints
+      ~config:{ BP.default_config with BP.sleep = sleep_of t07 20.0 }
+      tree_c ~before:(fst tree_vec) ~after:(snd tree_vec) in
+  Format.printf
+    "peak sleep current cross-check (tree, W/L=20): transistor level %s, \
+     tool %s@."
+    (eng ~unit:"A" (SR.peak_sleep_current sp))
+    (eng ~unit:"A" (BP.peak_discharge_current bp))
+
+(* ---- FIG 13: 3-bit adder delay vs W/L, both engines ------------------------- *)
+
+let adder_fig13_vec = ([ (3, 0); (3, 1) ], [ (3, 6); (3, 5) ])
+
+let fig13 () =
+  header "FIG 13: 3-bit ripple adder delay vs W/L, SPICE vs switch-level";
+  Format.printf
+    "paper: adder agreement is closer than the tree's (matched loads)@.";
+  Format.printf "@.%-8s %-12s %-12s %-8s@." "W/L" "spice" "switch-level"
+    "ratio";
+  let table =
+    Phys.Table.create ~columns:[ "wl"; "spice_s"; "switch_level_s" ]
+  in
+  let ratios =
+    List.map
+      (fun wl ->
+        let sp =
+          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level adder_c
+            ~vectors:[ adder_fig13_vec ] ~wl
+        in
+        let bp =
+          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint adder_c
+            ~vectors:[ adder_fig13_vec ] ~wl
+        in
+        let ratio =
+          bp.Mtcmos.Sizing.mtcmos_delay /. sp.Mtcmos.Sizing.mtcmos_delay
+        in
+        Phys.Table.add_floats table
+          [ wl; sp.Mtcmos.Sizing.mtcmos_delay;
+            bp.Mtcmos.Sizing.mtcmos_delay ];
+        Format.printf "%-8.0f %-12s %-12s %-8.2f@." wl
+          (eng ~unit:"s" sp.Mtcmos.Sizing.mtcmos_delay)
+          (eng ~unit:"s" bp.Mtcmos.Sizing.mtcmos_delay)
+          ratio;
+        ratio)
+      [ 4.0; 6.0; 10.0; 16.0; 25.0; 40.0 ]
+  in
+  maybe_csv "fig13" table;
+  let s = Phys.Stats.summarize (Array.of_list ratios) in
+  Format.printf "ratio spread: %a@." Phys.Stats.pp_summary s
+
+(* ---- FIG 14: per-vector degradation ordering -------------------------------- *)
+
+let fig14 ~fast () =
+  header
+    "FIG 14: %% degradation at W/L = 10 across S2-flipping transitions \
+     (worst -> best)";
+  Format.printf
+    "paper: 800 S2 transitions; simulator scatters around the SPICE \
+     line but the trend is correct@.";
+  let s2 = adder.Circuits.Ripple_adder.sums.(2) in
+  let pairs =
+    Mtcmos.Vectors.involving_output adder_c ~net:s2
+      ~pairs:(Mtcmos.Vectors.enumerate_pairs ~widths:[ 3; 3 ])
+  in
+  Format.printf "S2-flipping transitions found: %d@." (List.length pairs);
+  let sleep = sleep_of t07 10.0 in
+  let ranked = Mtcmos.Vectors.rank adder_c ~sleep ~pairs in
+  let n = List.length ranked in
+  let degr = Array.of_list (List.map (fun r -> r.Mtcmos.Vectors.degradation) ranked) in
+  (match !csv_dir with
+   | Some _ ->
+     let table = Phys.Table.create ~columns:[ "rank"; "degradation" ] in
+     List.iteri
+       (fun i r ->
+         Phys.Table.add_floats table
+           [ float_of_int i; r.Mtcmos.Vectors.degradation ])
+       ranked;
+     maybe_csv "fig14" table
+   | None -> ());
+  Format.printf
+    "@.switch-level degradation curve (ordered worst -> best), %d points:@."
+    n;
+  List.iter
+    (fun q ->
+      Format.printf "  rank %3.0f%% %s %5.1f%%@." q
+        (if q = 0.0 then "(worst)" else if q = 100.0 then "(best) "
+         else "       ")
+        (100.0 *. Phys.Stats.percentile degr (100.0 -. q)))
+    [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 100.0 ];
+  (* transistor-level points across the ranking *)
+  let n_anchor = if fast then 6 else 24 in
+  let idx = Array.init n_anchor (fun i -> i * (n - 1) / (n_anchor - 1)) in
+  Format.printf
+    "@.transistor-level check at %d rank positions:@.%-6s %-12s %-12s@."
+    n_anchor "rank" "switch-level" "spice";
+  let bp_pts = ref [] and sp_pts = ref [] in
+  Array.iter
+    (fun i ->
+      let r = List.nth ranked i in
+      let before, after = r.Mtcmos.Vectors.pair in
+      let sp_cfg =
+        { SR.default_config with SR.sleep; t_stop = 8e-9 }
+      in
+      let d_mt = sp_delay ~config:sp_cfg adder_c ~before ~after in
+      let d_cm =
+        sp_delay ~config:SR.default_config adder_c ~before ~after
+      in
+      let sp_degr = (d_mt -. d_cm) /. d_cm in
+      bp_pts := r.Mtcmos.Vectors.degradation :: !bp_pts;
+      sp_pts := sp_degr :: !sp_pts;
+      Format.printf "%-6d %11.1f%% %11.1f%%@." i
+        (100.0 *. r.Mtcmos.Vectors.degradation)
+        (100.0 *. sp_degr))
+    idx;
+  let rho =
+    Phys.Stats.rank_correlation
+      (Array.of_list !bp_pts) (Array.of_list !sp_pts)
+  in
+  Format.printf "rank correlation (tool vs transistor level): %.2f@." rho
+
+(* ---- CPU-time table ---------------------------------------------------------- *)
+
+let cpu ~fast () =
+  header "CPU: exhaustive 4096-vector adder sweep, tool vs SPICE substitute";
+  Format.printf
+    "paper: SPICE 4.78 h on a Sparc 5 vs 13.5 s for the tool (~1275x)@.";
+  let config = { BP.default_config with BP.sleep = sleep_of t07 10.0 } in
+  let t0 = Unix.gettimeofday () in
+  let count = ref 0 in
+  for b1 = 0 to 63 do
+    for b2 = 0 to 63 do
+      let before = [ (3, b1 land 7); (3, b1 lsr 3) ] in
+      let after = [ (3, b2 land 7); (3, b2 lsr 3) ] in
+      ignore (BP.simulate_ints ~config adder_c ~before ~after);
+      incr count
+    done
+  done;
+  let t_tool = Unix.gettimeofday () -. t0 in
+  Format.printf "switch-level tool: %d vectors in %.2f s@." !count t_tool;
+  (* time a sample of transistor-level runs, extrapolate *)
+  let n_sample = if fast then 3 else 10 in
+  let sp_cfg =
+    { SR.default_config with SR.sleep = sleep_of t07 10.0; t_stop = 6e-9 }
+  in
+  let t1 = Unix.gettimeofday () in
+  for i = 0 to n_sample - 1 do
+    let v = (i * 709) land 63 in
+    let before = [ (3, v land 7); (3, v lsr 3) ] in
+    let after = [ (3, (v + 13) land 7); (3, ((v + 13) lsr 3) land 7) ] in
+    ignore (SR.run_ints ~config:sp_cfg adder_c ~before ~after)
+  done;
+  let t_sp = Unix.gettimeofday () -. t1 in
+  let t_sp_full = t_sp /. float_of_int n_sample *. 4096.0 in
+  Format.printf
+    "transistor level: %d sampled runs in %.2f s -> %.0f s extrapolated \
+     for 4096@."
+    n_sample t_sp t_sp_full;
+  Format.printf "speedup: %.0fx (paper: ~1275x)@." (t_sp_full /. t_tool)
+
+(* ---- ablations ---------------------------------------------------------------- *)
+
+let ablations () =
+  header "ABLATIONS: the modelling choices called out in DESIGN.md";
+
+  Format.printf "@.[1] body effect of the bounced source (paper 2.1):@.";
+  List.iter
+    (fun be ->
+      let m =
+        Mtcmos.Sizing.delay_at ~body_effect:be tree_c ~vectors:[ tree_vec ]
+          ~wl:8.0
+      in
+      Format.printf "  body effect %-5b: delay %s, degradation %.1f%%@." be
+        (eng ~unit:"s" m.Mtcmos.Sizing.mtcmos_delay)
+        (100.0 *. m.Mtcmos.Sizing.degradation))
+    [ true; false ];
+
+  Format.printf "@.[2] velocity-saturation exponent alpha (paper 5.3):@.";
+  List.iter
+    (fun alpha ->
+      let cfg =
+        { (BP.mtcmos_config t07 ~wl:8.0) with BP.alpha = Some alpha }
+      in
+      let d = bp_delay ~config:cfg tree_c ~before:(fst tree_vec)
+          ~after:(snd tree_vec) in
+      Format.printf "  alpha %.1f: tree delay %s@." alpha (eng ~unit:"s" d))
+    [ 1.3; 1.5; 1.8; 2.0 ];
+
+  Format.printf
+    "@.[3] virtual-ground parasitic capacitance (paper 2.2, transistor \
+     level):@.";
+  List.iter
+    (fun cx ->
+      let config =
+        { SR.default_config with SR.sleep = sleep_of t07 8.0;
+          cx_extra = cx; t_stop = 10e-9 }
+      in
+      let r = SR.run_ints ~config tree_c ~before:(fst tree_vec)
+          ~after:(snd tree_vec) in
+      let d = match SR.critical_delay r with Some (_, d) -> d | None -> nan in
+      Format.printf "  Cx = %-8s: vx peak %-10s delay %s@."
+        (eng ~unit:"F" cx)
+        (eng ~unit:"V" (SR.vx_peak r))
+        (eng ~unit:"s" d))
+    [ 0.0; 1e-12; 5e-12; 20e-12 ];
+  Format.printf
+    "  (pF-scale capacitance is needed to dent the bounce -- resizing \
+     the device is cheaper, as 2.2 argues)@.";
+
+  Format.printf "@.[4] sleep device I-V vs linear-resistor model (fig 2):@.";
+  let s8 = Device.Sleep.make t07.Device.Tech.sleep_nmos ~wl:8.0 ~vdd:1.2 in
+  let r_eff = Device.Sleep.effective_resistance s8 in
+  let d_dev =
+    bp_delay
+      ~config:{ BP.default_config with BP.sleep = BP.Sleep_fet s8 }
+      tree_c ~before:(fst tree_vec) ~after:(snd tree_vec)
+  in
+  let d_res =
+    bp_delay
+      ~config:{ BP.default_config with BP.sleep = BP.Resistor r_eff }
+      tree_c ~before:(fst tree_vec) ~after:(snd tree_vec)
+  in
+  Format.printf
+    "  device I-V: %s; linear R_eff = %s: %s (%.1f%% apart)@."
+    (eng ~unit:"s" d_dev)
+    (eng ~unit:"ohm" r_eff)
+    (eng ~unit:"s" d_res)
+    (100.0 *. Float.abs ((d_res -. d_dev) /. d_dev));
+
+  Format.printf "@.[5] reverse conduction (paper 2.3):@.";
+  let base = BP.mtcmos_config t07 ~wl:8.0 in
+  let d_off = bp_delay ~config:base tree_c ~before:(fst tree_vec)
+      ~after:(snd tree_vec) in
+  let d_on =
+    bp_delay ~config:{ base with BP.reverse_conduction = true } tree_c
+      ~before:(fst tree_vec) ~after:(snd tree_vec)
+  in
+  Format.printf
+    "  off: %s; on (lows ride at vx, precharged rises): %s@."
+    (eng ~unit:"s" d_off) (eng ~unit:"s" d_on);
+  let r = BP.simulate_ints ~config:base tree_c ~before:(fst tree_vec)
+      ~after:(snd tree_vec) in
+  let a = Mtcmos.Reverse_conduction.assess t07 ~vx:(BP.vx_peak r) in
+  Format.printf
+    "  at the observed vx = %s: low outputs pinned at %s, remaining \
+     low-side margin %s, logic failure: %b@."
+    (eng ~unit:"V" (BP.vx_peak r))
+    (eng ~unit:"V" a.Mtcmos.Reverse_conduction.v_low)
+    (eng ~unit:"V" a.Mtcmos.Reverse_conduction.nm_low_remaining)
+    a.Mtcmos.Reverse_conduction.logic_failure;
+
+  Format.printf
+    "@.[5b] the same effects inside the switch-level tool (cx and \
+     input-slope options):@.";
+  let base = BP.mtcmos_config t07 ~wl:8.0 in
+  List.iter
+    (fun (name, cfg) ->
+      let r = BP.simulate_ints ~config:cfg tree_c ~before:(fst tree_vec)
+          ~after:(snd tree_vec) in
+      let d = match BP.critical_delay r with Some (_, d) -> d | None -> nan in
+      Format.printf "  %-22s delay %-10s vx peak %s@." name
+        (eng ~unit:"s" d)
+        (eng ~unit:"V" (BP.vx_peak r)))
+    [ ("quasi-static (paper)", base);
+      ("cx = 1 pF", { base with BP.cx = 1e-12 });
+      ("cx = 5 pF", { base with BP.cx = 5e-12 });
+      ("input-slope corr.", { base with BP.input_slope = true }) ];
+
+  Format.printf "@.[6] closed-form Eq. 5 vs numeric equilibrium:@.";
+  let cfg2 =
+    Mtcmos.Vground.config ~body_effect:false (Device.Tech.with_alpha t07 2.0)
+  in
+  let gates =
+    List.init 9 (fun _ -> { Mtcmos.Vground.beta_wl = 1.5; vin = 1.2 })
+  in
+  let vx_n = Mtcmos.Vground.solve_resistor cfg2 ~r:r_eff gates in
+  let vx_q = Mtcmos.Vground.solve_quadratic cfg2 ~r:r_eff gates in
+  Format.printf "  brent: %s; quadratic: %s@." (eng ~unit:"V" vx_n)
+    (eng ~unit:"V" vx_q);
+
+  Format.printf "@.[7] MTCMOS standby-leakage payoff (fig 1 rationale):@.";
+  let conv, mt =
+    Device.Leakage.standby_comparison ~low_vt:t07.Device.Tech.nmos
+      ~high_vt:t07.Device.Tech.sleep_nmos
+      ~total_width_wl:(Mtcmos.Estimators.sum_of_widths tree_c)
+      ~sleep_wl:8.0 ~vdd:1.2
+  in
+  Format.printf
+    "  low-Vt block standby leakage %s -> gated %s (%.0fx reduction)@."
+    (eng ~unit:"A" conv) (eng ~unit:"A" mt) (conv /. mt)
+
+(* ---- design-space sweep (Vdd, Vt as the tool's design variables) --------------- *)
+
+let design_space () =
+  header
+    "DESIGN SPACE: delay and required sleep size vs Vdd and Vt (the \
+     tool's stated purpose)";
+  Format.printf
+    "paper 2.1: as Vdd scales down the sleep device's effective \
+     resistance explodes,@.requiring even larger sleep transistors@.";
+  Format.printf "@.Vdd sweep (0.7um card, tree, 10%% target):@.";
+  Format.printf "  %-7s %-12s %-14s %-14s@." "Vdd" "cmos delay"
+    "R_eff @ W/L=10" "W/L for 10%";
+  List.iter
+    (fun vdd ->
+      let tech = Device.Tech.with_vdd t07 vdd in
+      let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+      let c = tree.Circuits.Inverter_tree.circuit in
+      let m = Mtcmos.Sizing.cmos_delay c ~vectors:[ tree_vec ] in
+      let r_eff =
+        Device.Sleep.effective_resistance
+          (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl:10.0 ~vdd)
+      in
+      let wl =
+        try
+          Printf.sprintf "%.0f"
+            (Mtcmos.Sizing.size_for_degradation c ~vectors:[ tree_vec ]
+               ~target:0.10)
+        with Not_found -> "infeasible"
+      in
+      Format.printf "  %-7.2f %-12s %-14s %-14s@." vdd (eng ~unit:"s" m)
+        (eng ~unit:"ohm" r_eff) wl)
+    [ 1.5; 1.35; 1.2; 1.05; 0.95; 0.85 ];
+  Format.printf "@.across technology nodes (tree at each node's nominal \
+                 Vdd, 10%% target):@.";
+  List.iter
+    (fun tech ->
+      let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+      let c = tree.Circuits.Inverter_tree.circuit in
+      let d0 = Mtcmos.Sizing.cmos_delay c ~vectors:[ tree_vec ] in
+      let wl =
+        try
+          Printf.sprintf "%.0f"
+            (Mtcmos.Sizing.size_for_degradation c ~vectors:[ tree_vec ]
+               ~target:0.10)
+        with Not_found -> "infeasible"
+      in
+      Format.printf "  %-16s vdd=%.2f  cmos %-10s W/L for 10%%: %s@."
+        tech.Device.Tech.name tech.Device.Tech.vdd (eng ~unit:"s" d0) wl)
+    [ t07; t03; Device.Tech.mtcmos_018um ];
+  Format.printf
+    "@.Vt sweep at Vdd = 1.2 (low-Vt threshold shifted, high-Vt fixed):@.";
+  Format.printf "  %-7s %-12s %-12s@." "Vtn" "cmos delay" "W/L for 10%";
+  List.iter
+    (fun dv ->
+      let tech = Device.Tech.with_vt_shift t07 dv in
+      let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+      let c = tree.Circuits.Inverter_tree.circuit in
+      let m = Mtcmos.Sizing.cmos_delay c ~vectors:[ tree_vec ] in
+      let wl =
+        try
+          Printf.sprintf "%.0f"
+            (Mtcmos.Sizing.size_for_degradation c ~vectors:[ tree_vec ]
+               ~target:0.10)
+        with Not_found -> "infeasible"
+      in
+      Format.printf "  %-7.2f %-12s %-12s@."
+        (t07.Device.Tech.nmos.Device.Mosfet.vt0 +. dv)
+        (eng ~unit:"s" m) wl)
+    [ -0.1; -0.05; 0.0; 0.05; 0.1 ];
+  Format.printf
+    "  (lower logic Vt speeds the block, raising the current the sleep \
+     device must carry)@."
+
+(* ---- extensions beyond the paper ----------------------------------------------- *)
+
+let extras ~fast () =
+  header "EXTRAS: extension studies built on the reproduction";
+
+  Format.printf
+    "@.[A] static timing vs the vector-aware tool (the paper's 4 \
+     critique):@.";
+  let sta_mult = Mtcmos.Sta.analyze mult_c in
+  let sta_delay = (Mtcmos.Sta.critical_path sta_mult).Mtcmos.Sta.arrival in
+  Format.printf "  multiplier STA critical arrival: %s (vector-blind)@."
+    (eng ~unit:"s" sta_delay);
+  List.iter
+    (fun (name, vec) ->
+      let m = Mtcmos.Sizing.delay_at mult_c ~vectors:[ vec ] ~wl:60.0 in
+      Format.printf
+        "  vector %s at W/L=60: cmos %s, mtcmos %s -- STA cannot tell \
+         these apart@."
+        name
+        (eng ~unit:"s" m.Mtcmos.Sizing.cmos_delay)
+        (eng ~unit:"s" m.Mtcmos.Sizing.mtcmos_delay))
+    [ ("A", mult_vec_a); ("B", mult_vec_b) ];
+  let sleep8 = sleep_of t07 8.0 in
+  let sta_tree = Mtcmos.Sta.analyze tree_c in
+  let under =
+    Mtcmos.Sta.mtcmos_underestimate sta_tree tree_c ~sleep:sleep8
+      ~vectors:[ tree_vec ]
+  in
+  Format.printf "  tree at W/L=8: STA underestimates MTCMOS by %.0f%%@."
+    (100.0 *. under);
+
+  Format.printf
+    "@.[B] hierarchical sleep devices (per-stage rails, follow-up-paper \
+     direction):@.";
+  let wl_shared =
+    Mtcmos.Sizing.size_for_degradation tree_c ~vectors:[ tree_vec ]
+      ~target:0.10
+  in
+  Format.printf "  shared device for 10%%: W/L = %.1f (total %.1f)@."
+    wl_shared wl_shared;
+  List.iter
+    (fun blocks ->
+      let wl_each =
+        Mtcmos.Hierarchy.size_uniform_for_degradation tree_c
+          ~vectors:[ tree_vec ] ~target:0.10 ~blocks
+      in
+      Format.printf
+        "  %d per-level devices for 10%%: W/L = %.1f each (total %.1f)@."
+        blocks wl_each (float_of_int blocks *. wl_each))
+    [ 2; 3 ];
+  Format.printf
+    "  (the tree's stages discharge in disjoint time slots, so one \
+     shared device time-multiplexes@.   them for free; naive \
+     partitioning inflates total width -- mutual exclusion must be@.   \
+     exploited the other way, by sharing)@.";
+
+  Format.printf "@.[C] energy/area/delay trade-off of sleep sizing \
+                 (adder):@.";
+  Format.printf "  %-8s %-12s %-12s %-12s %-12s@." "W/L" "degradation"
+    "toggle E" "area um^2" "break-even";
+  List.iter
+    (fun wl ->
+      let m =
+        Mtcmos.Sizing.delay_at adder_c
+          ~vectors:[ adder_fig13_vec ] ~wl
+      in
+      let b = Mtcmos.Energy.budget adder_c ~wl in
+      Format.printf "  %-8.0f %-12s %-12s %-12.3g %-12s@." wl
+        (Printf.sprintf "%.1f%%" (100.0 *. m.Mtcmos.Sizing.degradation))
+        (eng ~unit:"J" b.Mtcmos.Energy.sleep_toggle)
+        (b.Mtcmos.Energy.area *. 1e12)
+        (eng ~unit:"s"
+           (Mtcmos.Energy.break_even_idle_time adder_c ~wl)))
+    [ 5.0; 10.0; 20.0; 50.0; 100.0 ];
+
+  (* glitch energy: steady-state counting vs the simulated waveforms *)
+  let gl_vec = ([ (3, 1); (3, 5) ], [ (3, 6); (3, 5) ]) in
+  let static =
+    Mtcmos.Energy.switching_energy_of_transition adder_c
+      ~before:(fst gl_vec) ~after:(snd gl_vec)
+  in
+  let r = BP.simulate_ints ~config:(BP.mtcmos_config t07 ~wl:20.0) adder_c
+      ~before:(fst gl_vec) ~after:(snd gl_vec) in
+  let dynamic = Mtcmos.Energy.switching_energy_of_result adder_c r in
+  Format.printf
+    "  glitch accounting on 1+5 -> 6+5: steady-state %s, waveform-based \
+     %s (%.0f%% glitch overhead)@."
+    (eng ~unit:"J" static) (eng ~unit:"J" dynamic)
+    (100.0 *. ((dynamic /. Float.max 1e-30 static) -. 1.0));
+
+  Format.printf "@.[D] wake-up latency vs sleep size (adder):@.";
+  List.iter
+    (fun wl ->
+      let e = Mtcmos.Wakeup.estimate adder_c ~wl in
+      let simulated =
+        match Mtcmos.Wakeup.simulate adder_c ~wl with
+        | t -> eng ~unit:"s" t
+        | exception Not_found -> "(did not settle)"
+      in
+      Format.printf
+        "  W/L=%-5.0f float %-8s analytic %-10s simulated %s@." wl
+        (eng ~unit:"V" e.Mtcmos.Wakeup.v_float)
+        (eng ~unit:"s" e.Mtcmos.Wakeup.analytic)
+        simulated)
+    [ 5.0; 20.0; 80.0 ];
+
+  Format.printf
+    "@.[G] stochastic worst-vector hunt on the 8x8 multiplier (2^32 \
+     transitions):@.";
+  let sleep60 = sleep_of t03 60.0 in
+  let found =
+    Mtcmos.Search.hill_climb ~seed:2
+      ~restarts:(if fast then 2 else 5)
+      ~max_iters:(if fast then 150 else 400)
+      mult_c ~sleep:sleep60 ~widths:[ 8; 8 ] Mtcmos.Search.Max_degradation
+  in
+  let a60 =
+    Mtcmos.Sizing.delay_at mult_c ~vectors:[ mult_vec_a ] ~wl:60.0
+  in
+  let fmt_pair (before, after) =
+    let f g =
+      String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
+    in
+    Printf.sprintf "(%s)->(%s)" (f before) (f after)
+  in
+  Format.printf
+    "  hill climb found %s at %.1f%% degradation in %d evaluations@."
+    (fmt_pair found.Mtcmos.Search.pair)
+    (100.0 *. found.Mtcmos.Search.score)
+    found.Mtcmos.Search.evaluations;
+  Format.printf
+    "  the paper's hand-picked vector A gives %.1f%% -- the automated \
+     hunt %s it@."
+    (100.0 *. a60.Mtcmos.Sizing.degradation)
+    (if found.Mtcmos.Search.score >= a60.Mtcmos.Sizing.degradation then
+       "matches or beats"
+     else "approaches");
+  let found_delay =
+    Mtcmos.Search.hill_climb ~seed:2 ~restarts:(if fast then 2 else 4)
+      ~max_iters:(if fast then 150 else 300)
+      mult_c ~sleep:sleep60 ~widths:[ 8; 8 ] Mtcmos.Search.Max_delay
+  in
+  Format.printf
+    "  by absolute delay: hunt found %s with %s vs vector A's %s@."
+    (fmt_pair found_delay.Mtcmos.Search.pair)
+    (eng ~unit:"s" found_delay.Mtcmos.Search.score)
+    (eng ~unit:"s" a60.Mtcmos.Sizing.mtcmos_delay);
+  Format.printf
+    "  (the ratio objective rewards glitchy low-baseline outputs, the \
+     Fig. 14 tail effect)@.";
+
+  Format.printf "@.[H] process variation at the chosen size (adder, \
+                 W/L=20):@.";
+  let stats =
+    Mtcmos.Variation.monte_carlo ~n:(if fast then 40 else 200) adder_c
+      ~wl:20.0 ~vector:adder_fig13_vec
+  in
+  Format.printf "  delay: %a@." Phys.Stats.pp_summary
+    stats.Mtcmos.Variation.delay_summary;
+  Format.printf "  vx:    %a@." Phys.Stats.pp_summary
+    stats.Mtcmos.Variation.vx_summary;
+  Format.printf
+    "  p95 degradation vs nominal CMOS: %.1f%% (size margins \
+     accordingly)@."
+    (100.0 *. stats.Mtcmos.Variation.degradation_p95);
+
+  Format.printf
+    "@.[J] NMOS footer vs PMOS header (the paper's 1 preference):@.";
+  Format.printf
+    "  paper: \"the NMOS is preferable because it has a lower on \
+     resistance and can be sized smaller\"@.";
+  List.iter
+    (fun wl ->
+      let run cfg before after =
+        let r = BP.simulate_ints ~config:cfg tree_c ~before ~after in
+        ((match BP.critical_delay r with Some (_, d) -> d | None -> nan),
+         BP.vx_peak r)
+      in
+      let d_n, v_n =
+        run (BP.mtcmos_config t07 ~wl) (fst tree_vec) (snd tree_vec)
+      in
+      let d_p, v_p =
+        run (BP.mtcmos_pmos_config t07 ~wl) (snd tree_vec) (fst tree_vec)
+      in
+      Format.printf
+        "  W/L=%-5.0f footer: %-10s (bounce %-8s)  header: %-10s (droop \
+         %-8s)  header/footer %.2f@."
+        wl (eng ~unit:"s" d_n) (eng ~unit:"V" v_n) (eng ~unit:"s" d_p)
+        (eng ~unit:"V" v_p) (d_p /. d_n))
+    [ 8.0; 20.0; 40.0 ];
+
+  Format.printf
+    "@.[K] multi-cycle workload on the adder (64 random cycles, 2 ns \
+     period, W/L = 10):@.";
+  let workload = Mtcmos.Sequence.random_workload ~widths:[ 3; 3 ] 64 in
+  let seq =
+    Mtcmos.Sequence.run ~config:(BP.mtcmos_config t07 ~wl:10.0) adder_c
+      ~period:2e-9 ~vectors:workload
+  in
+  (match seq.Mtcmos.Sequence.worst_delay with
+   | Some (i, d) ->
+     Format.printf "  worst cycle %d: delay %s; worst bounce %s; %d/%d \
+                    period violations@."
+       i (eng ~unit:"s" d)
+       (eng ~unit:"V" seq.Mtcmos.Sequence.worst_vx)
+       seq.Mtcmos.Sequence.violations
+       (List.length seq.Mtcmos.Sequence.steps)
+   | None -> Format.printf "  workload never switched an output@.");
+  let tight =
+    Mtcmos.Sequence.run ~config:(BP.mtcmos_config t07 ~wl:3.0) adder_c
+      ~period:2e-9 ~vectors:workload
+  in
+  Format.printf
+    "  undersized at W/L = 3: %d violations on the same workload@."
+    tight.Mtcmos.Sequence.violations;
+
+  Format.printf
+    "@.[L] structure dependence: ripple vs Kogge-Stone 8-bit adders \
+     (same function):@.";
+  let rp = Circuits.Ripple_adder.make t07 ~bits:8 in
+  let ks = Circuits.Kogge_stone.make t07 ~bits:8 in
+  (* size each structure against its own hunted worst transition *)
+  List.iter
+    (fun (name, c) ->
+      let hunt =
+        Mtcmos.Search.hill_climb ~seed:4 ~restarts:3 ~max_iters:200 c
+          ~sleep:(sleep_of t07 20.0) ~widths:[ 8; 8 ]
+          Mtcmos.Search.Max_delay
+      in
+      let vec = hunt.Mtcmos.Search.pair in
+      let falling =
+        let s0 = Netlist.Logic_sim.eval_ints c (fst vec) in
+        let s1 = Netlist.Logic_sim.eval_ints c (snd vec) in
+        List.length (Netlist.Logic_sim.falling_gates c s0 s1)
+      in
+      let d0 = Mtcmos.Sizing.cmos_delay c ~vectors:[ vec ] in
+      let wl =
+        try
+          Printf.sprintf "%.0f"
+            (Mtcmos.Sizing.size_for_degradation c ~vectors:[ vec ]
+               ~target:0.05)
+        with Not_found -> "infeasible"
+      in
+      Format.printf
+        "  %-12s %4d gates, %3d discharge on its worst vector, cmos \
+         %-9s W/L for 5%%: %s@."
+        name (Netlist.Circuit.num_gates c) falling (eng ~unit:"s" d0) wl)
+    [ ("ripple", rp.Circuits.Ripple_adder.circuit);
+      ("kogge-stone", ks.Circuits.Kogge_stone.circuit) ];
+  Format.printf
+    "  (the log-depth adder is faster but fires far more gates per \
+     instant: its sleep@.   device must be proportionally larger -- \
+     structure, not just function, sets the size)@.";
+
+  Format.printf "@.[I] lint screens on the benchmark circuits:@.";
+  List.iter
+    (fun (name, c) ->
+      let findings = Mtcmos.Lint.check ~hotspot_fraction:0.4 c in
+      Format.printf "  %-12s %d finding(s)@." name (List.length findings);
+      List.iter
+        (fun f -> Format.printf "    %a@." Mtcmos.Lint.pp_finding f)
+        findings)
+    [ ("tree", tree_c); ("adder3", adder_c) ];
+
+  if not fast then begin
+    Format.printf
+      "@.[E] characterisation-based calibration of the switch-level \
+       tool:@.";
+    let factor = Mtcmos.Characterize.calibration_factor t07 in
+    Format.printf
+      "  transistor-level/first-order inverter delay ratio: %.2f@."
+      factor;
+    Format.printf "  fig10 revisited with calibrated tool delays:@.";
+    List.iter
+      (fun wl ->
+        let sp =
+          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level tree_c
+            ~vectors:[ tree_vec ] ~wl
+        in
+        let bp =
+          Mtcmos.Sizing.delay_at tree_c ~vectors:[ tree_vec ] ~wl
+        in
+        Format.printf
+          "    W/L=%-4.0f spice %-10s calibrated tool %-10s (raw %.2f -> \
+           calibrated %.2f)@."
+          wl
+          (eng ~unit:"s" sp.Mtcmos.Sizing.mtcmos_delay)
+          (eng ~unit:"s" (factor *. bp.Mtcmos.Sizing.mtcmos_delay))
+          (bp.Mtcmos.Sizing.mtcmos_delay /. sp.Mtcmos.Sizing.mtcmos_delay)
+          (factor *. bp.Mtcmos.Sizing.mtcmos_delay
+           /. sp.Mtcmos.Sizing.mtcmos_delay))
+      [ 5.0; 11.0; 20.0 ];
+    Format.printf "@.[F] gate-library characterisation (0.7um, 30 fF):@.";
+    List.iter
+      (fun kind ->
+        match
+          Mtcmos.Characterize.gate ~loads:[ 30e-15 ] ~ramps:[ 30e-12 ] t07
+            kind
+        with
+        | [ p ] ->
+          Format.printf "  %-10s %a@." (Netlist.Gate.name kind)
+            Mtcmos.Characterize.pp_point p
+        | _ -> ())
+      [ Netlist.Gate.Inv; Netlist.Gate.Nand 2; Netlist.Gate.Nor 2;
+        Netlist.Gate.Xor2; Netlist.Gate.Aoi21; Netlist.Gate.Carry_inv;
+        Netlist.Gate.Sum_inv ];
+    Format.printf
+      "@.[M] NLDM table timing vs first-order STA vs both simulators \
+       (3-bit adder):@.";
+    let lib =
+      Mtcmos.Nldm.characterize t07
+        [ Netlist.Gate.Inv; Netlist.Gate.Carry_inv; Netlist.Gate.Sum_inv ]
+    in
+    let nldm = Mtcmos.Nldm.sta lib adder_c in
+    let _, nldm_arrival = nldm.Mtcmos.Nldm.critical in
+    let fo =
+      (Mtcmos.Sta.critical_path (Mtcmos.Sta.analyze adder_c))
+        .Mtcmos.Sta.arrival
+    in
+    (* compare the static bounds against the worst simulated vector *)
+    let hunt =
+      Mtcmos.Search.hill_climb ~seed:6 ~restarts:4 adder_c
+        ~sleep:BP.Cmos ~widths:[ 3; 3 ] Mtcmos.Search.Max_delay
+    in
+    let sp =
+      Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level adder_c
+        ~vectors:[ hunt.Mtcmos.Search.pair ] ~wl:1000.0
+    in
+    Format.printf
+      "  first-order STA %-10s NLDM STA %-10s | worst hunted vector: \
+       switch-level %-10s transistor-level %s@."
+      (eng ~unit:"s" fo)
+      (eng ~unit:"s" nldm_arrival)
+      (eng ~unit:"s" hunt.Mtcmos.Search.score)
+      (eng ~unit:"s" sp.Mtcmos.Sizing.cmos_delay);
+    Format.printf
+      "  (the first-order timer underestimates the transistor-level \
+       worst case; the@.   characterised table timer bounds it tightly \
+       -- the slew and compound-gate@.   margin matters)@."
+  end
+
+(* ---- Bechamel microbenchmarks -------------------------------------------------- *)
+
+let bechamel () =
+  header "BECHAMEL: engine microbenchmarks (one kernel per experiment)";
+  let open Bechamel in
+  let tree_kernel () =
+    ignore
+      (BP.simulate_ints
+         ~config:(BP.mtcmos_config t07 ~wl:8.0)
+         tree_c ~before:(fst tree_vec) ~after:(snd tree_vec))
+  in
+  let adder_kernel () =
+    ignore
+      (BP.simulate_ints
+         ~config:(BP.mtcmos_config t07 ~wl:10.0)
+         adder_c ~before:[ (3, 1); (3, 5) ] ~after:[ (3, 6); (3, 5) ])
+  in
+  let mult_kernel () =
+    ignore
+      (BP.simulate_ints
+         ~config:(BP.mtcmos_config t03 ~wl:170.0)
+         mult_c ~before:(fst mult_vec_a) ~after:(snd mult_vec_a))
+  in
+  let vground_kernel =
+    let cfg = Mtcmos.Vground.config t07 in
+    let gates =
+      List.init 9 (fun _ -> { Mtcmos.Vground.beta_wl = 1.5; vin = 1.2 })
+    in
+    fun () -> ignore (Mtcmos.Vground.solve_resistor cfg ~r:1000.0 gates)
+  in
+  let spice_kernel =
+    let ch = Circuits.Chain.inverter_chain t07 ~length:2 in
+    let c = ch.Circuits.Chain.circuit in
+    fun () ->
+      ignore
+        (SR.run ~config:{ SR.default_config with SR.t_stop = 1e-9 } c
+           ~before:[| Netlist.Signal.L0 |] ~after:[| Netlist.Signal.L1 |])
+  in
+  let tests =
+    [ Test.make ~name:"fig10/tree-switch-level" (Staged.stage tree_kernel);
+      Test.make ~name:"fig13/adder-switch-level" (Staged.stage adder_kernel);
+      Test.make ~name:"fig7/mult8-switch-level" (Staged.stage mult_kernel);
+      Test.make ~name:"eq5/vground-solve" (Staged.stage vground_kernel);
+      Test.make ~name:"cpu/spice-2-inverter-1ns" (Staged.stage spice_kernel) ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name raw ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          with
+          | ols ->
+            (match Analyze.OLS.estimates ols with
+             | Some [ est ] ->
+               Format.printf "  %-28s %s/run@." name
+                 (eng ~unit:"s" (est *. 1e-9))
+             | Some _ | None -> Format.printf "  %-28s (no estimate)@." name))
+        results)
+    tests
+
+(* ---- driver -------------------------------------------------------------------- *)
+
+let all ~fast () =
+  fig5 ();
+  fig10 ();
+  fig11 ();
+  fig7 ~fast ();
+  table1 ();
+  fig13 ();
+  fig14 ~fast ();
+  cpu ~fast ();
+  ablations ();
+  design_space ();
+  extras ~fast ();
+  bechamel ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fast = List.mem "fast" args in
+  List.iter
+    (fun a ->
+      if String.length a > 4 && String.sub a 0 4 = "csv=" then
+        csv_dir := Some (String.sub a 4 (String.length a - 4)))
+    args;
+  let args =
+    List.filter
+      (fun a ->
+        a <> "fast"
+        && not (String.length a > 4 && String.sub a 0 4 = "csv="))
+      args
+  in
+  match args with
+  | [] -> all ~fast ()
+  | names ->
+    List.iter
+      (fun name ->
+        match name with
+        | "fig5" -> fig5 ()
+        | "fig7" -> fig7 ~fast ()
+        | "table1" -> table1 ()
+        | "fig10" -> fig10 ()
+        | "fig11" -> fig11 ()
+        | "fig13" -> fig13 ()
+        | "fig14" -> fig14 ~fast ()
+        | "cpu" -> cpu ~fast ()
+        | "ablations" -> ablations ()
+        | "design-space" -> design_space ()
+        | "extras" -> extras ~fast ()
+        | "bechamel" -> bechamel ()
+        | other ->
+          Format.eprintf
+            "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
+             fig14 cpu ablations extras bechamel)@."
+            other;
+          exit 2)
+      names

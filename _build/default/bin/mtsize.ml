@@ -1,0 +1,599 @@
+(* mtsize: the MTCMOS sleep-transistor sizing tool as a CLI.
+
+   Subcommands:
+     sweep         delay/degradation vs W/L for a circuit and vector set
+     size          minimum W/L for a target degradation
+     worst-vectors rank input transitions by MTCMOS susceptibility
+     simulate      one transition in detail (waveform summary)
+     compare       switch-level vs transistor-level on one transition
+     estimate      the naive baselines (sum-of-widths, peak-current) *)
+
+open Cmdliner
+
+(* ---- shared argument plumbing ------------------------------------------- *)
+
+let tech_of_name = function
+  | "07um" | "0.7um" -> Ok Device.Tech.mtcmos_07um
+  | "03um" | "0.3um" -> Ok Device.Tech.mtcmos_03um
+  | s -> Error (Printf.sprintf "unknown technology %S (07um | 03um)" s)
+
+type bench_circuit = {
+  name : string;
+  circuit : Netlist.Circuit.t;
+  widths : int list; (* input packing *)
+}
+
+let circuit_of_name tech = function
+  | s when Filename.check_suffix s ".net" ->
+    (* user circuit in the structural netlist language *)
+    (try
+       let circuit = Netlist.Parse.circuit_of_file tech s in
+       Ok { name = Filename.basename s; circuit;
+            widths = [ Array.length (Netlist.Circuit.inputs circuit) ] }
+     with
+     | Netlist.Parse.Parse_error (line, m) ->
+       Error (Printf.sprintf "%s:%d: %s" s line m)
+     | Sys_error m -> Error m)
+  | "tree" ->
+    let t = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+    Ok { name = "tree"; circuit = t.Circuits.Inverter_tree.circuit;
+         widths = [ 1 ] }
+  | "chain" ->
+    let t = Circuits.Chain.inverter_chain tech ~length:8 in
+    Ok { name = "chain"; circuit = t.Circuits.Chain.circuit; widths = [ 1 ] }
+  | s when String.length s > 5 && String.sub s 0 5 = "adder" ->
+    (match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+     | Some bits when bits >= 1 && bits <= 10 ->
+       let a = Circuits.Ripple_adder.make tech ~bits in
+       Ok { name = s; circuit = a.Circuits.Ripple_adder.circuit;
+            widths = [ bits; bits ] }
+     | Some _ | None -> Error (Printf.sprintf "bad adder spec %S" s))
+  | s when String.length s > 4 && String.sub s 0 4 = "mult" ->
+    (match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+     | Some bits when bits >= 2 && bits <= 10 ->
+       let m = Circuits.Csa_multiplier.make tech ~bits in
+       Ok { name = s; circuit = m.Circuits.Csa_multiplier.circuit;
+            widths = [ bits; bits ] }
+     | Some _ | None -> Error (Printf.sprintf "bad multiplier spec %S" s))
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown circuit %S (tree | chain | adder<N> | mult<N>)" s)
+
+let parse_vector widths s =
+  (* "1,5->6,5" with one integer per input group *)
+  match String.split_on_char '>' s with
+  | [ before; after ] when String.length before > 0
+                           && before.[String.length before - 1] = '-' ->
+    let before = String.sub before 0 (String.length before - 1) in
+    let parse_side side =
+      let parts = String.split_on_char ',' side in
+      if List.length parts <> List.length widths then
+        Error
+          (Printf.sprintf "expected %d comma-separated values in %S"
+             (List.length widths) side)
+      else
+        let rec go ws ps acc =
+          match (ws, ps) with
+          | [], [] -> Ok (List.rev acc)
+          | w :: ws, p :: ps ->
+            (match int_of_string_opt (String.trim p) with
+             | Some v when v >= 0 && v < 1 lsl w -> go ws ps ((w, v) :: acc)
+             | Some _ -> Error (Printf.sprintf "value %s out of range" p)
+             | None -> Error (Printf.sprintf "bad integer %S" p))
+          | _, ([] | _ :: _) -> Error "width mismatch"
+        in
+        go widths parts []
+    in
+    (match (parse_side before, parse_side after) with
+     | Ok b, Ok a -> Ok (b, a)
+     | (Error e, _ | _, Error e) -> Error e)
+  | _ -> Error (Printf.sprintf "bad vector %S (want \"1,5->6,5\")" s)
+
+let tech_term =
+  let doc = "Technology card: 07um (1.2 V) or 03um (1.0 V)." in
+  Arg.(value & opt string "07um" & info [ "t"; "tech" ] ~docv:"TECH" ~doc)
+
+let circuit_term =
+  let doc =
+    "Benchmark circuit: tree, chain, adder$(i,N) (e.g. adder3), \
+     mult$(i,N) (e.g. mult8), or a $(i,.net) netlist file (see \
+     Netlist.Parse for the language)."
+  in
+  Arg.(value & opt string "adder3" & info [ "c"; "circuit" ] ~docv:"CIRCUIT" ~doc)
+
+let vectors_term =
+  let doc =
+    "Input transition \"v1,v2,..->w1,w2,..\" (one integer per input \
+     group, little-endian).  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "v"; "vector" ] ~docv:"VEC" ~doc)
+
+let setup tech_name circuit_name vector_strs =
+  match tech_of_name tech_name with
+  | Error e -> Error e
+  | Ok tech ->
+    (match circuit_of_name tech circuit_name with
+     | Error e -> Error e
+     | Ok bc ->
+       let rec parse_all acc = function
+         | [] -> Ok (List.rev acc)
+         | s :: rest ->
+           (match parse_vector bc.widths s with
+            | Ok v -> parse_all (v :: acc) rest
+            | Error e -> Error e)
+       in
+       (match parse_all [] vector_strs with
+        | Error e -> Error e
+        | Ok [] ->
+          (* default: everything low -> everything high *)
+          let hi = List.map (fun w -> (w, (1 lsl w) - 1)) bc.widths in
+          let lo = List.map (fun w -> (w, 0)) bc.widths in
+          Ok (tech, bc, [ (lo, hi) ])
+        | Ok vs -> Ok (tech, bc, vs)))
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("mtsize: " ^ e);
+    exit 2
+
+(* ---- subcommands ---------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run tech_name circuit_name vectors wls spice =
+    let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
+    let engine =
+      if spice then Mtcmos.Sizing.Spice_level else Mtcmos.Sizing.Breakpoint
+    in
+    Format.printf "%s: %a@." bc.name Netlist.Circuit.pp_stats bc.circuit;
+    Mtcmos.Sizing.sweep ~engine bc.circuit ~vectors:vecs ~wls
+    |> List.iter (fun m ->
+           Format.printf "%a@." Mtcmos.Sizing.pp_measurement m)
+  in
+  let wls_term =
+    let doc = "Sleep W/L values to sweep." in
+    Arg.(
+      value
+      & opt (list float) [ 2.0; 5.0; 10.0; 20.0; 50.0; 100.0 ]
+      & info [ "w"; "wl" ] ~docv:"WLS" ~doc)
+  in
+  let spice_term =
+    let doc = "Use the transistor-level engine instead of the fast tool." in
+    Arg.(value & flag & info [ "spice" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Delay and degradation versus sleep size")
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ wls_term
+          $ spice_term)
+
+let size_cmd =
+  let run tech_name circuit_name vectors target =
+    let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
+    let wl =
+      try
+        Mtcmos.Sizing.size_for_degradation bc.circuit ~vectors:vecs ~target
+      with Not_found ->
+        prerr_endline "mtsize: no feasible size in [0.5, 4096]";
+        exit 1
+    in
+    let m = Mtcmos.Sizing.delay_at bc.circuit ~vectors:vecs ~wl in
+    Format.printf "minimum W/L for %.1f%% degradation: %.1f@."
+      (100.0 *. target) wl;
+    Format.printf "%a@." Mtcmos.Sizing.pp_measurement m
+  in
+  let target_term =
+    let doc = "Degradation budget as a fraction (0.05 = 5%)." in
+    Arg.(value & opt float 0.05 & info [ "target" ] ~docv:"FRAC" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "size" ~doc:"Minimum sleep size for a delay budget")
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ target_term)
+
+let worst_cmd =
+  let run tech_name circuit_name wl top sample =
+    let tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let total_bits = List.fold_left ( + ) 0 bc.widths in
+    let pairs =
+      if 2 * total_bits <= 14 then
+        Mtcmos.Vectors.enumerate_pairs ~widths:bc.widths
+      else Mtcmos.Vectors.random_pairs ~widths:bc.widths sample
+    in
+    let sleep =
+      Mtcmos.Breakpoint_sim.Sleep_fet
+        (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+           ~vdd:tech.Device.Tech.vdd)
+    in
+    Format.printf "ranking %d vector pairs at W/L = %.0f...@."
+      (List.length pairs) wl;
+    let ranked = Mtcmos.Vectors.worst bc.circuit ~sleep ~pairs ~top in
+    List.iter
+      (fun r ->
+        let fmt g =
+          String.concat ","
+            (List.map (fun (_, v) -> string_of_int v) g)
+        in
+        let before, after = r.Mtcmos.Vectors.pair in
+        Format.printf "(%s)->(%s)  delay %s  degradation %.1f%%  vx %s@."
+          (fmt before) (fmt after)
+          (Phys.Units.to_eng_string ~unit:"s" r.Mtcmos.Vectors.delay)
+          (100.0 *. r.Mtcmos.Vectors.degradation)
+          (Phys.Units.to_eng_string ~unit:"V" r.Mtcmos.Vectors.vx_peak))
+      ranked
+  in
+  let wl_term =
+    let doc = "Sleep transistor W/L." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  let top_term =
+    let doc = "How many worst vectors to print." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let sample_term =
+    let doc = "Random sample size for wide circuits." in
+    Arg.(value & opt int 500 & info [ "sample" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "worst-vectors"
+       ~doc:"Rank input transitions by MTCMOS susceptibility")
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ top_term
+          $ sample_term)
+
+let simulate_cmd =
+  let run tech_name circuit_name vectors wl =
+    let tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
+    let before, after = List.hd vecs in
+    let config =
+      if wl > 0.0 then Mtcmos.Breakpoint_sim.mtcmos_config tech ~wl
+      else Mtcmos.Breakpoint_sim.default_config
+    in
+    let r =
+      Mtcmos.Breakpoint_sim.simulate_ints ~config bc.circuit ~before ~after
+    in
+    Format.printf "events: %d, finished at %s, vx peak %s, peak current %s@."
+      (Mtcmos.Breakpoint_sim.events r)
+      (Phys.Units.to_eng_string ~unit:"s" (Mtcmos.Breakpoint_sim.t_finish r))
+      (Phys.Units.to_eng_string ~unit:"V" (Mtcmos.Breakpoint_sim.vx_peak r))
+      (Phys.Units.to_eng_string ~unit:"A"
+         (Mtcmos.Breakpoint_sim.peak_discharge_current r));
+    Array.iter
+      (fun n ->
+        match Mtcmos.Breakpoint_sim.net_delay r n with
+        | Some d ->
+          Format.printf "  output %-8s delay %s@."
+            (Netlist.Circuit.net_name bc.circuit n)
+            (Phys.Units.to_eng_string ~unit:"s" d)
+        | None ->
+          Format.printf "  output %-8s (no transition)@."
+            (Netlist.Circuit.net_name bc.circuit n))
+      (Netlist.Circuit.outputs bc.circuit)
+  in
+  let wl_term =
+    let doc = "Sleep W/L; 0 simulates the conventional CMOS circuit." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate one transition with the fast tool")
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term)
+
+let compare_cmd =
+  let run tech_name circuit_name vectors wl =
+    let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
+    let bp =
+      Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint bc.circuit
+        ~vectors:vecs ~wl
+    in
+    let sp =
+      Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level bc.circuit
+        ~vectors:vecs ~wl
+    in
+    Format.printf "switch-level:     %a@." Mtcmos.Sizing.pp_measurement bp;
+    Format.printf "transistor-level: %a@." Mtcmos.Sizing.pp_measurement sp
+  in
+  let wl_term =
+    let doc = "Sleep transistor W/L." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare the fast tool against the transistor-level engine")
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term)
+
+let estimate_cmd =
+  let run tech_name circuit_name vectors =
+    let tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
+    Format.printf "sum-of-widths estimate: W/L = %.1f@."
+      (Mtcmos.Estimators.sum_of_widths bc.circuit);
+    let before, after = List.hd vecs in
+    let ip =
+      Mtcmos.Estimators.peak_current_of_transition bc.circuit ~before ~after
+    in
+    let vb = Mtcmos.Estimators.v_budget_for_degradation tech ~target:0.05 in
+    Format.printf "peak current: %s; 5%%-budget bounce limit %s@."
+      (Phys.Units.to_eng_string ~unit:"A" ip)
+      (Phys.Units.to_eng_string ~unit:"V" vb);
+    if ip > 0.0 then
+      Format.printf "peak-current estimate:  W/L = %.1f@."
+        (Mtcmos.Estimators.peak_current_wl tech ~i_peak:ip ~v_budget:vb);
+    let wl =
+      Mtcmos.Sizing.size_for_degradation bc.circuit ~vectors:vecs
+        ~target:0.05
+    in
+    Format.printf "simulator-driven size:  W/L = %.1f@." wl
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Naive baselines versus the simulator size")
+    Term.(const run $ tech_term $ circuit_term $ vectors_term)
+
+let sta_cmd =
+  let run tech_name circuit_name wl =
+    let tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let t = Mtcmos.Sta.analyze bc.circuit in
+    let path = Mtcmos.Sta.critical_path t in
+    Format.printf "static critical path: %s at %s@."
+      (Netlist.Circuit.net_name bc.circuit path.Mtcmos.Sta.endpoint)
+      (Phys.Units.to_eng_string ~unit:"s" path.Mtcmos.Sta.arrival);
+    List.iter
+      (fun gid ->
+        let g = (Netlist.Circuit.gates bc.circuit).(gid) in
+        Format.printf "  %-12s -> %-10s %s@."
+          (Netlist.Gate.name g.Netlist.Circuit.kind)
+          (Netlist.Circuit.net_name bc.circuit g.Netlist.Circuit.output)
+          (Phys.Units.to_eng_string ~unit:"s" (Mtcmos.Sta.gate_delay t gid)))
+      path.Mtcmos.Sta.through;
+    if wl > 0.0 then begin
+      let sleep =
+        Mtcmos.Breakpoint_sim.Sleep_fet
+          (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+             ~vdd:tech.Device.Tech.vdd)
+      in
+      let hi = List.map (fun w -> (w, (1 lsl w) - 1)) bc.widths in
+      let lo = List.map (fun w -> (w, 0)) bc.widths in
+      let under =
+        Mtcmos.Sta.mtcmos_underestimate t bc.circuit ~sleep
+          ~vectors:[ (lo, hi); (hi, lo) ]
+      in
+      Format.printf
+        "MTCMOS at W/L = %.0f runs %.1f%% past the static estimate@." wl
+        (100.0 *. under)
+    end
+  in
+  let wl_term =
+    let doc = "Also quantify the MTCMOS underestimate at this sleep W/L." in
+    Arg.(value & opt float 0.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "sta" ~doc:"Static critical path (vectorless baseline)")
+    Term.(const run $ tech_term $ circuit_term $ wl_term)
+
+let energy_cmd =
+  let run tech_name circuit_name wl =
+    let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let b = Mtcmos.Energy.budget bc.circuit ~wl in
+    Format.printf "%a@." Mtcmos.Energy.pp_budget b;
+    Format.printf "sleep-cycle overhead: %s@."
+      (Phys.Units.to_eng_string ~unit:"J"
+         (Mtcmos.Energy.sleep_cycle_overhead bc.circuit ~wl));
+    Format.printf "break-even idle time: %s@."
+      (Phys.Units.to_eng_string ~unit:"s"
+         (Mtcmos.Energy.break_even_idle_time bc.circuit ~wl))
+  in
+  let wl_term =
+    let doc = "Sleep transistor W/L." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "energy" ~doc:"Sleep-device energy budget and break-even")
+    Term.(const run $ tech_term $ circuit_term $ wl_term)
+
+let wakeup_cmd =
+  let run tech_name circuit_name wl simulate =
+    let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let e = Mtcmos.Wakeup.estimate bc.circuit ~wl in
+    Format.printf
+      "rail capacitance %s, floats to %s in sleep, analytic wake %s@."
+      (Phys.Units.to_eng_string ~unit:"F" e.Mtcmos.Wakeup.rail_capacitance)
+      (Phys.Units.to_eng_string ~unit:"V" e.Mtcmos.Wakeup.v_float)
+      (Phys.Units.to_eng_string ~unit:"s" e.Mtcmos.Wakeup.analytic);
+    if simulate then
+      match Mtcmos.Wakeup.simulate bc.circuit ~wl with
+      | t ->
+        Format.printf "transistor-level wake (to 10%% Vdd): %s@."
+          (Phys.Units.to_eng_string ~unit:"s" t)
+      | exception Not_found ->
+        Format.printf "transistor-level wake: did not settle@."
+  in
+  let wl_term =
+    let doc = "Sleep transistor W/L." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  let sim_term =
+    let doc = "Also run the transistor-level wake transient." in
+    Arg.(value & flag & info [ "simulate" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "wakeup" ~doc:"Sleep-exit latency analysis")
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ sim_term)
+
+let deck_cmd =
+  let run tech_name circuit_name wl out =
+    let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let stimuli =
+      Array.to_list
+        (Array.map
+           (fun n -> (n, Phys.Pwl.constant 0.0))
+           (Netlist.Circuit.inputs bc.circuit))
+    in
+    let config =
+      if wl > 0.0 then Netlist.Expand.mtcmos ~wl else Netlist.Expand.default
+    in
+    let inst = Netlist.Expand.expand ~config bc.circuit ~stimuli in
+    Spice.Deck.write_deck ~title:("mtsize export: " ^ bc.name)
+      ~t_stop:10e-9 ~path:out inst.Netlist.Expand.netlist;
+    Format.printf "wrote %s (%a)@." out Netlist.Transistor.pp_stats
+      inst.Netlist.Expand.netlist
+  in
+  let wl_term =
+    let doc = "Sleep W/L; 0 exports the conventional CMOS netlist." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  let out_term =
+    let doc = "Output file." in
+    Arg.(value & opt string "out.sp" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "export-deck"
+       ~doc:"Write the expanded transistor netlist as a SPICE deck")
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ out_term)
+
+let lint_cmd =
+  let run tech_name circuit_name =
+    let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    match Mtcmos.Lint.check bc.circuit with
+    | [] -> Format.printf "%s: clean@." bc.name
+    | findings ->
+      List.iter
+        (fun f -> Format.printf "%a@." Mtcmos.Lint.pp_finding f)
+        findings;
+      let warnings =
+        List.exists
+          (fun f -> f.Mtcmos.Lint.severity = Mtcmos.Lint.Warning)
+          findings
+      in
+      if warnings then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"MTCMOS design checks (exit 1 on warnings)")
+    Term.(const run $ tech_term $ circuit_term)
+
+let search_cmd =
+  let run tech_name circuit_name wl restarts objective =
+    let tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let sleep =
+      Mtcmos.Breakpoint_sim.Sleep_fet
+        (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+           ~vdd:tech.Device.Tech.vdd)
+    in
+    let objective =
+      match objective with
+      | "degradation" -> Ok Mtcmos.Search.Max_degradation
+      | "delay" -> Ok Mtcmos.Search.Max_delay
+      | "vx" -> Ok Mtcmos.Search.Max_vx
+      | "current" -> Ok Mtcmos.Search.Max_current
+      | s -> Error (Printf.sprintf "unknown objective %S" s)
+    in
+    let objective = or_die objective in
+    let o =
+      Mtcmos.Search.hill_climb ~restarts bc.circuit ~sleep
+        ~widths:bc.widths objective
+    in
+    let fmt g =
+      String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
+    in
+    let before, after = o.Mtcmos.Search.pair in
+    Format.printf "worst found: (%s)->(%s) score %.4g (%d evaluations)@."
+      (fmt before) (fmt after) o.Mtcmos.Search.score
+      o.Mtcmos.Search.evaluations
+  in
+  let wl_term =
+    let doc = "Sleep transistor W/L." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  let restarts_term =
+    let doc = "Hill-climb restarts." in
+    Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"N" ~doc)
+  in
+  let objective_term =
+    let doc = "Objective: degradation | delay | vx | current." in
+    Arg.(value & opt string "degradation"
+         & info [ "objective" ] ~docv:"OBJ" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Stochastic worst-vector hunt for unenumerable spaces")
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ restarts_term
+          $ objective_term)
+
+let dot_cmd =
+  let run tech_name circuit_name out =
+    let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let dot = Netlist.Circuit.to_dot bc.circuit in
+    match out with
+    | "-" -> print_string dot
+    | path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc dot);
+      Format.printf "wrote %s (depth %d)@." path
+        (Netlist.Circuit.logic_depth bc.circuit)
+  in
+  let out_term =
+    let doc = "Output file, or - for stdout." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the gate graph as Graphviz")
+    Term.(const run $ tech_term $ circuit_term $ out_term)
+
+let workload_cmd =
+  let run tech_name circuit_name wl period_ps cycles seed =
+    let tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let config =
+      if wl > 0.0 then Mtcmos.Breakpoint_sim.mtcmos_config tech ~wl
+      else Mtcmos.Breakpoint_sim.default_config
+    in
+    let vectors =
+      Mtcmos.Sequence.random_workload ~seed ~widths:bc.widths cycles
+    in
+    let r =
+      Mtcmos.Sequence.run ~config bc.circuit
+        ~period:(period_ps *. 1e-12) ~vectors
+    in
+    List.iter
+      (fun s -> Format.printf "%a@." Mtcmos.Sequence.pp_step s)
+      r.Mtcmos.Sequence.steps;
+    (match r.Mtcmos.Sequence.worst_delay with
+     | Some (i, d) ->
+       Format.printf "worst: cycle %d at %s; bounce %s; %d violation(s)@."
+         i
+         (Phys.Units.to_eng_string ~unit:"s" d)
+         (Phys.Units.to_eng_string ~unit:"V" r.Mtcmos.Sequence.worst_vx)
+         r.Mtcmos.Sequence.violations
+     | None -> Format.printf "no output ever switched@.");
+    if r.Mtcmos.Sequence.violations > 0 then exit 1
+  in
+  let wl_term =
+    let doc = "Sleep W/L; 0 for conventional CMOS." in
+    Arg.(value & opt float 10.0 & info [ "w"; "wl" ] ~docv:"WL" ~doc)
+  in
+  let period_term =
+    let doc = "Clock period in picoseconds." in
+    Arg.(value & opt float 2000.0 & info [ "period" ] ~docv:"PS" ~doc)
+  in
+  let cycles_term =
+    let doc = "Number of random cycles." in
+    Arg.(value & opt int 32 & info [ "cycles" ] ~docv:"N" ~doc)
+  in
+  let seed_term =
+    let doc = "Workload seed." in
+    Arg.(value & opt int 31 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Run a random multi-cycle workload (exit 1 on period \
+             violations)")
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ period_term
+          $ cycles_term $ seed_term)
+
+let () =
+  let info =
+    Cmd.info "mtsize" ~version:"1.0.0"
+      ~doc:"MTCMOS sleep-transistor sizing tool (DAC 1997 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ sweep_cmd; size_cmd; worst_cmd; simulate_cmd; compare_cmd;
+            estimate_cmd; sta_cmd; energy_cmd; wakeup_cmd; deck_cmd;
+            lint_cmd; search_cmd; workload_cmd; dot_cmd ]))

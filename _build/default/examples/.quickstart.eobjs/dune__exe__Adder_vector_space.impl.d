@@ -1,0 +1,1 @@
+examples/adder_vector_space.ml: Circuits Device Format List Mtcmos Netlist Phys Printf String Sys

@@ -1,0 +1,1 @@
+examples/full_flow.ml: Array Device Filename Format List Mtcmos Netlist Phys Spice String

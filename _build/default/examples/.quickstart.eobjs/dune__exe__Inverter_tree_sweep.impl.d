@@ -1,0 +1,1 @@
+examples/inverter_tree_sweep.ml: Circuits Device Format List Mtcmos Netlist Phys Printf

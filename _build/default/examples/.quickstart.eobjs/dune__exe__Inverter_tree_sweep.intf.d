@@ -1,0 +1,1 @@
+examples/inverter_tree_sweep.mli:

@@ -1,0 +1,1 @@
+examples/multiplier_sizing.ml: Circuits Device Format List Mtcmos Netlist Phys

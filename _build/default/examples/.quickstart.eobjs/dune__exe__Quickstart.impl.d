@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuits Device Format List Mtcmos Netlist Phys

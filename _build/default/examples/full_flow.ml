@@ -1,0 +1,98 @@
+(* The full tool flow on a user-described circuit: parse the netlist
+   language, lint, hunt the worst vector, size the sleep transistor,
+   check energy/wake-up costs, and export a SPICE deck for external
+   verification.
+
+   Run with: dune exec examples/full_flow.exe *)
+
+let netlist_text =
+  {|# 4-bit priority encoder-ish block: which of four request lines wins
+input r0 r1 r2 r3
+gate inv n0 r0
+gate inv n1 r1
+gate inv n2 r2
+gate and2 g1 r1 n0          # r1 wins if r0 quiet
+gate and2 g2a r2 n0
+gate and2 g2 g2a n1         # r2 wins if r0, r1 quiet
+gate and2 g3a r3 n0
+gate and2 g3b g3a n1
+gate and2 g3 g3b n2         # r3 wins if all above quiet
+gate or2 any01 r0 r1
+gate or2 any23 r2 r3
+gate or2 any any01 any23    # any request at all
+load g3 20f
+load any 20f
+output r0 g1 g2 g3 any
+|}
+
+let () =
+  let tech = Device.Tech.mtcmos_07um in
+  let circuit = Netlist.Parse.circuit_of_string tech netlist_text in
+  Format.printf "parsed: %a@." Netlist.Circuit.pp_stats circuit;
+
+  (* 1. lint before anything else *)
+  (match Mtcmos.Lint.check circuit with
+   | [] -> Format.printf "lint: clean@."
+   | findings ->
+     List.iter
+       (fun f -> Format.printf "lint: %a@." Mtcmos.Lint.pp_finding f)
+       findings);
+
+  (* 2. hunt the worst transition with the fast simulator *)
+  let sleep =
+    Mtcmos.Breakpoint_sim.Sleep_fet
+      (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl:10.0
+         ~vdd:tech.Device.Tech.vdd)
+  in
+  let n_inputs = Array.length (Netlist.Circuit.inputs circuit) in
+  let widths = [ n_inputs ] in
+  let worst =
+    Mtcmos.Search.hill_climb circuit ~sleep ~widths Mtcmos.Search.Max_delay
+  in
+  let fmt (groups : (int * int) list) =
+    String.concat "," (List.map (fun (_, v) -> string_of_int v) groups)
+  in
+  let before, after = worst.Mtcmos.Search.pair in
+  Format.printf
+    "worst transition: (%s)->(%s), %s MTCMOS delay at W/L = 10 (%d sims)@."
+    (fmt before) (fmt after)
+    (Phys.Units.to_eng_string ~unit:"s" worst.Mtcmos.Search.score)
+    worst.Mtcmos.Search.evaluations;
+
+  (* 3. size against that vector (plus the all-toggle vector for luck) *)
+  let vectors =
+    [ worst.Mtcmos.Search.pair;
+      ([ (n_inputs, 0) ], [ (n_inputs, (1 lsl n_inputs) - 1) ]) ]
+  in
+  let wl = Mtcmos.Sizing.size_for_degradation circuit ~vectors ~target:0.05 in
+  Format.printf "sized for 5%%: W/L = %.1f@." wl;
+  Format.printf "  %a@." Mtcmos.Sizing.pp_measurement
+    (Mtcmos.Sizing.delay_at circuit ~vectors ~wl);
+
+  (* 4. what the sizing costs and buys *)
+  let b = Mtcmos.Energy.budget circuit ~wl in
+  Format.printf "energy: %a@." Mtcmos.Energy.pp_budget b;
+  Format.printf "break-even idle: %s@."
+    (Phys.Units.to_eng_string ~unit:"s"
+       (Mtcmos.Energy.break_even_idle_time circuit ~wl));
+  let wake = Mtcmos.Wakeup.estimate circuit ~wl in
+  Format.printf "wake-up: rail floats to %s, analytic wake %s@."
+    (Phys.Units.to_eng_string ~unit:"V" wake.Mtcmos.Wakeup.v_float)
+    (Phys.Units.to_eng_string ~unit:"s" wake.Mtcmos.Wakeup.analytic);
+
+  (* 5. export the sized design for an external SPICE *)
+  let stimuli =
+    Array.to_list
+      (Array.map
+         (fun n -> (n, Phys.Pwl.constant 0.0))
+         (Netlist.Circuit.inputs circuit))
+  in
+  let inst =
+    Netlist.Expand.expand ~config:(Netlist.Expand.mtcmos ~wl) circuit
+      ~stimuli
+  in
+  let path = Filename.temp_file "full_flow" ".sp" in
+  Spice.Deck.write_deck ~title:"full-flow export" ~t_stop:10e-9 ~path
+    inst.Netlist.Expand.netlist;
+  Format.printf "deck written to %s (%a)@." path Netlist.Transistor.pp_stats
+    inst.Netlist.Expand.netlist

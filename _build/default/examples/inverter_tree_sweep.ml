@@ -1,0 +1,49 @@
+(* The clock-tree scenario of the paper's §3 (Fig. 4/5): nine leaf
+   inverters discharging simultaneously bounce the virtual ground; watch
+   the waveforms and the delay as functions of sleep-transistor size.
+
+   Run with: dune exec examples/inverter_tree_sweep.exe *)
+
+module BP = Mtcmos.Breakpoint_sim
+module S = Netlist.Signal
+
+let () =
+  let tech = Device.Tech.mtcmos_07um in
+  let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+  let c = tree.Circuits.Inverter_tree.circuit in
+  Format.printf "inverter tree (1-3-9, C_L = 50 fF): %a@."
+    Netlist.Circuit.pp_stats c;
+
+  (* delay and ground bounce vs W/L, switch-level *)
+  Format.printf "@.%-8s %-12s %-12s %-10s@." "W/L" "delay" "degradation"
+    "vx peak";
+  let cmos =
+    BP.simulate c ~before:[| S.L0 |] ~after:[| S.L1 |]
+  in
+  let d0 = match BP.critical_delay cmos with Some (_, d) -> d | None -> 0.0 in
+  List.iter
+    (fun wl ->
+      let r =
+        BP.simulate ~config:(BP.mtcmos_config tech ~wl) c
+          ~before:[| S.L0 |] ~after:[| S.L1 |]
+      in
+      match BP.critical_delay r with
+      | Some (_, d) ->
+        Format.printf "%-8.0f %-12s %-12s %-10s@." wl
+          (Phys.Units.to_eng_string ~unit:"s" d)
+          (Printf.sprintf "%.1f%%" (100.0 *. ((d -. d0) /. d0)))
+          (Phys.Units.to_eng_string ~unit:"V" (BP.vx_peak r))
+      | None -> Format.printf "%-8.0f (no transition)@." wl)
+    [ 2.0; 5.0; 8.0; 11.0; 14.0; 17.0; 20.0 ];
+
+  (* render a leaf output and the virtual ground at W/L = 8 *)
+  let r =
+    BP.simulate ~config:(BP.mtcmos_config tech ~wl:8.0) c
+      ~before:[| S.L0 |] ~after:[| S.L1 |]
+  in
+  let leaf = BP.waveform r (Circuits.Inverter_tree.leaf_net tree) in
+  let vg = BP.vground_waveform r in
+  let t1 = BP.t_finish r in
+  Format.printf
+    "@.leaf output and virtual ground, W/L = 8 (x = leaf, * = vgnd):@.%s@."
+    (Phys.Ascii_plot.waveforms ~t0:0.0 ~t1 [ ('x', leaf); ('*', vg) ])

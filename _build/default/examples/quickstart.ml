@@ -1,0 +1,48 @@
+(* Quickstart: size a sleep transistor for a small MTCMOS block.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. pick a technology card (the paper's 0.7 um MTCMOS process) *)
+  let tech = Device.Tech.mtcmos_07um in
+
+  (* 2. describe the logic block: a 3-bit mirror ripple-carry adder *)
+  let adder = Circuits.Ripple_adder.make tech ~bits:3 in
+  let circuit = adder.Circuits.Ripple_adder.circuit in
+  Format.printf "%a@." Netlist.Circuit.pp_stats circuit;
+
+  (* 3. pick the input transition to analyse: 1+5 -> 6+5 *)
+  let vectors = [ ([ (3, 1); (3, 5) ], [ (3, 6); (3, 5) ]) ] in
+
+  (* 4. sweep the sleep-transistor size with the variable-breakpoint
+        switch-level simulator *)
+  print_endline "sleep-transistor sweep (switch-level simulator):";
+  Mtcmos.Sizing.sweep circuit ~vectors ~wls:[ 2.0; 5.0; 10.0; 20.0; 50.0 ]
+  |> List.iter (fun m -> Format.printf "  %a@." Mtcmos.Sizing.pp_measurement m);
+
+  (* 5. size for a 5 % worst-case speed penalty *)
+  let wl =
+    Mtcmos.Sizing.size_for_degradation circuit ~vectors ~target:0.05
+  in
+  Format.printf "W/L for a 5%% delay budget: %.1f@." wl;
+
+  (* 6. compare with the naive baselines the paper warns about *)
+  Format.printf "sum-of-widths estimate:    %.1f@."
+    (Mtcmos.Estimators.sum_of_widths circuit);
+  let before, after = List.hd vectors in
+  let i_peak =
+    Mtcmos.Estimators.peak_current_of_transition circuit ~before ~after
+  in
+  let v_budget = Mtcmos.Estimators.v_budget_for_degradation tech ~target:0.05 in
+  Format.printf "peak-current estimate:     %.1f  (peak %s held to %s)@."
+    (Mtcmos.Estimators.peak_current_wl tech ~i_peak ~v_budget)
+    (Phys.Units.to_eng_string ~unit:"A" i_peak)
+    (Phys.Units.to_eng_string ~unit:"V" v_budget);
+
+  (* 7. verify the chosen size against the transistor-level engine *)
+  let m =
+    Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level circuit ~vectors
+      ~wl
+  in
+  Format.printf "transistor-level check:    %a@." Mtcmos.Sizing.pp_measurement
+    m

@@ -1,0 +1,1 @@
+lib/circuits/chain.ml: Array List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuits/chain.mli: Device Netlist

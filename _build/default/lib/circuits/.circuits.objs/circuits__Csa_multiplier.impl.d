@@ -1,0 +1,1 @@
+lib/circuits/csa_multiplier.ml: Array Mirror_adder Netlist Printf

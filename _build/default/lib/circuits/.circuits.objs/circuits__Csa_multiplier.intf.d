@@ -1,0 +1,1 @@
+lib/circuits/csa_multiplier.mli: Device Netlist

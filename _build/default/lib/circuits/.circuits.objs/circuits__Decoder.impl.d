@@ -1,0 +1,1 @@
+lib/circuits/decoder.ml: Array List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuits/inverter_tree.mli: Device Netlist

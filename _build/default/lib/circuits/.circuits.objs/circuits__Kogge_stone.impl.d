@@ -1,0 +1,1 @@
+lib/circuits/kogge_stone.ml: Array Netlist Printf

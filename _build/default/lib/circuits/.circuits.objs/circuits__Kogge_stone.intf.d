@@ -1,0 +1,1 @@
+lib/circuits/kogge_stone.mli: Device Netlist

@@ -1,0 +1,1 @@
+lib/circuits/mirror_adder.mli: Netlist

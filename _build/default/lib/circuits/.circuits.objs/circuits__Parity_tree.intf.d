@@ -1,0 +1,1 @@
+lib/circuits/parity_tree.mli: Device Netlist

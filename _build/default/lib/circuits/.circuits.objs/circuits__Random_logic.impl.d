@@ -1,0 +1,1 @@
+lib/circuits/random_logic.ml: Array Hashtbl List Netlist Printf Random

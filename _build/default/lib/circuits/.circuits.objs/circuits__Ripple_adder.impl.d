@@ -1,0 +1,1 @@
+lib/circuits/ripple_adder.ml: Array Mirror_adder Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuits/ripple_adder.mli: Device Netlist

@@ -1,0 +1,37 @@
+module C = Netlist.Circuit
+module G = Netlist.Gate
+
+type t = {
+  circuit : C.t;
+  select : C.net array;
+  outputs : C.net array;
+}
+
+let make ?(cl = 10e-15) ?(strength = 1.0) tech ~bits =
+  if bits < 1 || bits > 6 then invalid_arg "Decoder.make: bits not in [1,6]";
+  let b = C.builder tech in
+  let select =
+    Array.init bits (fun i -> C.add_input ~name:(Printf.sprintf "s%d" i) b)
+  in
+  let select_bar =
+    Array.map (fun s -> C.add_gate ~strength b G.Inv [ s ]) select
+  in
+  let outputs =
+    Array.init (1 lsl bits) (fun code ->
+        let pins =
+          List.init bits (fun i ->
+              if (code lsr i) land 1 = 1 then select.(i) else select_bar.(i))
+        in
+        let out =
+          C.add_gate ~name:(Printf.sprintf "o%d" code) ~strength b
+            (G.And bits) pins
+        in
+        C.add_load b out cl;
+        C.mark_output b out;
+        out)
+  in
+  { circuit = C.freeze b; select; outputs }
+
+let reference_output ~bits v =
+  if v < 0 || v >= 1 lsl bits then invalid_arg "Decoder.reference_output";
+  1 lsl v

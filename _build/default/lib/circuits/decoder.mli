@@ -1,0 +1,15 @@
+(** N-to-2^N one-hot decoder — the "decoded driver" style block of the
+    paper's ref [5], interesting for MTCMOS because exactly one output
+    falls and one rises per input change while all other gates idle. *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  select : Netlist.Circuit.net array;   (** N select lines *)
+  outputs : Netlist.Circuit.net array;  (** 2^N one-hot outputs *)
+}
+
+val make : ?cl:float -> ?strength:float -> Device.Tech.t -> bits:int -> t
+(** @raise Invalid_argument when [bits] is not in [1, 6]. *)
+
+val reference_output : bits:int -> int -> int
+(** Golden model: the one-hot word [1 lsl v]. *)

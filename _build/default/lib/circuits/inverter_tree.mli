@@ -1,0 +1,26 @@
+(** The clock-distribution inverter tree of Fig. 4: one input inverter
+    fanning out through [stages] levels with branching factor [fanout],
+    each leaf loaded by an explicit capacitance.
+
+    This is the paper's canonical demonstration that many simultaneously
+    discharging gates bounce the shared virtual ground: on an input
+    0 -> 1 transition all gates of every odd stage discharge at once. *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  input : Netlist.Circuit.net;
+  stage_nets : Netlist.Circuit.net array array;
+      (** [stage_nets.(i)] = output nets of stage [i] (0-based). *)
+}
+
+val make :
+  ?cl:float -> ?strength:float -> Device.Tech.t -> stages:int ->
+  fanout:int -> t
+(** [make tech ~stages ~fanout] builds the tree.  [cl] (default 50 fF,
+    the Fig. 4 value) loads every leaf output.
+    @raise Invalid_argument when [stages < 1] or [fanout < 1]. *)
+
+val leaf_net : t -> Netlist.Circuit.net
+(** A representative leaf output (the paper plots one of the nine). *)
+
+val gate_count : t -> int

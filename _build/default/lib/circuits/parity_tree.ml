@@ -1,0 +1,35 @@
+module C = Netlist.Circuit
+
+type t = {
+  circuit : C.t;
+  inputs : C.net array;
+  output : C.net;
+}
+
+let make ?(cl = 20e-15) ?(strength = 1.0) tech ~width =
+  if width < 2 then invalid_arg "Parity_tree.make: width < 2";
+  let b = C.builder tech in
+  let inputs =
+    Array.init width (fun i ->
+        C.add_input ~name:(Printf.sprintf "i%d" i) b)
+  in
+  let rec reduce = function
+    | [] -> invalid_arg "Parity_tree: empty"
+    | [ last ] -> last
+    | nets ->
+      let rec pair = function
+        | x :: y :: rest ->
+          C.add_gate ~strength b Netlist.Gate.Xor2 [ x; y ] :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      reduce (pair nets)
+  in
+  let output = reduce (Array.to_list inputs) in
+  C.add_load b output cl;
+  C.mark_output ~name:"parity" b output;
+  { circuit = C.freeze b; inputs; output }
+
+let reference_parity v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
+  go v false

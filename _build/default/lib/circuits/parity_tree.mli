@@ -1,0 +1,17 @@
+(** Balanced XOR parity tree — a workload with deep reconvergence and
+    heavy glitching, the kind of block §2.4 warns about ("one cannot
+    simply examine a critical path ... but must also consider all other
+    accompanying gates that are switching"). *)
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  inputs : Netlist.Circuit.net array;
+  output : Netlist.Circuit.net;
+}
+
+val make : ?cl:float -> ?strength:float -> Device.Tech.t -> width:int -> t
+(** Parity of [width] inputs (little-endian packing [(width, v)]).
+    @raise Invalid_argument when [width < 2]. *)
+
+val reference_parity : int -> bool
+(** Golden model: parity of the set bits of the argument. *)

@@ -1,0 +1,1 @@
+lib/core/breakpoint_sim.ml: Array Delay_model Device Float Hashtbl List Netlist Phys Printf Sys Vground

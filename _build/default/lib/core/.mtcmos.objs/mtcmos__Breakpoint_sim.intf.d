@@ -1,0 +1,1 @@
+lib/core/breakpoint_sim.mli: Device Netlist Phys

@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Array Delay_model Device Format List Netlist Phys Spice

@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Device Format Netlist

@@ -1,0 +1,1 @@
+lib/core/energy.ml: Array Breakpoint_sim Device Format List Netlist Phys Printf

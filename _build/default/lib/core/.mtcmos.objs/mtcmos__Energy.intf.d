@@ -1,0 +1,1 @@
+lib/core/energy.mli: Breakpoint_sim Format Netlist

@@ -1,0 +1,1 @@
+lib/core/estimators.ml: Breakpoint_sim Device Netlist

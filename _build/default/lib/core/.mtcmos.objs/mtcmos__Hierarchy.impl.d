@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Breakpoint_sim Device Float Int List Netlist Sizing

@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Breakpoint_sim Device Netlist Sizing

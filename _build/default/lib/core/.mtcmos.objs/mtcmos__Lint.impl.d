@@ -1,0 +1,1 @@
+lib/core/lint.ml: Array Format List Netlist Phys Printf Random

@@ -1,0 +1,1 @@
+lib/core/nldm.ml: Array Characterize Device Float Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/core/nldm.mli: Device Netlist

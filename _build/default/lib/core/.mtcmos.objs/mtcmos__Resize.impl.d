@@ -1,0 +1,1 @@
+lib/core/resize.ml: Array List Netlist

@@ -1,0 +1,1 @@
+lib/core/reverse_conduction.ml: Device Estimators Float

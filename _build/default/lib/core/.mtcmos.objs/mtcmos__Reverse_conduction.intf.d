@@ -1,0 +1,1 @@
+lib/core/reverse_conduction.mli: Device

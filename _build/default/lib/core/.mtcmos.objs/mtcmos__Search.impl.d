@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Breakpoint_sim List Random Vectors

@@ -1,0 +1,1 @@
+lib/core/sequence.ml: Breakpoint_sim Float Format List Phys Random

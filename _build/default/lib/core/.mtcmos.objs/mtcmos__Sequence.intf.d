@@ -1,0 +1,1 @@
+lib/core/sequence.mli: Breakpoint_sim Format Netlist

@@ -1,0 +1,1 @@
+lib/core/sizing.ml: Breakpoint_sim Device Float Format List Netlist Phys Spice_ref

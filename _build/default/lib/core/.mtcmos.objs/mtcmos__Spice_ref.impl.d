@@ -1,0 +1,1 @@
+lib/core/spice_ref.ml: Array Breakpoint_sim Device List Netlist Phys Spice

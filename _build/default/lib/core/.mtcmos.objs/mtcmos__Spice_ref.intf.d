@@ -1,0 +1,1 @@
+lib/core/spice_ref.mli: Breakpoint_sim Netlist Phys

@@ -1,0 +1,1 @@
+lib/core/sta.ml: Array Breakpoint_sim Delay_model Device Float List Netlist

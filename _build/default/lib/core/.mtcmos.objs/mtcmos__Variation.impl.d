@@ -1,0 +1,1 @@
+lib/core/variation.ml: Array Breakpoint_sim Device Float Netlist Phys Random Sizing

@@ -1,0 +1,1 @@
+lib/core/vectors.ml: Array Breakpoint_sim List Netlist Random Seq Sys

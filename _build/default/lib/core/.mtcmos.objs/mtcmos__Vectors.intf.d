@@ -1,0 +1,1 @@
+lib/core/vectors.mli: Breakpoint_sim Netlist Seq

@@ -1,0 +1,1 @@
+lib/core/vground.ml: Device List Phys

@@ -1,0 +1,1 @@
+lib/core/wakeup.ml: Array Device Hashtbl List Netlist Phys Spice

@@ -1,0 +1,613 @@
+module C = Netlist.Circuit
+module S = Netlist.Signal
+
+type sleep_model =
+  | Cmos
+  | Resistor of float
+  | Sleep_fet of Device.Sleep.t
+
+type rail_side = Gnd_switch | Vdd_switch
+
+type partition = {
+  block_of_gate : Netlist.Circuit.gate_id -> int;
+  sleeps : sleep_model array;
+}
+
+type config = {
+  sleep : sleep_model;
+  body_effect : bool;
+  alpha : float option;
+  reverse_conduction : bool;
+  t_start : float;
+  max_events : int;
+  partition : partition option;
+  cx : float;
+  input_slope : bool;
+  tech_override : Device.Tech.t option;
+  rail : rail_side;
+}
+
+let default_config =
+  { sleep = Cmos;
+    body_effect = true;
+    alpha = None;
+    reverse_conduction = false;
+    t_start = 0.0;
+    max_events = 1_000_000;
+    partition = None;
+    cx = 0.0;
+    input_slope = false;
+    tech_override = None;
+    rail = Gnd_switch }
+
+let mtcmos_config ?(body_effect = true) (tech : Device.Tech.t) ~wl =
+  let sleep =
+    Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+      ~vdd:tech.Device.Tech.vdd
+  in
+  { default_config with sleep = Sleep_fet sleep; body_effect }
+
+let mtcmos_pmos_config ?(body_effect = true) (tech : Device.Tech.t) ~wl =
+  let sleep =
+    Device.Sleep.of_pmos tech.Device.Tech.sleep_pmos ~wl
+      ~vdd:tech.Device.Tech.vdd
+  in
+  { default_config with
+    sleep = Sleep_fet sleep;
+    body_effect;
+    rail = Vdd_switch }
+
+type phase = Idle | Rising | Falling
+
+type gate_state = {
+  g : C.gate_inst;
+  cl : float;
+  beta_wl : float;   (* equivalent pulldown W/L *)
+  wl_up : float;     (* equivalent pullup W/L *)
+  mutable v : float;
+  mutable phase : phase;
+  mutable slope : float;
+  mutable hold_until : float;
+      (* input-slope extension: transition committed but not moving yet *)
+}
+
+type result = {
+  circuit : C.t;
+  vdd : float;
+  t_start : float;
+  wave_points : (float * float) list array; (* per net, reversed *)
+  mutable vx_points : (float * float) list; (* headline rail, reversed *)
+  vxb_points : (float * float) list ref array; (* per sleep block *)
+  mutable i_points : (float * float) list;  (* total discharge current *)
+  mutable vx_max : float;
+  mutable i_max : float;
+  mutable n_events : int;
+  mutable t_last : float;
+}
+
+exception Starved of float
+
+let validate_inputs c levels name =
+  if Array.length levels <> Array.length (C.inputs c) then
+    invalid_arg (Printf.sprintf "Breakpoint_sim: %s length mismatch" name);
+  Array.iter
+    (fun l ->
+      match l with
+      | S.X -> invalid_arg (Printf.sprintf "Breakpoint_sim: X in %s" name)
+      | S.L0 | S.L1 -> ())
+    levels
+
+let simulate ?(config = default_config) c ~before ~after =
+  validate_inputs c before "before";
+  validate_inputs c after "after";
+  let tech =
+    match config.tech_override with
+    | Some t -> t
+    | None -> C.tech c
+  in
+  let tech =
+    match config.alpha with
+    | Some a -> Device.Tech.with_alpha tech a
+    | None -> tech
+  in
+  let vdd = tech.Device.Tech.vdd in
+  let half = vdd /. 2.0 in
+  (* sleep-device partition: one shared rail by default *)
+  let n_blocks, block_of_gate, sleeps =
+    match config.partition with
+    | None -> (1, (fun _ -> 0), [| config.sleep |])
+    | Some p ->
+      if Array.length p.sleeps = 0 then
+        invalid_arg "Breakpoint_sim: empty partition";
+      (Array.length p.sleeps, p.block_of_gate, p.sleeps)
+  in
+  let block_of gid =
+    let b = block_of_gate gid in
+    if b < 0 || b >= n_blocks then
+      invalid_arg "Breakpoint_sim: block index out of range";
+    b
+  in
+  let model = Delay_model.of_tech ~body_effect:config.body_effect tech in
+  let gated_rising = config.rail = Vdd_switch in
+  (* with a PMOS header, the shared rail is a virtual Vdd and the gated
+     devices are the pull-ups: the same equilibrium solved against the
+     PMOS alpha-power card (magnitudes) *)
+  let vg_cfg =
+    if gated_rising then
+      { model.Delay_model.vg with
+        Vground.model = Device.Tech.pmos_alpha tech }
+    else model.Delay_model.vg
+  in
+  let pre = Netlist.Logic_sim.eval c before in
+  let post_targets = Netlist.Logic_sim.eval c after in
+  ignore post_targets;
+  (* check the initial state is fully determined *)
+  Array.iter
+    (fun (g : C.gate_inst) ->
+      match pre.(g.C.output) with
+      | S.X ->
+        invalid_arg "Breakpoint_sim: initial state not fully determined"
+      | S.L0 | S.L1 -> ())
+    (C.gates c);
+  let n_nets = C.num_nets c in
+  let volt_of_level = function S.L1 -> vdd | S.L0 | S.X -> 0.0 in
+  let v_net = Array.make n_nets 0.0 in
+  let level = Array.make n_nets false in
+  for n = 0 to n_nets - 1 do
+    v_net.(n) <- volt_of_level pre.(n);
+    level.(n) <- pre.(n) = S.L1
+  done;
+  let gates =
+    Array.map
+      (fun (g : C.gate_inst) ->
+        let d = Netlist.Gate.drive tech ~strength:g.C.strength g.C.kind in
+        { g;
+          cl = C.load_capacitance c g.C.output;
+          beta_wl = d.Netlist.Gate.wl_pull_down;
+          wl_up = d.Netlist.Gate.wl_pull_up;
+          v = v_net.(g.C.output);
+          phase = Idle;
+          slope = 0.0;
+          hold_until = neg_infinity })
+      (C.gates c)
+  in
+  let res =
+    { circuit = c;
+      vdd;
+      t_start = config.t_start;
+      wave_points = Array.make n_nets [];
+      vx_points = [];
+      vxb_points = Array.init n_blocks (fun _ -> ref []);
+      i_points = [];
+      vx_max = 0.0;
+      i_max = 0.0;
+      n_events = 0;
+      t_last = config.t_start }
+  in
+  let record_net t n v = res.wave_points.(n) <- (t, v) :: res.wave_points.(n) in
+  for n = 0 to n_nets - 1 do
+    record_net 0.0 n v_net.(n)
+  done;
+  (* --- logic retargeting ------------------------------------------------ *)
+  let eval_target (gs : gate_state) =
+    let pins =
+      Array.map (fun n -> S.of_bool level.(n)) gs.g.C.inputs
+    in
+    match Netlist.Gate.logic gs.g.C.kind pins with
+    | S.L1 -> true
+    | S.L0 -> false
+    | S.X -> assert false
+  in
+  (* Sakurai-Newton slow-input correction: a gate driven by a ramp of
+     transition time t_tr starts [coeff * t_tr] after the vdd/2 crossing *)
+  let slope_coeff =
+    let vt = tech.Device.Tech.nmos.Device.Mosfet.vt0 in
+    Float.max 0.0
+      (0.5 -. ((1.0 -. (vt /. vdd)) /. (1.0 +. tech.Device.Tech.alpha)))
+  in
+  let onset_hold t trigger =
+    if not config.input_slope then neg_infinity
+    else
+      match trigger with
+      | None -> neg_infinity
+      | Some net ->
+        (match C.gate_of_output c net with
+         | None -> neg_infinity (* primary input: a step *)
+         | Some driver ->
+           let s = gates.(driver.C.id).slope in
+           if s = 0.0 then neg_infinity
+           else t +. (slope_coeff *. vdd /. Float.abs s))
+  in
+  (* returns true when the gate's activity changed *)
+  let retarget ?trigger t (gs : gate_state) =
+    let target = eval_target gs in
+    let changed =
+      match gs.phase with
+      | Idle ->
+        if target <> level.(gs.g.C.output) then begin
+          gs.phase <- (if target then Rising else Falling);
+          gs.hold_until <- onset_hold t trigger;
+          record_net t gs.g.C.output gs.v;
+          true
+        end
+        else false
+      | Rising ->
+        if not target then begin
+          gs.phase <- Falling;
+          record_net t gs.g.C.output gs.v;
+          true
+        end
+        else false
+      | Falling ->
+        if target then begin
+          gs.phase <- Rising;
+          record_net t gs.g.C.output gs.v;
+          true
+        end
+        else false
+    in
+    changed
+  in
+  (* --- virtual ground and slopes ----------------------------------------- *)
+  let discharging_sets () =
+    let sets = Array.make n_blocks [] in
+    Array.iter
+      (fun gs ->
+        let contribution =
+          if gated_rising then
+            match gs.phase with
+            | Rising when gs.v < vdd -> Some gs.wl_up
+            | Rising | Falling | Idle -> None
+          else
+            match gs.phase with
+            | Falling when gs.v > 0.0 -> Some gs.beta_wl
+            | Falling | Rising | Idle -> None
+        in
+        match contribution with
+        | Some beta_wl ->
+          let b = block_of gs.g.C.id in
+          sets.(b) <- { Vground.beta_wl; vin = vdd } :: sets.(b)
+        | None -> ())
+      gates;
+    sets
+  in
+  let solve_block sleep discharging =
+    match sleep with
+    | Cmos -> 0.0
+    | Resistor r -> Vground.solve_resistor vg_cfg ~r discharging
+    | Sleep_fet s -> Vground.solve_device vg_cfg ~sleep:s discharging
+  in
+  let vxs_now () =
+    let sets = discharging_sets () in
+    Array.mapi (fun b sleep -> solve_block sleep sets.(b)) sleeps
+  in
+  let floor_of_block vxs b =
+    if config.reverse_conduction && not gated_rising then vxs.(b) else 0.0
+  in
+  let floor_of_gate vxs gs = floor_of_block vxs (block_of gs.g.C.id) in
+  let ceil_of_gate vxs gs =
+    if config.reverse_conduction && gated_rising then
+      vdd -. vxs.(block_of gs.g.C.id)
+    else vdd
+  in
+  let recompute_slopes vxs =
+    Array.iter
+      (fun gs ->
+        match gs.phase with
+        | Idle -> gs.slope <- 0.0
+        | Rising ->
+          if gated_rising then begin
+            let i =
+              Vground.gate_current vg_cfg ~vx:(vxs.(block_of gs.g.C.id))
+                { Vground.beta_wl = gs.wl_up; vin = vdd }
+            in
+            gs.slope <- i /. gs.cl
+          end
+          else
+            gs.slope <-
+              Delay_model.charge_slope model ~wl_pull_up:gs.wl_up ~cl:gs.cl
+        | Falling ->
+          let vx =
+            if gated_rising then 0.0 else vxs.(block_of gs.g.C.id)
+          in
+          gs.slope <-
+            Delay_model.discharge_slope model ~vx ~beta_wl:gs.beta_wl
+              ~vin:vdd ~cl:gs.cl)
+      gates
+  in
+  let record_vx t_prev t vxs_prev vxs =
+    let pre_t = Float.max t_prev (t -. 1e-16) in
+    (* per-block traces *)
+    Array.iteri
+      (fun b cell ->
+        if vxs.(b) <> vxs_prev.(b) then
+          cell := (t, vxs.(b)) :: (pre_t, vxs_prev.(b)) :: !cell)
+      res.vxb_points;
+    (* headline trace: the worst rail *)
+    let worst a = Array.fold_left Float.max 0.0 a in
+    let vx = worst vxs and vx_prev = worst vxs_prev in
+    if vx <> vx_prev then begin
+      res.vx_points <- (t, vx) :: (pre_t, vx_prev) :: res.vx_points;
+      if vx > res.vx_max then res.vx_max <- vx
+    end;
+    let sets = discharging_sets () in
+    let i_total = ref 0.0 in
+    Array.iteri
+      (fun b set ->
+        i_total := !i_total
+                   +. Vground.total_current vg_cfg ~vx:vxs.(b) set)
+      sets;
+    let i_total = !i_total in
+    let prev_i = match res.i_points with (_, i) :: _ -> i | [] -> 0.0 in
+    if i_total <> prev_i then
+      res.i_points <-
+        (t, i_total) :: (pre_t, prev_i) :: res.i_points;
+    if i_total > res.i_max then res.i_max <- i_total
+  in
+  (* --- breakpoint prediction --------------------------------------------- *)
+  let next_breakpoint t ~vxs ~targets ~tau_of_block =
+    let best = ref infinity in
+    (* rails still relaxing toward equilibrium need refresh points *)
+    Array.iteri
+      (fun b tau ->
+        if tau > 0.0 && Float.abs (vxs.(b) -. targets.(b)) > 1e-3 then
+          best := Float.min !best (t +. (tau /. 3.0)))
+      tau_of_block;
+    Array.iter
+      (fun gs ->
+        if gs.phase <> Idle && gs.hold_until > t then
+          best := Float.min !best gs.hold_until
+        else
+        match gs.phase with
+        | Idle -> ()
+        | Rising ->
+          if gs.slope > 0.0 then begin
+            let ceil = ceil_of_gate vxs gs in
+            if (not level.(gs.g.C.output)) && gs.v < half then
+              best := Float.min !best (t +. ((half -. gs.v) /. gs.slope));
+            if gs.v < ceil then
+              best := Float.min !best (t +. ((ceil -. gs.v) /. gs.slope))
+          end
+        | Falling ->
+          if gs.slope < 0.0 then begin
+            let fl = floor_of_gate vxs gs in
+            if level.(gs.g.C.output) && gs.v > half then
+              best := Float.min !best (t +. ((half -. gs.v) /. gs.slope));
+            if gs.v > fl then
+              best := Float.min !best (t +. ((fl -. gs.v) /. gs.slope))
+          end)
+      gates;
+    !best
+  in
+  (* --- main loop ---------------------------------------------------------- *)
+  let t0 = config.t_start in
+  (* apply the input step *)
+  let to_reeval : (int, C.net) Hashtbl.t = Hashtbl.create 32 in
+  let queue_fanout n =
+    List.iter
+      (fun (gid, _) -> Hashtbl.replace to_reeval gid n)
+      (C.fanout c n)
+  in
+  Array.iteri
+    (fun i n ->
+      let new_level = after.(i) = S.L1 in
+      if new_level <> level.(n) then begin
+        (* the pre-step anchor may sit at negative time when t_start = 0;
+           Pwl handles that and the step renders correctly *)
+        record_net (t0 -. 1e-13) n v_net.(n);
+        level.(n) <- new_level;
+        v_net.(n) <- volt_of_level after.(i);
+        record_net t0 n v_net.(n);
+        queue_fanout n
+      end)
+    (C.inputs c);
+  let vxs = ref (Array.make n_blocks 0.0) in
+  (* RC relaxation of each rail when cx > 0: tau = cx * r_scale *)
+  let tau_of_block =
+    Array.map
+      (fun sleep ->
+        if config.cx <= 0.0 then 0.0
+        else
+          match sleep with
+          | Cmos -> 0.0
+          | Resistor r -> config.cx *. r
+          | Sleep_fet s ->
+            config.cx *. Device.Sleep.effective_resistance s)
+      sleeps
+  in
+  let targets = ref (Array.make n_blocks 0.0) in
+  let relax_state dt =
+    if config.cx <= 0.0 then vxs := Array.copy !targets
+    else
+      Array.iteri
+        (fun b tau ->
+          if tau <= 0.0 then !vxs.(b) <- !targets.(b)
+          else
+            !vxs.(b) <-
+              !targets.(b)
+              +. ((!vxs.(b) -. !targets.(b)) *. exp (-.dt /. tau)))
+        tau_of_block
+  in
+  let t = ref t0 in
+  let process_reevals () =
+    let any = ref false in
+    Hashtbl.iter
+      (fun gid trigger ->
+        if retarget ~trigger !t gates.(gid) then any := true)
+      to_reeval;
+    Hashtbl.reset to_reeval;
+    !any
+  in
+  ignore (process_reevals ());
+  targets := vxs_now ();
+  let prev_state = Array.copy !vxs in
+  relax_state 0.0;
+  record_vx t0 t0 prev_state !vxs;
+  recompute_slopes !vxs;
+  let continue = ref true in
+  while !continue do
+    let t_next = next_breakpoint !t ~vxs:!vxs ~targets:!targets
+        ~tau_of_block in
+    if t_next = infinity then begin
+      (* no pending breakpoints: either done or starved *)
+      let active =
+        Array.exists (fun gs -> gs.phase <> Idle) gates
+      in
+      if active then raise (Starved !t);
+      continue := false
+    end
+    else begin
+      res.n_events <- res.n_events + 1;
+      if res.n_events > config.max_events then
+        failwith "Breakpoint_sim: event limit exceeded";
+      if Sys.getenv_opt "BPSIM_TRACE" <> None then begin
+        Printf.eprintf "event %d t=%.6g dt=%.3g:" res.n_events t_next
+          (t_next -. !t);
+        Array.iter
+          (fun gs ->
+            if gs.phase <> Idle then
+              Printf.eprintf " g%d[%s]%s v=%.3f sl=%.3g" gs.g.C.id
+                (Netlist.Gate.name gs.g.C.kind)
+                (match gs.phase with
+                 | Rising -> "+" | Falling -> "-" | Idle -> "0")
+                gs.v gs.slope)
+          gates;
+        prerr_newline ()
+      end;
+      let dt = t_next -. !t in
+      (* advance all active outputs linearly; [eps] absorbs the float
+         roundoff of scheduling a breakpoint exactly at a crossing *)
+      let eps = 1e-9 *. vdd in
+      Array.iter
+        (fun gs ->
+          match gs.phase with
+          | Idle -> ()
+          | Rising | Falling when gs.hold_until >= t_next -> ()
+          | Rising | Falling ->
+            let v_old = gs.v in
+            let v_new = gs.v +. (gs.slope *. dt) in
+            let fl = floor_of_gate !vxs gs in
+            let ceil = ceil_of_gate !vxs gs in
+            let v_new = Phys.Float_utils.clamp ~lo:fl ~hi:ceil v_new in
+            gs.v <- v_new;
+            let out = gs.g.C.output in
+            v_net.(out) <- v_new;
+            (* threshold crossing, gated on the logical level so a
+               crossing fires exactly once per traversal *)
+            ignore v_old;
+            let crossed_up =
+              gs.phase = Rising && (not level.(out)) && v_new >= half -. eps
+            in
+            let crossed_dn =
+              gs.phase = Falling && level.(out) && v_new <= half +. eps
+            in
+            if crossed_up || crossed_dn then begin
+              level.(out) <- crossed_up;
+              queue_fanout out
+            end;
+            (* rail arrival *)
+            (match gs.phase with
+             | Rising when v_new >= ceil -. eps ->
+               gs.v <- ceil;
+               v_net.(out) <- ceil;
+               gs.phase <- Idle;
+               record_net t_next out ceil
+             | Falling when v_new <= fl +. eps ->
+               gs.v <- fl;
+               v_net.(out) <- fl;
+               gs.phase <- Idle;
+               record_net t_next out fl
+             | Rising | Falling | Idle -> record_net t_next out v_new))
+        gates;
+      t := t_next;
+      res.t_last <- t_next;
+      (* the rail relaxed toward the old equilibrium during [dt] *)
+      let prev_state = Array.copy !vxs in
+      relax_state dt;
+      ignore (process_reevals ());
+      targets := vxs_now ();
+      if config.cx <= 0.0 then vxs := Array.copy !targets;
+      record_vx res.t_last t_next prev_state !vxs;
+      recompute_slopes !vxs
+    end
+  done;
+  (* close the traces *)
+  let worst = Array.fold_left Float.max 0.0 !vxs in
+  res.vx_points <- (res.t_last, worst) :: res.vx_points;
+  Array.iteri
+    (fun b cell -> cell := (res.t_last, !vxs.(b)) :: !cell)
+    res.vxb_points;
+  res.i_points <- (res.t_last, 0.0) :: res.i_points;
+  res
+
+let simulate_ints ?config c ~before ~after =
+  let pack groups =
+    let bits =
+      List.concat_map
+        (fun (w, v) -> Array.to_list (S.bits_of_int ~width:w v))
+        groups
+    in
+    Array.of_list bits
+  in
+  simulate ?config c ~before:(pack before) ~after:(pack after)
+
+let waveform res n =
+  match res.wave_points.(n) with
+  | [] -> Phys.Pwl.constant 0.0
+  | pts -> Phys.Pwl.create (List.rev pts)
+
+let vground_waveform res =
+  match res.vx_points with
+  | [] -> Phys.Pwl.constant 0.0
+  | pts ->
+    (* anchor the pre-transition rail just before the first event so the
+       initial step renders *)
+    let t_first = List.fold_left (fun acc (t, _) -> Float.min acc t)
+        infinity pts in
+    Phys.Pwl.create ((t_first -. 1e-13, 0.0) :: List.rev pts)
+
+let current_anchor = 1e-13
+
+let vground_waveform_block res b =
+  if b < 0 || b >= Array.length res.vxb_points then
+    invalid_arg "Breakpoint_sim.vground_waveform_block";
+  match !(res.vxb_points.(b)) with
+  | [] -> Phys.Pwl.constant 0.0
+  | pts ->
+    let t_first = List.fold_left (fun acc (t, _) -> Float.min acc t)
+        infinity pts in
+    Phys.Pwl.create ((t_first -. 1e-13, 0.0) :: List.rev pts)
+
+let vx_peak res = res.vx_max
+let t_finish res = res.t_last
+let events res = res.n_events
+
+let discharge_current_waveform res =
+  match res.i_points with
+  | [] -> Phys.Pwl.constant 0.0
+  | pts ->
+    let t_first = List.fold_left (fun acc (t, _) -> Float.min acc t)
+        infinity pts in
+    Phys.Pwl.create ((t_first -. current_anchor, 0.0) :: List.rev pts)
+
+let peak_discharge_current res = res.i_max
+
+let net_delay res n =
+  let w = waveform res n in
+  let crossings = Phys.Pwl.crossings w ~level:(res.vdd /. 2.0) in
+  let after_start = List.filter (fun (t, _) -> t >= res.t_start) crossings in
+  match List.rev after_start with
+  | [] -> None
+  | (t, _) :: _ -> Some (t -. res.t_start)
+
+let critical_delay res =
+  Array.fold_left
+    (fun acc n ->
+      match net_delay res n with
+      | None -> acc
+      | Some d ->
+        (match acc with
+         | Some (_, best) when best >= d -> acc
+         | Some _ | None -> Some (n, d)))
+    None
+    (C.outputs res.circuit)

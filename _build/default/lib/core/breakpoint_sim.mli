@@ -1,0 +1,133 @@
+(** The variable-breakpoint switch-level simulator (§5.2 of the paper).
+
+    Every gate is collapsed to an equivalent inverter that drives its
+    lumped load with a piecewise-constant current: a charging output is
+    sourced by the pull-up's saturation current, a discharging output is
+    sunk by the pull-down's saturation current {e reduced by the
+    virtual-ground bounce} shared with every other discharging gate.
+    Gates begin switching when an input crosses [vdd / 2].
+
+    Breakpoints — instants where any output crosses the switching
+    threshold or reaches a rail — are the only simulation times; at each
+    one the discharging set changes, the virtual-ground equilibrium is
+    re-solved and every active slope and predicted breakpoint is
+    recomputed (Fig. 9's bookkeeping). *)
+
+type sleep_model =
+  | Cmos                          (** ideal ground: a conventional circuit *)
+  | Resistor of float             (** the Fig. 2 finite-resistance model *)
+  | Sleep_fet of Device.Sleep.t   (** the real high-Vt device I–V *)
+
+type rail_side =
+  | Gnd_switch  (** NMOS footer: a virtual ground, falling edges gated *)
+  | Vdd_switch  (** PMOS header: a virtual Vdd, rising edges gated *)
+
+type partition = {
+  block_of_gate : Netlist.Circuit.gate_id -> int;
+  sleeps : sleep_model array;
+}
+(** Hierarchical-MTCMOS extension: gates are grouped into blocks, each
+    returning to its own virtual-ground rail and sleep device
+    ([block_of_gate] must map into [sleeps]).  Gates in different blocks
+    no longer share discharge current — the mutual-exclusion idea the
+    authors developed in their follow-up work. *)
+
+type config = {
+  sleep : sleep_model;
+  body_effect : bool;
+  alpha : float option;        (** override the technology's exponent *)
+  reverse_conduction : bool;
+      (** §2.3 extension: idle-low outputs ride at the virtual-ground
+          voltage, and rising transitions start precharged from it *)
+  t_start : float;             (** instant the primary inputs flip *)
+  max_events : int;            (** safety bound on breakpoints *)
+  partition : partition option;
+      (** when set, overrides [sleep] with per-block devices *)
+  cx : float;
+      (** virtual-ground parasitic capacitance (§2.2/§5.3 extension):
+          with [cx > 0] the rail relaxes exponentially toward its
+          equilibrium instead of jumping, low-passing the bounce.
+          Default 0 (the paper's quasi-static model). *)
+  input_slope : bool;
+      (** §5.3 extension: delay a gate's transition onset by a fraction
+          of the driving edge's transition time (Sakurai–Newton slow-
+          input correction) instead of switching exactly at [vdd/2].
+          Default off. *)
+  tech_override : Device.Tech.t option;
+      (** simulate against a different technology card than the one the
+          circuit was built with (process-variation studies); load
+          capacitances keep the construction-time values. *)
+  rail : rail_side;
+      (** which rail the sleep device gates (default [Gnd_switch]; the
+          paper's §1 notes the NMOS footer is preferable and the PMOS
+          header exists — this lets the claim be measured). *)
+}
+
+val default_config : config
+(** [Cmos] sleep model, body effect on, [t_start = 0]. *)
+
+val mtcmos_config : ?body_effect:bool -> Device.Tech.t -> wl:float -> config
+(** Config with an NMOS footer of size [wl] built from the technology's
+    high-Vt card. *)
+
+val mtcmos_pmos_config :
+  ?body_effect:bool -> Device.Tech.t -> wl:float -> config
+(** Config with a PMOS header of size [wl]: the virtual rail is Vdd and
+    rising transitions are the gated ones. *)
+
+type result
+
+exception Starved of float
+(** Raised when the virtual ground rises so far that every active gate
+    stalls (only possible with absurdly small sleep devices); carries
+    the time of the stall. *)
+
+val simulate :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  before:Netlist.Signal.level array ->
+  after:Netlist.Signal.level array ->
+  result
+(** Simulate the input transition [before -> after] (primary-input
+    assignments in [Circuit.inputs] order, no [X] allowed).
+    @raise Invalid_argument on [X] inputs or length mismatches. *)
+
+val simulate_ints :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  before:(int * int) list ->
+  after:(int * int) list ->
+  result
+(** Packed variant mirroring [Logic_sim.eval_ints]. *)
+
+val waveform : result -> Netlist.Circuit.net -> Phys.Pwl.t
+(** Piecewise-linear output voltage of a net. *)
+
+val vground_waveform : result -> Phys.Pwl.t
+(** The stepwise virtual-ground voltage (worst rail under a
+    partition). *)
+
+val vground_waveform_block : result -> int -> Phys.Pwl.t
+(** Per-block rail under a {!partition} (block 0 without one).
+    @raise Invalid_argument on an out-of-range block. *)
+
+val vx_peak : result -> float
+
+val discharge_current_waveform : result -> Phys.Pwl.t
+(** Stepwise total current sunk by the discharging set — the quantity
+    the peak-current sizing baseline of §4 keys on. *)
+
+val peak_discharge_current : result -> float
+
+val t_finish : result -> float
+(** Time of the last breakpoint. *)
+
+val events : result -> int
+(** Number of processed breakpoints. *)
+
+val net_delay : result -> Netlist.Circuit.net -> float option
+(** [t_start]-to-last-[vdd/2]-crossing delay of a net; [None] when the
+    net never switched. *)
+
+val critical_delay : result -> (Netlist.Circuit.net * float) option
+(** Worst {!net_delay} over the primary outputs. *)

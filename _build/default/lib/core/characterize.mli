@@ -1,0 +1,42 @@
+(** Standard-cell-style characterisation of the gate library against the
+    transistor-level engine: delay vs. output load and input ramp, per
+    gate kind.
+
+    Two uses: (a) the data a downstream timing flow would consume, and
+    (b) a single calibration factor that maps the switch-level
+    simulator's first-order delays onto transistor-level time — the
+    "improve the simulator accuracy" direction of §5.3/§6.3. *)
+
+type point = {
+  cl : float;           (** output load, F *)
+  ramp : float;         (** input transition time, s *)
+  fall_delay : float;   (** input-rise to output-fall 50/50, s *)
+  rise_delay : float;   (** input-fall to output-rise 50/50, s *)
+  fall_slew : float;    (** 90-10 %% output fall time, s *)
+  rise_slew : float;    (** 10-90 %% output rise time, s *)
+}
+
+val measure :
+  Device.Tech.t -> Netlist.Gate.kind -> cl:float -> ramp:float -> point
+(** One fixture run at one operating point. *)
+
+val gate :
+  ?loads:float list ->
+  ?ramps:float list ->
+  Device.Tech.t ->
+  Netlist.Gate.kind ->
+  point list
+(** Characterise one kind (default loads 10/20/50/100 fF, ramps
+    20/100 ps).  The gate's side inputs are tied so the first pin
+    controls. *)
+
+val first_order_fall : Device.Tech.t -> Netlist.Gate.kind -> cl:float -> float
+(** The switch-level model's own prediction for comparison. *)
+
+val calibration_factor : ?loads:float list -> Device.Tech.t -> float
+(** Mean transistor-level / first-order fall-delay ratio of an inverter
+    across loads; multiply switch-level delays by it to report in
+    transistor-level time.  (Degradation percentages are ratio-based and
+    need no calibration.) *)
+
+val pp_point : Format.formatter -> point -> unit

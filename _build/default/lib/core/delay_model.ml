@@ -1,0 +1,40 @@
+type t = {
+  vg : Vground.config;
+  pmos : Device.Alpha_power.t;
+  vdd : float;
+}
+
+let of_tech ?body_effect tech =
+  { vg = Vground.config ?body_effect tech;
+    pmos = Device.Tech.pmos_alpha tech;
+    vdd = tech.Device.Tech.vdd }
+
+let discharge_slope t ~vx ~beta_wl ~vin ~cl =
+  let i =
+    Vground.gate_current t.vg ~vx { Vground.beta_wl; vin }
+  in
+  -.i /. cl
+
+let charge_slope t ~wl_pull_up ~cl =
+  let i =
+    Device.Alpha_power.sat_current t.pmos ~wl:wl_pull_up ~vgs:t.vdd ~vsb:0.0
+  in
+  i /. cl
+
+let cmos_gate_delay t ~beta_wl ~cl =
+  let i =
+    Vground.gate_current t.vg ~vx:0.0 { Vground.beta_wl; vin = t.vdd }
+  in
+  if i <= 0.0 then infinity else cl *. t.vdd /. (2.0 *. i)
+
+let mtcmos_gate_delay t ~r ~others_beta_wl ~beta_wl ~cl =
+  let gates =
+    { Vground.beta_wl; vin = t.vdd }
+    :: List.map (fun wl -> { Vground.beta_wl = wl; vin = t.vdd })
+         others_beta_wl
+  in
+  let vx = Vground.solve_resistor t.vg ~r gates in
+  let i = Vground.gate_current t.vg ~vx { Vground.beta_wl; vin = t.vdd } in
+  if i <= 0.0 then infinity else cl *. t.vdd /. (2.0 *. i)
+
+let degradation_fraction ~cmos ~mtcmos = (mtcmos -. cmos) /. cmos

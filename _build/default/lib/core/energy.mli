@@ -1,0 +1,50 @@
+(** Energy accounting for the area/performance/energy trade-off of §2.1:
+    upsizing the sleep transistor costs gate-switching energy every
+    sleep/wake cycle and silicon area, against the standby leakage it
+    saves. *)
+
+type budget = {
+  switching_per_transition : float;
+      (** dynamic energy of one input transition of the logic block
+          (alpha C V^2 over the nets that rise), J *)
+  sleep_toggle : float;
+      (** energy to switch the sleep device's gate once, J *)
+  rail_recharge : float;
+      (** energy to pull the virtual-ground rail back down on wake, J *)
+  standby_power_saved : float;
+      (** leakage power avoided while asleep, W *)
+  area : float;  (** sleep-device area, m^2 *)
+}
+
+val switching_energy_of_transition :
+  Netlist.Circuit.t ->
+  before:(int * int) list ->
+  after:(int * int) list ->
+  float
+(** [sum (C_net * Vdd^2)] over nets whose steady state rises — the energy
+    drawn from the supply by the transition.  Steady-state only: glitches
+    are invisible to this estimate (see
+    {!switching_energy_of_result}). *)
+
+val switching_energy_of_result :
+  Netlist.Circuit.t -> Breakpoint_sim.result -> float
+(** Supply energy including glitches: for every net,
+    [C_net * Vdd * (total upward voltage excursion)] summed over the
+    simulated waveform — a glitchy transient that rises and falls twice
+    pays for both rises.  Always at least the steady-state estimate for
+    the same transition. *)
+
+val sleep_cycle_overhead : Netlist.Circuit.t -> wl:float -> float
+(** Energy cost of one complete sleep/wake cycle of a sleep device of
+    size [wl]: gate toggles both ways plus the virtual-rail recharge. *)
+
+val budget : Netlist.Circuit.t -> wl:float -> budget
+(** Full accounting for a circuit gated by a sleep device of size [wl]
+    (worst-case all-inputs-toggle switching energy). *)
+
+val break_even_idle_time : Netlist.Circuit.t -> wl:float -> float
+(** Minimum idle duration for which entering sleep pays off:
+    [sleep_cycle_overhead / standby_power_saved], seconds.  The classic
+    MTCMOS scheduling threshold. *)
+
+val pp_budget : Format.formatter -> budget -> unit

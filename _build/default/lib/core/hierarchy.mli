@@ -1,0 +1,43 @@
+(** Hierarchical sleep-device assignment.
+
+    Instead of one shared sleep transistor, gates can be grouped into
+    blocks with private devices; gates that never discharge together
+    then stop loading each other's rail, and the total sleep width
+    needed for a delay target drops.  This is the direction of the
+    authors' follow-up ("MTCMOS Hierarchical Sizing Based on Mutual
+    Exclusive Discharge Patterns"); here it serves as a built-in
+    extension and an ablation against the single shared device. *)
+
+val by_level : Netlist.Circuit.t -> blocks:int -> Netlist.Circuit.gate_id -> int
+(** Partition gates by topological depth into [blocks] equal bands —
+    pipeline stages discharge at different times, so banding by level
+    approximates mutual exclusion.
+    @raise Invalid_argument when [blocks < 1]. *)
+
+val uniform :
+  Device.Tech.t -> wl:float -> blocks:int -> Breakpoint_sim.sleep_model array
+(** [blocks] identical sleep devices of size [wl] each. *)
+
+val config :
+  ?body_effect:bool ->
+  Device.Tech.t ->
+  Netlist.Circuit.t ->
+  wl_per_block:float ->
+  blocks:int ->
+  Breakpoint_sim.config
+(** Simulator config with a level-banded partition. *)
+
+val size_uniform_for_degradation :
+  ?wl_lo:float ->
+  ?wl_hi:float ->
+  ?tolerance:float ->
+  Netlist.Circuit.t ->
+  vectors:Sizing.vector_pair list ->
+  target:float ->
+  blocks:int ->
+  float
+(** Smallest per-block W/L meeting the degradation target with a
+    level-banded partition of [blocks] devices.  Total sleep width is
+    [blocks * result]; compare against [Sizing.size_for_degradation]'s
+    single shared device.
+    @raise Not_found when infeasible within [wl_hi]. *)

@@ -1,0 +1,116 @@
+module C = Netlist.Circuit
+
+type table = {
+  loads : float array;  (* ascending *)
+  ramps : float array;  (* ascending *)
+  (* surfaces indexed [load][ramp] *)
+  d_worst : float array array;
+  s_worst : float array array;
+}
+
+type library = {
+  tech : Device.Tech.t;
+  tables : (Netlist.Gate.kind, table) Hashtbl.t;
+}
+
+let characterize ?(loads = [ 10e-15; 30e-15; 80e-15 ])
+    ?(ramps = [ 20e-12; 80e-12; 200e-12 ]) tech kind_list =
+  let loads = List.sort_uniq compare loads in
+  let ramps = List.sort_uniq compare ramps in
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun kind ->
+      let d =
+        Array.of_list
+          (List.map
+             (fun cl ->
+               Array.of_list
+                 (List.map
+                    (fun ramp ->
+                      let p = Characterize.measure tech kind ~cl ~ramp in
+                      ( Float.max p.Characterize.fall_delay
+                          p.Characterize.rise_delay,
+                        Float.max p.Characterize.fall_slew
+                          p.Characterize.rise_slew ))
+                    ramps))
+             loads)
+      in
+      Hashtbl.replace tables kind
+        { loads = Array.of_list loads;
+          ramps = Array.of_list ramps;
+          d_worst = Array.map (Array.map fst) d;
+          s_worst = Array.map (Array.map snd) d })
+    kind_list;
+  { tech; tables }
+
+let kinds lib = Hashtbl.fold (fun k _ acc -> k :: acc) lib.tables []
+
+(* clamped bracketing: index i with axis.(i) <= x <= axis.(i+1), plus the
+   interpolation fraction *)
+let bracket axis x =
+  let n = Array.length axis in
+  if n = 1 || x <= axis.(0) then (0, 0, 0.0)
+  else if x >= axis.(n - 1) then (n - 1, n - 1, 0.0)
+  else begin
+    let i = ref 0 in
+    while axis.(!i + 1) < x do incr i done;
+    let lo = axis.(!i) and hi = axis.(!i + 1) in
+    (!i, !i + 1, (x -. lo) /. (hi -. lo))
+  end
+
+let bilinear table surface ~cl ~slew_in =
+  let i0, i1, fi = bracket table.loads cl in
+  let j0, j1, fj = bracket table.ramps slew_in in
+  let v i j = surface.(i).(j) in
+  let a = v i0 j0 +. (fj *. (v i0 j1 -. v i0 j0)) in
+  let b = v i1 j0 +. (fj *. (v i1 j1 -. v i1 j0)) in
+  a +. (fi *. (b -. a))
+
+let table_of lib kind =
+  match Hashtbl.find_opt lib.tables kind with
+  | Some t -> t
+  | None -> raise Not_found
+
+let delay lib kind ~cl ~slew_in =
+  let t = table_of lib kind in
+  bilinear t t.d_worst ~cl ~slew_in
+
+let output_slew lib kind ~cl ~slew_in =
+  let t = table_of lib kind in
+  bilinear t t.s_worst ~cl ~slew_in
+
+type timing = {
+  arrival : float array;
+  slew : float array;
+  critical : C.net * float;
+}
+
+let sta ?(input_slew = 50e-12) lib circuit =
+  let n = C.num_nets circuit in
+  let arrival = Array.make n 0.0 in
+  let slew = Array.make n input_slew in
+  Array.iter
+    (fun (g : C.gate_inst) ->
+      (* an S-strength gate behaves like the unit gate at load cl / S *)
+      let cl = C.load_capacitance circuit g.C.output /. g.C.strength in
+      let worst_in, worst_slew =
+        Array.fold_left
+          (fun (a, s) net ->
+            (Float.max a arrival.(net), Float.max s slew.(net)))
+          (0.0, input_slew) g.C.inputs
+      in
+      let d = delay lib g.C.kind ~cl ~slew_in:worst_slew in
+      arrival.(g.C.output) <- worst_in +. d;
+      slew.(g.C.output) <-
+        output_slew lib g.C.kind ~cl ~slew_in:worst_slew)
+    (C.gates circuit);
+  let outs = C.outputs circuit in
+  if Array.length outs = 0 then invalid_arg "Nldm.sta: no outputs";
+  let critical =
+    Array.fold_left
+      (fun (bn, ba) net ->
+        if arrival.(net) > ba then (net, arrival.(net)) else (bn, ba))
+      (outs.(0), arrival.(outs.(0)))
+      outs
+  in
+  { arrival; slew; critical }

@@ -1,0 +1,125 @@
+type objective =
+  | Max_degradation
+  | Max_delay
+  | Max_vx
+  | Max_current
+
+type outcome = {
+  pair : Vectors.pair;
+  score : float;
+  evaluations : int;
+}
+
+let score ?(body_effect = true) c ~sleep objective (before, after) =
+  let config =
+    { Breakpoint_sim.default_config with Breakpoint_sim.sleep; body_effect }
+  in
+  let r = Breakpoint_sim.simulate_ints ~config c ~before ~after in
+  match objective with
+  | Max_vx -> Breakpoint_sim.vx_peak r
+  | Max_current -> Breakpoint_sim.peak_discharge_current r
+  | Max_delay ->
+    (match Breakpoint_sim.critical_delay r with
+     | Some (_, d) -> d
+     | None -> 0.0)
+  | Max_degradation ->
+    (match Breakpoint_sim.critical_delay r with
+     | None -> 0.0
+     | Some (_, d_mt) ->
+       let cmos =
+         { Breakpoint_sim.default_config with
+           Breakpoint_sim.body_effect }
+       in
+       let r0 = Breakpoint_sim.simulate_ints ~config:cmos c ~before ~after in
+       (match Breakpoint_sim.critical_delay r0 with
+        | Some (_, d0) when d0 > 0.0 -> (d_mt -. d0) /. d0
+        | Some _ | None -> 0.0))
+
+(* enumerate the single-bit-flip neighbours of a packed assignment *)
+let flip_bit groups ~bit =
+  let rec go acc bit = function
+    | [] -> List.rev acc
+    | (w, v) :: rest ->
+      if bit < w then List.rev_append acc (((w, v lxor (1 lsl bit)) :: rest))
+      else go ((w, v) :: acc) (bit - w) rest
+  in
+  go [] bit groups
+
+let total_bits widths = List.fold_left ( + ) 0 widths
+
+let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
+    ?body_effect c ~sleep ~widths objective =
+  let st = Random.State.make [| seed |] in
+  let bits = total_bits widths in
+  let evals = ref 0 in
+  let eval pair =
+    incr evals;
+    score ?body_effect c ~sleep objective pair
+  in
+  let random_groups () =
+    List.map (fun w -> (w, Random.State.int st (1 lsl w))) widths
+  in
+  let best = ref None in
+  let consider pair s =
+    match !best with
+    | Some (_, s0) when s0 >= s -> ()
+    | Some _ | None -> best := Some (pair, s)
+  in
+  for _ = 1 to restarts do
+    let current = ref (random_groups (), random_groups ()) in
+    let current_score = ref (eval !current) in
+    consider !current !current_score;
+    let stuck = ref false in
+    let iters = ref 0 in
+    while (not !stuck) && !iters < max_iters do
+      (* first-improvement over a random permutation of the 2*bits moves *)
+      let moves = Array.init (2 * bits) (fun i -> i) in
+      for i = Array.length moves - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = moves.(i) in
+        moves.(i) <- moves.(j);
+        moves.(j) <- t
+      done;
+      let improved = ref false in
+      let k = ref 0 in
+      while (not !improved) && !k < Array.length moves
+            && !iters < max_iters do
+        let m = moves.(!k) in
+        incr k;
+        incr iters;
+        let before, after = !current in
+        let candidate =
+          if m < bits then (flip_bit before ~bit:m, after)
+          else (before, flip_bit after ~bit:(m - bits))
+        in
+        let s = eval candidate in
+        consider candidate s;
+        if s > !current_score then begin
+          current := candidate;
+          current_score := s;
+          improved := true
+        end
+      done;
+      if not !improved then stuck := true
+    done
+  done;
+  match !best with
+  | Some (pair, s) -> { pair; score = s; evaluations = !evals }
+  | None -> assert false
+
+let exhaustive ?body_effect c ~sleep ~widths objective =
+  let pairs = Vectors.enumerate_pairs ~widths in
+  let evals = ref 0 in
+  let best =
+    List.fold_left
+      (fun acc pair ->
+        incr evals;
+        let s = score ?body_effect c ~sleep objective pair in
+        match acc with
+        | Some (_, s0) when s0 >= s -> acc
+        | Some _ | None -> Some (pair, s))
+      None pairs
+  in
+  match best with
+  | Some (pair, s) -> { pair; score = s; evaluations = !evals }
+  | None -> invalid_arg "Search.exhaustive: empty space"

@@ -1,0 +1,60 @@
+(** Worst-case-vector search for spaces too large to enumerate.
+
+    The 3-bit adder's 4096 transitions can be swept exhaustively (§6.2),
+    but the 8x8 multiplier's 2^32 cannot — the paper picks its vectors A
+    and B by structural insight.  This module automates that hunt with a
+    stochastic hill climb over bit flips, using the breakpoint simulator
+    as the (cheap) oracle: exactly the "narrow down the vector space"
+    role §5 assigns the tool. *)
+
+type objective =
+  | Max_degradation
+      (** MTCMOS delay relative to the same transition's CMOS delay.
+          Note: transitions whose CMOS delay is tiny (a barely-switching,
+          glitchy output) produce huge ratios — the same tail behaviour
+          Fig. 14 shows for the simulator.  Prefer {!Max_delay} when an
+          absolute answer is wanted. *)
+  | Max_delay        (** absolute MTCMOS delay *)
+  | Max_vx           (** worst virtual-ground bounce *)
+  | Max_current      (** worst total discharge current *)
+
+type outcome = {
+  pair : Vectors.pair;
+  score : float;
+  evaluations : int;  (** simulator calls spent *)
+}
+
+val score :
+  ?body_effect:bool ->
+  Netlist.Circuit.t ->
+  sleep:Breakpoint_sim.sleep_model ->
+  objective ->
+  Vectors.pair ->
+  float
+(** Evaluate one transition under the chosen objective (0 when nothing
+    switches). *)
+
+val hill_climb :
+  ?seed:int ->
+  ?restarts:int ->
+  ?max_iters:int ->
+  ?body_effect:bool ->
+  Netlist.Circuit.t ->
+  sleep:Breakpoint_sim.sleep_model ->
+  widths:int list ->
+  objective ->
+  outcome
+(** Multi-restart stochastic hill climb: from a random transition, try
+    single-bit flips of the before/after words (first-improvement);
+    restart when stuck.  Defaults: 8 restarts, 400 iterations each.
+    Deterministic for a given [seed]. *)
+
+val exhaustive :
+  ?body_effect:bool ->
+  Netlist.Circuit.t ->
+  sleep:Breakpoint_sim.sleep_model ->
+  widths:int list ->
+  objective ->
+  outcome
+(** Ground truth for small spaces.
+    @raise Invalid_argument when the space exceeds 2^22 pairs. *)

@@ -1,0 +1,42 @@
+(** Multi-cycle workloads: apply a stream of input vectors at a fixed
+    clock period and watch the MTCMOS behaviour cycle by cycle.
+
+    The worst transition of a {e workload} is what actually sets the
+    sleep size (§2.4's "input vector plays a very important role"); this
+    driver also checks that every transition settles inside its period —
+    the MTCMOS-specific timing-closure question. *)
+
+type step = {
+  index : int;
+  before : (int * int) list;
+  after : (int * int) list;
+  delay : float option;     (** critical delay, [None] if no output moved *)
+  settle : float;           (** time of the last breakpoint *)
+  vx_peak : float;
+  violation : bool;         (** settle time exceeded the period *)
+}
+
+type run = {
+  steps : step list;
+  worst_delay : (int * float) option;  (** step index and delay *)
+  worst_vx : float;
+  violations : int;
+}
+
+val run :
+  ?config:Breakpoint_sim.config ->
+  Netlist.Circuit.t ->
+  period:float ->
+  vectors:(int * int) list list ->
+  run
+(** Apply [vectors] in order (first entry is the initial state, each
+    subsequent entry one clock period later).
+    @raise Invalid_argument with fewer than two vectors or a
+    non-positive period. *)
+
+val random_workload :
+  ?seed:int -> widths:int list -> int -> (int * int) list list
+(** [random_workload ~widths cycles] is a uniformly random vector stream
+    for soak-style runs. *)
+
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,125 @@
+type vector_pair = (int * int) list * (int * int) list
+
+type engine = Breakpoint | Spice_level
+
+type measurement = {
+  wl : float;
+  cmos_delay : float;
+  mtcmos_delay : float;
+  degradation : float;
+  vx_peak : float;
+}
+
+let worst_delay_bp ~config c vectors =
+  List.fold_left
+    (fun (dmax, vxmax) (before, after) ->
+      let r = Breakpoint_sim.simulate_ints ~config c ~before ~after in
+      let d =
+        match Breakpoint_sim.critical_delay r with
+        | Some (_, d) -> d
+        | None -> 0.0
+      in
+      (Float.max dmax d, Float.max vxmax (Breakpoint_sim.vx_peak r)))
+    (0.0, 0.0) vectors
+
+let worst_delay_spice ~config c vectors =
+  List.fold_left
+    (fun (dmax, vxmax) (before, after) ->
+      let r = Spice_ref.run_ints ~config c ~before ~after in
+      let d =
+        match Spice_ref.critical_delay r with
+        | Some (_, d) -> d
+        | None -> 0.0
+      in
+      (Float.max dmax d, Float.max vxmax (Spice_ref.vx_peak r)))
+    (0.0, 0.0) vectors
+
+let sleep_of c ~body_effect ~wl =
+  ignore body_effect;
+  let tech = Netlist.Circuit.tech c in
+  Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+    ~vdd:tech.Device.Tech.vdd
+
+let worst_delay ~engine ~body_effect c ~sleep vectors =
+  match engine with
+  | Breakpoint ->
+    let config =
+      { Breakpoint_sim.default_config with
+        Breakpoint_sim.sleep; body_effect }
+    in
+    worst_delay_bp ~config c vectors
+  | Spice_level ->
+    (* size the transient horizon from the fast estimate so slow (small
+       sleep device) cases are not cut off *)
+    let bp_config =
+      { Breakpoint_sim.default_config with
+        Breakpoint_sim.sleep; body_effect }
+    in
+    let estimate, _ = worst_delay_bp ~config:bp_config c vectors in
+    let t_stop =
+      Float.max Spice_ref.default_config.Spice_ref.t_stop
+        (Spice_ref.default_config.Spice_ref.t_start +. (3.0 *. estimate))
+    in
+    let config =
+      { Spice_ref.default_config with Spice_ref.sleep; t_stop }
+    in
+    worst_delay_spice ~config c vectors
+
+let cmos_delay ?(engine = Breakpoint) ?(body_effect = true) c ~vectors =
+  if vectors = [] then invalid_arg "Sizing: empty vector list";
+  fst
+    (worst_delay ~engine ~body_effect c ~sleep:Breakpoint_sim.Cmos vectors)
+
+let delay_at ?(engine = Breakpoint) ?(body_effect = true) c ~vectors ~wl =
+  if vectors = [] then invalid_arg "Sizing: empty vector list";
+  let base = cmos_delay ~engine ~body_effect c ~vectors in
+  let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
+  let d, vx = worst_delay ~engine ~body_effect c ~sleep vectors in
+  { wl;
+    cmos_delay = base;
+    mtcmos_delay = d;
+    degradation = (d -. base) /. base;
+    vx_peak = vx }
+
+let sweep ?(engine = Breakpoint) ?(body_effect = true) c ~vectors ~wls =
+  if vectors = [] then invalid_arg "Sizing: empty vector list";
+  let base = cmos_delay ~engine ~body_effect c ~vectors in
+  List.map
+    (fun wl ->
+      let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
+      let d, vx = worst_delay ~engine ~body_effect c ~sleep vectors in
+      { wl;
+        cmos_delay = base;
+        mtcmos_delay = d;
+        degradation = (d -. base) /. base;
+        vx_peak = vx })
+    wls
+
+let size_for_degradation ?(engine = Breakpoint) ?(body_effect = true)
+    ?(wl_lo = 0.5) ?(wl_hi = 4096.0) ?(tolerance = 0.01) c ~vectors ~target =
+  if vectors = [] then invalid_arg "Sizing: empty vector list";
+  let base = cmos_delay ~engine ~body_effect c ~vectors in
+  let degradation wl =
+    let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
+    let d, _ = worst_delay ~engine ~body_effect c ~sleep vectors in
+    (d -. base) /. base
+  in
+  if degradation wl_hi > target then raise Not_found;
+  (* bisection on log scale: degradation decreases with wl *)
+  let rec refine lo hi iter =
+    if iter > 60 || hi /. lo <= 1.0 +. tolerance then hi
+    else
+      let mid = sqrt (lo *. hi) in
+      if degradation mid <= target then refine lo mid (iter + 1)
+      else refine mid hi (iter + 1)
+  in
+  if degradation wl_lo <= target then wl_lo else refine wl_lo wl_hi 0
+
+let pp_measurement fmt m =
+  Format.fprintf fmt
+    "W/L=%7.1f  cmos=%s  mtcmos=%s  degradation=%5.1f%%  vx_peak=%s"
+    m.wl
+    (Phys.Units.to_eng_string ~unit:"s" m.cmos_delay)
+    (Phys.Units.to_eng_string ~unit:"s" m.mtcmos_delay)
+    (100.0 *. m.degradation)
+    (Phys.Units.to_eng_string ~unit:"V" m.vx_peak)

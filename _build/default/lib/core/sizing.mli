@@ -1,0 +1,63 @@
+(** The sleep-transistor sizing methodology: the area/performance
+    trade-off the paper's tool exists to navigate.
+
+    A sizing question is always posed against a set of input transitions
+    (because the worst-case vector depends on the sleep size itself,
+    §2.4): the delay at a given W/L is the worst critical delay over the
+    vector set. *)
+
+type vector_pair = (int * int) list * (int * int) list
+(** [(before, after)] in [Logic_sim.eval_ints] packing. *)
+
+type engine = Breakpoint | Spice_level
+(** Which simulator evaluates delays: the paper's fast switch-level tool
+    or the transistor-level reference. *)
+
+type measurement = {
+  wl : float;
+  cmos_delay : float;         (** ideal-ground delay, same engine *)
+  mtcmos_delay : float;
+  degradation : float;        (** (mtcmos - cmos) / cmos *)
+  vx_peak : float;
+}
+
+val delay_at :
+  ?engine:engine ->
+  ?body_effect:bool ->
+  Netlist.Circuit.t ->
+  vectors:vector_pair list ->
+  wl:float ->
+  measurement
+(** Worst-case measurement over [vectors] at one sleep size.
+    @raise Invalid_argument on an empty vector list. *)
+
+val cmos_delay :
+  ?engine:engine -> ?body_effect:bool -> Netlist.Circuit.t ->
+  vectors:vector_pair list -> float
+(** Ideal-ground baseline delay. *)
+
+val sweep :
+  ?engine:engine ->
+  ?body_effect:bool ->
+  Netlist.Circuit.t ->
+  vectors:vector_pair list ->
+  wls:float list ->
+  measurement list
+(** One measurement per W/L, sharing the CMOS baseline. *)
+
+val size_for_degradation :
+  ?engine:engine ->
+  ?body_effect:bool ->
+  ?wl_lo:float ->
+  ?wl_hi:float ->
+  ?tolerance:float ->
+  Netlist.Circuit.t ->
+  vectors:vector_pair list ->
+  target:float ->
+  float
+(** Smallest W/L whose degradation is at most [target] (e.g. 0.05 for
+    the paper's 5 % budget), found by bisection over
+    [wl_lo, wl_hi] (defaults 0.5 and 4096).
+    @raise Not_found when even [wl_hi] misses the target. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,198 @@
+module C = Netlist.Circuit
+module S = Netlist.Signal
+
+type config = {
+  sleep : Breakpoint_sim.sleep_model;
+  cx_extra : float;
+  sleep_awake : bool;
+  pmos_header : bool;
+  t_start : float;
+  ramp : float;
+  t_stop : float;
+  dt : float option;
+  record_all : bool;
+}
+
+let default_config =
+  { sleep = Breakpoint_sim.Cmos;
+    cx_extra = 0.0;
+    sleep_awake = true;
+    pmos_header = false;
+    t_start = 100e-12;
+    ramp = 50e-12;
+    t_stop = 6e-9;
+    dt = None;
+    record_all = false }
+
+type run = {
+  circuit : C.t;
+  cfg : config;
+  instance : Netlist.Expand.instance;
+  result : Spice.Engine.result;
+  vdd : float;
+}
+
+let expand_config (cfg : config) =
+  match cfg.sleep with
+  | Breakpoint_sim.Cmos ->
+    { Netlist.Expand.default with Netlist.Expand.cx_extra = cfg.cx_extra }
+  | Breakpoint_sim.Resistor r ->
+    { Netlist.Expand.default with
+      Netlist.Expand.resistor_model = Some r;
+      cx_extra = cfg.cx_extra;
+      pmos_header = cfg.pmos_header }
+  | Breakpoint_sim.Sleep_fet s ->
+    { Netlist.Expand.default with
+      Netlist.Expand.sleep_wl = Some s.Device.Sleep.wl;
+      sleep_awake = cfg.sleep_awake;
+      cx_extra = cfg.cx_extra;
+      pmos_header = cfg.pmos_header }
+
+let stimulus cfg ~vdd before after =
+  let v_of = function S.L1 -> vdd | S.L0 -> 0.0 | S.X -> 0.0 in
+  let v0 = v_of before and v1 = v_of after in
+  if before = after then Phys.Pwl.constant v0
+  else
+    Phys.Pwl.create
+      [ (0.0, v0); (cfg.t_start, v0); (cfg.t_start +. cfg.ramp, v1) ]
+
+let run ?(config = default_config) circuit ~before ~after =
+  let primary = C.inputs circuit in
+  if Array.length before <> Array.length primary
+     || Array.length after <> Array.length primary then
+    invalid_arg "Spice_ref.run: input length mismatch";
+  Array.iter
+    (fun l ->
+      match l with
+      | S.X -> invalid_arg "Spice_ref.run: X input"
+      | S.L0 | S.L1 -> ())
+    (Array.append before after);
+  let tech = C.tech circuit in
+  let vdd = tech.Device.Tech.vdd in
+  let stimuli =
+    Array.to_list
+      (Array.mapi
+         (fun i n -> (n, stimulus config ~vdd before.(i) after.(i)))
+         primary)
+  in
+  let instance =
+    Netlist.Expand.expand ~config:(expand_config config) circuit ~stimuli
+  in
+  let engine = Spice.Engine.prepare instance.Netlist.Expand.netlist in
+  let record =
+    if config.record_all then Spice.Engine.All
+    else
+      let outs =
+        Array.to_list
+          (Array.map
+             (fun n -> instance.Netlist.Expand.node_of_net.(n))
+             (C.outputs circuit))
+      in
+      let ins =
+        Array.to_list
+          (Array.map
+             (fun n -> instance.Netlist.Expand.node_of_net.(n))
+             primary)
+      in
+      let vg =
+        match instance.Netlist.Expand.vground with
+        | Some n -> [ n ]
+        | None -> []
+      in
+      Spice.Engine.Nodes (outs @ ins @ vg)
+  in
+  let dt =
+    match config.dt with Some d -> d | None -> config.t_stop /. 3000.0
+  in
+  (* seed the DC operating point from the logic-simulator steady state:
+     big combinational blocks will not converge from all-zeros *)
+  let pre = Netlist.Logic_sim.eval circuit before in
+  let rail_hint =
+    match instance.Netlist.Expand.vground with
+    | Some n when config.pmos_header -> [ (n, vdd) ]
+    | Some _ | None -> []
+  in
+  let hints =
+    (instance.Netlist.Expand.vdd_node, vdd)
+    :: rail_hint
+    @ List.filter_map
+         (fun net ->
+           match pre.(net) with
+           | S.L1 -> Some (instance.Netlist.Expand.node_of_net.(net), vdd)
+           | S.L0 | S.X -> None)
+         (List.init (C.num_nets circuit) (fun n -> n))
+  in
+  let x0 = Spice.Engine.initial_guess engine hints in
+  (* small blocks get a true DC solve; large ones start from the
+     logic-derived state and settle during the pre-[t_start] window *)
+  let uic = C.num_gates circuit > 60 in
+  let result =
+    Spice.Engine.transient engine ~t_stop:config.t_stop ~dt ~record ~x0 ~uic
+  in
+  { circuit; cfg = config; instance; result; vdd }
+
+let pack groups =
+  Array.of_list
+    (List.concat_map
+       (fun (w, v) -> Array.to_list (S.bits_of_int ~width:w v))
+       groups)
+
+let run_ints ?config circuit ~before ~after =
+  run ?config circuit ~before:(pack before) ~after:(pack after)
+
+let net_waveform r net =
+  Spice.Engine.waveform r.result r.instance.Netlist.Expand.node_of_net.(net)
+
+let vground_waveform r =
+  match r.instance.Netlist.Expand.vground with
+  | None -> None
+  | Some n -> Some (Spice.Engine.waveform r.result n)
+
+let vx_peak r =
+  match vground_waveform r with
+  | None -> 0.0
+  | Some w ->
+    if r.cfg.pmos_header then
+      (* the virtual Vdd droops downward: report the droop magnitude *)
+      r.vdd -. fst (Phys.Pwl.extrema w)
+    else snd (Phys.Pwl.extrema w)
+
+let sleep_current_waveform r =
+  match vground_waveform r with
+  | None -> None
+  | Some w ->
+    let drop v = if r.cfg.pmos_header then r.vdd -. v else v in
+    (match r.cfg.sleep with
+     | Breakpoint_sim.Cmos -> None
+     | Breakpoint_sim.Resistor res ->
+       Some (Phys.Pwl.map (fun v -> drop v /. res) w)
+     | Breakpoint_sim.Sleep_fet s ->
+       Some (Phys.Pwl.map (fun v -> Device.Sleep.current_at_vds s (drop v)) w))
+
+let peak_sleep_current r =
+  match sleep_current_waveform r with
+  | None -> 0.0
+  | Some w -> snd (Phys.Pwl.extrema w)
+
+let net_delay r net =
+  let w = net_waveform r net in
+  let crossings = Phys.Pwl.crossings w ~level:(r.vdd /. 2.0) in
+  let after_start =
+    List.filter (fun (t, _) -> t >= r.cfg.t_start) crossings
+  in
+  match List.rev after_start with
+  | [] -> None
+  | (t, _) :: _ -> Some (t -. r.cfg.t_start)
+
+let critical_delay r =
+  Array.fold_left
+    (fun acc n ->
+      match net_delay r n with
+      | None -> acc
+      | Some d ->
+        (match acc with
+         | Some (_, best) when best >= d -> acc
+         | Some _ | None -> Some (n, d)))
+    None (C.outputs r.circuit)
+
+let newton_iterations r = Spice.Engine.newton_iterations r.result

@@ -1,0 +1,64 @@
+(** Convenience bridge to the transistor-level engine: run a gate-level
+    circuit through {!Netlist.Expand} + {!Spice.Engine} for one input
+    transition, in the same vocabulary the breakpoint simulator uses.
+
+    This is the "more detailed simulator like SPICE" the paper verifies
+    its tool against (§6). *)
+
+type config = {
+  sleep : Breakpoint_sim.sleep_model;
+  cx_extra : float;        (** extra virtual-ground capacitance (§2.2) *)
+  sleep_awake : bool;
+  pmos_header : bool;      (** PMOS header / virtual Vdd instead of the
+                               NMOS footer *)
+  t_start : float;         (** input edges begin here *)
+  ramp : float;            (** input rise/fall time (default 50 ps) *)
+  t_stop : float;          (** simulation horizon (default 6 ns) *)
+  dt : float option;       (** time step; default [t_stop / 3000] *)
+  record_all : bool;       (** record every node, not just the outputs *)
+}
+
+val default_config : config
+
+type run
+
+val run :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  before:Netlist.Signal.level array ->
+  after:Netlist.Signal.level array ->
+  run
+(** @raise Invalid_argument on [X] inputs.
+    @raise Spice.Engine.No_convergence when the engine gives up. *)
+
+val run_ints :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  before:(int * int) list ->
+  after:(int * int) list ->
+  run
+
+val net_waveform : run -> Netlist.Circuit.net -> Phys.Pwl.t
+(** @raise Not_found when the net was not recorded. *)
+
+val vground_waveform : run -> Phys.Pwl.t option
+(** [None] for a conventional-CMOS run. *)
+
+val vx_peak : run -> float
+(** 0 for a conventional-CMOS run. *)
+
+val sleep_current_waveform : run -> Phys.Pwl.t option
+(** Current through the sleep element, reconstructed by mapping the
+    measured rail voltage through the device's I–V curve (or Ohm's law
+    for the resistor model); [None] for conventional CMOS.  This is the
+    transistor-level counterpart of
+    [Breakpoint_sim.discharge_current_waveform]. *)
+
+val peak_sleep_current : run -> float
+
+val net_delay : run -> Netlist.Circuit.net -> float option
+(** [t_start]-to-last-[vdd/2]-crossing, matching
+    [Breakpoint_sim.net_delay]. *)
+
+val critical_delay : run -> (Netlist.Circuit.net * float) option
+val newton_iterations : run -> int

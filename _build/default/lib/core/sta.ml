@@ -1,0 +1,121 @@
+module C = Netlist.Circuit
+
+type path = {
+  endpoint : C.net;
+  arrival : float;
+  through : C.gate_id list;
+}
+
+type t = {
+  circuit : C.t;
+  delays : float array;        (* per gate *)
+  arrivals : float array;      (* per net *)
+  critical_fanin : int array;  (* per net: gate id realising the arrival, -1 *)
+}
+
+let analyze ?body_effect circuit =
+  let model = Delay_model.of_tech ?body_effect (C.tech circuit) in
+  let gates = C.gates circuit in
+  let delays =
+    Array.map
+      (fun (g : C.gate_inst) ->
+        let d =
+          Netlist.Gate.drive (C.tech circuit) ~strength:g.C.strength
+            g.C.kind
+        in
+        let cl = C.load_capacitance circuit g.C.output in
+        let fall =
+          Delay_model.cmos_gate_delay model
+            ~beta_wl:d.Netlist.Gate.wl_pull_down ~cl
+        in
+        (* first-order rise delay: same formula against the pull-up *)
+        let pmos = model.Delay_model.pmos in
+        let i_up =
+          Device.Alpha_power.sat_current pmos
+            ~wl:d.Netlist.Gate.wl_pull_up ~vgs:model.Delay_model.vdd
+            ~vsb:0.0
+        in
+        let rise =
+          if i_up <= 0.0 then infinity
+          else cl *. model.Delay_model.vdd /. (2.0 *. i_up)
+        in
+        Float.max fall rise)
+      gates
+  in
+  let arrivals = Array.make (C.num_nets circuit) 0.0 in
+  let critical_fanin = Array.make (C.num_nets circuit) (-1) in
+  Array.iter
+    (fun (g : C.gate_inst) ->
+      let worst_in =
+        Array.fold_left
+          (fun acc n -> Float.max acc arrivals.(n))
+          0.0 g.C.inputs
+      in
+      arrivals.(g.C.output) <- worst_in +. delays.(g.C.id);
+      critical_fanin.(g.C.output) <- g.C.id)
+    gates;
+  { circuit; delays; arrivals; critical_fanin }
+
+let gate_delay t gid = t.delays.(gid)
+let arrival t net = t.arrivals.(net)
+
+let trace t endpoint =
+  let gates = C.gates t.circuit in
+  let rec walk net acc =
+    match t.critical_fanin.(net) with
+    | -1 -> acc
+    | gid ->
+      let g = gates.(gid) in
+      (* the input whose arrival dominates *)
+      let worst =
+        Array.fold_left
+          (fun best n ->
+            match best with
+            | None -> Some n
+            | Some b -> if t.arrivals.(n) > t.arrivals.(b) then Some n
+              else best)
+          None g.C.inputs
+      in
+      (match worst with
+       | Some n when t.arrivals.(n) > 0.0 -> walk n (gid :: acc)
+       | Some _ | None -> gid :: acc)
+  in
+  { endpoint; arrival = t.arrivals.(endpoint); through = walk endpoint [] }
+
+let path_to t net = trace t net
+
+let critical_path t =
+  let outs = C.outputs t.circuit in
+  if Array.length outs = 0 then
+    invalid_arg "Sta.critical_path: circuit has no outputs";
+  let worst =
+    Array.fold_left
+      (fun best n ->
+        match best with
+        | None -> Some n
+        | Some b -> if t.arrivals.(n) > t.arrivals.(b) then Some n else best)
+      None outs
+  in
+  match worst with
+  | Some n -> trace t n
+  | None -> assert false
+
+let slack t net = (critical_path t).arrival -. t.arrivals.(net)
+
+let mtcmos_underestimate t circuit ~sleep ~vectors =
+  let sta_delay = (critical_path t).arrival in
+  let config =
+    { Breakpoint_sim.default_config with Breakpoint_sim.sleep }
+  in
+  let simulated =
+    List.fold_left
+      (fun acc (before, after) ->
+        let r =
+          Breakpoint_sim.simulate_ints ~config circuit ~before ~after
+        in
+        match Breakpoint_sim.critical_delay r with
+        | Some (_, d) -> Float.max acc d
+        | None -> acc)
+      0.0 vectors
+  in
+  (simulated -. sta_delay) /. sta_delay

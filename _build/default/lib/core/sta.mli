@@ -1,0 +1,50 @@
+(** Static timing analysis — the conventional critical-path baseline the
+    paper argues is inadequate for MTCMOS (§4: existing critical-path
+    tools "do not take into account the virtual ground bounce associated
+    with discharge currents").
+
+    This is a classic vectorless topological timer: every gate gets a
+    fixed first-order delay (Eq. 3 with an ideal ground), arrival times
+    propagate along the DAG, and the critical path is the latest primary
+    output.  It is exact for conventional CMOS under the first-order
+    model and systematically wrong for MTCMOS — which the bench
+    quantifies. *)
+
+type t
+
+type path = {
+  endpoint : Netlist.Circuit.net;
+  arrival : float;                      (** worst arrival at [endpoint] *)
+  through : Netlist.Circuit.gate_id list;
+      (** gates along the critical path, input side first *)
+}
+
+val analyze : ?body_effect:bool -> Netlist.Circuit.t -> t
+(** Run the timer once; queries below are O(1)/O(path). *)
+
+val gate_delay : t -> Netlist.Circuit.gate_id -> float
+(** The fixed per-gate delay used: worst of the pull-up and pull-down
+    first-order delays into the gate's load. *)
+
+val arrival : t -> Netlist.Circuit.net -> float
+(** Worst-case arrival time at a net (0 at primary inputs and ties). *)
+
+val critical_path : t -> path
+(** The worst path to any primary output.
+    @raise Invalid_argument when the circuit has no outputs. *)
+
+val path_to : t -> Netlist.Circuit.net -> path
+(** Critical path terminating at a specific net. *)
+
+val slack : t -> Netlist.Circuit.net -> float
+(** [critical_arrival - arrival net]: 0 on the critical path. *)
+
+val mtcmos_underestimate :
+  t ->
+  Netlist.Circuit.t ->
+  sleep:Breakpoint_sim.sleep_model ->
+  vectors:Sizing.vector_pair list ->
+  float
+(** How far the static answer falls short of the vector-aware MTCMOS
+    delay: [(worst simulated delay - STA critical arrival) / STA].
+    Positive means the timer is optimistic — the paper's §4 point. *)

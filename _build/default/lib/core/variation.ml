@@ -1,0 +1,75 @@
+module C = Netlist.Circuit
+
+type sample = {
+  dvt : float;
+  dkp_rel : float;
+  delay : float;
+  vx_peak : float;
+}
+
+type stats = {
+  samples : sample array;
+  delay_summary : Phys.Stats.summary;
+  vx_summary : Phys.Stats.summary;
+  degradation_p95 : float;
+}
+
+let gaussian st =
+  (* Box-Muller *)
+  let u1 = Random.State.float st 1.0 +. 1e-12 in
+  let u2 = Random.State.float st 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shift_params (p : Device.Mosfet.params) ~dvt ~dkp_rel =
+  { p with
+    Device.Mosfet.vt0 = p.Device.Mosfet.vt0 +. dvt;
+    kp = p.Device.Mosfet.kp *. (1.0 +. dkp_rel) }
+
+let shift_tech (tech : Device.Tech.t) ~dvt ~dkp_rel =
+  { tech with
+    Device.Tech.nmos = shift_params tech.Device.Tech.nmos ~dvt ~dkp_rel;
+    pmos = shift_params tech.Device.Tech.pmos ~dvt ~dkp_rel;
+    sleep_nmos = shift_params tech.Device.Tech.sleep_nmos ~dvt ~dkp_rel;
+    sleep_pmos = shift_params tech.Device.Tech.sleep_pmos ~dvt ~dkp_rel }
+
+let monte_carlo ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05) ~n
+    circuit ~wl ~vector =
+  if n < 1 then invalid_arg "Variation.monte_carlo: n < 1";
+  let st = Random.State.make [| seed |] in
+  let tech0 = C.tech circuit in
+  let before, after = vector in
+  (* nominal CMOS baseline, fixed across samples *)
+  let nominal_cmos =
+    Sizing.cmos_delay circuit ~vectors:[ vector ]
+  in
+  let run_sample () =
+    let dvt = sigma_vt *. gaussian st in
+    let dkp_rel = sigma_kp_rel *. gaussian st in
+    let tech = shift_tech tech0 ~dvt ~dkp_rel in
+    let sleep =
+      Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+        ~vdd:tech.Device.Tech.vdd
+    in
+    let config =
+      { Breakpoint_sim.default_config with
+        Breakpoint_sim.sleep = Breakpoint_sim.Sleep_fet sleep;
+        tech_override = Some tech }
+    in
+    let r = Breakpoint_sim.simulate_ints ~config circuit ~before ~after in
+    let delay =
+      match Breakpoint_sim.critical_delay r with
+      | Some (_, d) -> d
+      | None -> 0.0
+    in
+    { dvt; dkp_rel; delay; vx_peak = Breakpoint_sim.vx_peak r }
+  in
+  let samples = Array.init n (fun _ -> run_sample ()) in
+  let delays = Array.map (fun s -> s.delay) samples in
+  let vxs = Array.map (fun s -> s.vx_peak) samples in
+  let degradations =
+    Array.map (fun d -> (d -. nominal_cmos) /. nominal_cmos) delays
+  in
+  { samples;
+    delay_summary = Phys.Stats.summarize delays;
+    vx_summary = Phys.Stats.summarize vxs;
+    degradation_p95 = Phys.Stats.percentile degradations 95.0 }

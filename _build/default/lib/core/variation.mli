@@ -1,0 +1,35 @@
+(** Monte-Carlo process-variation analysis.
+
+    Die-to-die variation moves the whole card's thresholds and
+    transconductance together; the sleep device's overdrive
+    [vdd - vt_high] is small, so its effective resistance is unusually
+    sensitive to vt shifts — a margin the paper-era flows sized by
+    hand. *)
+
+type sample = {
+  dvt : float;        (** threshold shift applied to every device, V *)
+  dkp_rel : float;    (** relative transconductance shift *)
+  delay : float;      (** MTCMOS critical delay for the vector *)
+  vx_peak : float;
+}
+
+type stats = {
+  samples : sample array;
+  delay_summary : Phys.Stats.summary;
+  vx_summary : Phys.Stats.summary;
+  degradation_p95 : float;
+      (** 95th-percentile degradation vs the {e nominal} CMOS delay *)
+}
+
+val monte_carlo :
+  ?seed:int ->
+  ?sigma_vt:float ->
+  ?sigma_kp_rel:float ->
+  n:int ->
+  Netlist.Circuit.t ->
+  wl:float ->
+  vector:Sizing.vector_pair ->
+  stats
+(** [n] samples with Gaussian die-to-die shifts (defaults: 20 mV on Vt,
+    5 % on kp).  The circuit's own technology card is the nominal.
+    @raise Invalid_argument when [n < 1]. *)

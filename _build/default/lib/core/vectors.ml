@@ -1,0 +1,85 @@
+type pair = (int * int) list * (int * int) list
+
+let assignments ~widths =
+  let total = List.fold_left ( + ) 0 widths in
+  if total >= Sys.int_size - 2 then
+    invalid_arg "Vectors: too many input bits";
+  let unpack v =
+    let rec go v = function
+      | [] -> []
+      | w :: rest -> (w, v land ((1 lsl w) - 1)) :: go (v lsr w) rest
+    in
+    go v widths
+  in
+  Seq.map unpack (Seq.init (1 lsl total) (fun i -> i))
+
+let all_pairs ~widths =
+  Seq.concat_map
+    (fun before -> Seq.map (fun after -> (before, after)) (assignments ~widths))
+    (assignments ~widths)
+
+let enumerate_pairs ~widths =
+  let total = List.fold_left ( + ) 0 widths in
+  if 2 * total > 22 then
+    invalid_arg "Vectors.enumerate_pairs: space too large; use all_pairs";
+  List.of_seq (all_pairs ~widths)
+
+let random_pairs ?(seed = 42) ~widths n =
+  let st = Random.State.make [| seed |] in
+  let pick () =
+    List.map (fun w -> (w, Random.State.int st (1 lsl w))) widths
+  in
+  List.init n (fun _ -> (pick (), pick ()))
+
+type ranking = {
+  pair : pair;
+  delay : float;
+  cmos_delay : float;
+  degradation : float;
+  vx_peak : float;
+}
+
+let rank ?(body_effect = true) c ~sleep ~pairs =
+  let mt_config =
+    { Breakpoint_sim.default_config with Breakpoint_sim.sleep; body_effect }
+  in
+  let cmos_config =
+    { Breakpoint_sim.default_config with Breakpoint_sim.body_effect }
+  in
+  let evaluate (before, after) =
+    let r_mt = Breakpoint_sim.simulate_ints ~config:mt_config c ~before ~after in
+    match Breakpoint_sim.critical_delay r_mt with
+    | None -> None
+    | Some (_, d_mt) ->
+      let r_cm =
+        Breakpoint_sim.simulate_ints ~config:cmos_config c ~before ~after
+      in
+      let d_cm =
+        match Breakpoint_sim.critical_delay r_cm with
+        | Some (_, d) -> d
+        | None -> d_mt
+      in
+      Some
+        { pair = (before, after);
+          delay = d_mt;
+          cmos_delay = d_cm;
+          degradation = (d_mt -. d_cm) /. d_cm;
+          vx_peak = Breakpoint_sim.vx_peak r_mt }
+  in
+  List.filter_map evaluate pairs
+  |> List.sort (fun a b -> compare b.degradation a.degradation)
+
+let worst ?body_effect c ~sleep ~pairs ~top =
+  let ranked = rank ?body_effect c ~sleep ~pairs in
+  List.filteri (fun i _ -> i < top) ranked
+
+let involving_output c ~net ~pairs =
+  let value_of groups =
+    let st = Netlist.Logic_sim.eval_ints c groups in
+    st.(net)
+  in
+  List.filter
+    (fun (before, after) ->
+      let v0 = value_of before and v1 = value_of after in
+      not (Netlist.Signal.equal v0 v1))
+    pairs

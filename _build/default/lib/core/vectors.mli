@@ -1,0 +1,53 @@
+(** Input-vector space exploration (§2.4, §4, §6.2).
+
+    The tool's headline use case: sweep a large vector space with the
+    fast simulator, rank transitions by MTCMOS susceptibility, and hand
+    the suspicious few to the detailed simulator. *)
+
+type pair = (int * int) list * (int * int) list
+(** A transition, packed as [Logic_sim.eval_ints] groups. *)
+
+val all_pairs : widths:int list -> pair Seq.t
+(** Every (before, after) combination over the packed input groups —
+    [2^(2*sum widths)] elements, produced lazily. *)
+
+val enumerate_pairs : widths:int list -> pair list
+(** Strict version of {!all_pairs}.
+    @raise Invalid_argument when the space exceeds 2^22 pairs. *)
+
+val random_pairs : ?seed:int -> widths:int list -> int -> pair list
+(** Uniform sample of the pair space for circuits too wide to
+    enumerate. *)
+
+type ranking = {
+  pair : pair;
+  delay : float;              (** MTCMOS critical delay *)
+  cmos_delay : float;
+  degradation : float;
+  vx_peak : float;
+}
+
+val rank :
+  ?body_effect:bool ->
+  Netlist.Circuit.t ->
+  sleep:Breakpoint_sim.sleep_model ->
+  pairs:pair list ->
+  ranking list
+(** Simulate every pair with the breakpoint simulator (CMOS baseline per
+    pair), sorted worst degradation first.  Pairs that produce no output
+    transition are dropped. *)
+
+val worst :
+  ?body_effect:bool ->
+  Netlist.Circuit.t ->
+  sleep:Breakpoint_sim.sleep_model ->
+  pairs:pair list ->
+  top:int ->
+  ranking list
+(** The [top] worst entries of {!rank}. *)
+
+val involving_output :
+  Netlist.Circuit.t -> net:Netlist.Circuit.net -> pairs:pair list ->
+  pair list
+(** Restrict to transitions that flip the steady-state value of a given
+    output (Fig. 14 restricts to S2 transitions). *)

@@ -1,0 +1,1 @@
+lib/device/alpha_power.ml: Float Mosfet

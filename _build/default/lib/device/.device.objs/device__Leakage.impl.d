@@ -1,0 +1,1 @@
+lib/device/leakage.ml: Mosfet Phys

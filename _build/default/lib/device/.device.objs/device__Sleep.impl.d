@@ -1,0 +1,1 @@
+lib/device/sleep.ml: Mosfet Phys

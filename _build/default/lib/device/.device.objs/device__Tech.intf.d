@@ -1,0 +1,1 @@
+lib/device/tech.mli: Alpha_power Format Mosfet

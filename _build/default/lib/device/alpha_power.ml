@@ -1,0 +1,41 @@
+type t = {
+  alpha : float;
+  beta : float;
+  vt0 : float;
+  gamma : float;
+  phi : float;
+}
+
+let of_level1 (p : Mosfet.params) ~alpha =
+  if alpha <= 1.0 || alpha > 2.0 then
+    invalid_arg "Alpha_power.of_level1: alpha must be in (1, 2]";
+  (* match I_sat at 1 V of overdrive: (beta/2) * 1^alpha = (kp/2) * 1^2 *)
+  { alpha; beta = p.kp; vt0 = p.vt0; gamma = p.gamma; phi = p.phi }
+
+let threshold t ~vsb =
+  if t.gamma = 0.0 then t.vt0
+  else
+    let arg = Float.max 1e-6 (t.phi +. vsb) in
+    t.vt0 +. (t.gamma *. (sqrt arg -. sqrt t.phi))
+
+let sat_current t ~wl ~vgs ~vsb =
+  let vth = threshold t ~vsb in
+  let vov = vgs -. vth in
+  if vov <= 0.0 then 0.0
+  else 0.5 *. t.beta *. wl *. (vov ** t.alpha)
+
+let inverter_delay t ~wl ~cl ~vdd =
+  let i = sat_current t ~wl ~vgs:vdd ~vsb:0.0 in
+  if i <= 0.0 then infinity else cl *. vdd /. (2.0 *. i)
+
+let sakurai_delay t ~wl ~cl ~vdd =
+  (* Sakurai-Newton: td = (CL Vdd / 2 Id0) * (0.9/0.8 + ...) ; keep the
+     leading coefficient correction for alpha < 2 *)
+  let i = sat_current t ~wl ~vgs:vdd ~vsb:0.0 in
+  if i <= 0.0 then infinity
+  else
+    let vth = threshold t ~vsb:0.0 in
+    let vt_ratio = vth /. vdd in
+    let coeff = (0.9 /. 0.8) +. (vt_ratio /. 0.8 *. log (10.0 *. (1.0 -. vt_ratio))) in
+    let coeff = Float.max 0.5 coeff in
+    cl *. vdd /. (2.0 *. i) *. coeff

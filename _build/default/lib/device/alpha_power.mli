@@ -1,0 +1,39 @@
+(** Sakurai–Newton alpha-power-law MOSFET model (refs [1][2] of the paper).
+
+    The switch-level simulator's first-order delay model treats every
+    discharging gate as a saturation current source
+    [I = (beta / 2) * (vgs - vth) ** alpha]; [alpha = 2] recovers the
+    square law, [alpha < 2] models velocity saturation. *)
+
+type t = {
+  alpha : float;   (** velocity-saturation exponent, in (1, 2] *)
+  beta : float;    (** gain factor for W/L = 1, A/V^alpha *)
+  vt0 : float;     (** zero-bias threshold voltage, V *)
+  gamma : float;   (** body-effect coefficient (0 disables), V^0.5 *)
+  phi : float;     (** surface potential used by the body effect, V *)
+}
+
+val of_level1 : Mosfet.params -> alpha:float -> t
+(** Derive an alpha-power card from a Level-1 card, matching the
+    saturation current at [vgs = vds = 1 V] overdrive. *)
+
+val threshold : t -> vsb:float -> float
+(** Threshold raised by the body effect for a source at [vsb] above the
+    body (the paper's §2.1 mechanism when the virtual ground bounces). *)
+
+val sat_current : t -> wl:float -> vgs:float -> vsb:float -> float
+(** Saturation current of a device of size [wl] whose source sits [vsb]
+    above the body terminal, with gate at [vgs] above the source. *)
+
+val inverter_delay :
+  t -> wl:float -> cl:float -> vdd:float -> float
+(** First-order propagation delay [cl * vdd / (2 * I_sat)] of an inverter
+    discharging [cl] from [vdd] (the paper's Eq. 3 with [I] at full gate
+    drive). *)
+
+val sakurai_delay :
+  t -> wl:float -> cl:float -> vdd:float -> float
+(** The full Sakurai–Newton delay expression
+    [cl * vdd / (2 * I_sat) * (0.9 + (alpha-1) corrections)] reduced to the
+    dominant term; kept separate so the ablation bench can compare it with
+    {!inverter_delay}. *)

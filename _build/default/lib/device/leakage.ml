@@ -1,0 +1,26 @@
+let subthreshold_current (p : Mosfet.params) ~wl ~vgs ~vds =
+  Mosfet.ids p ~wl { Mosfet.vgs; vds; vbs = 0.0 }
+
+let off_current p ~wl ~vdd = subthreshold_current p ~wl ~vgs:0.0 ~vds:vdd
+
+let standby_comparison ~low_vt ~high_vt ~total_width_wl ~sleep_wl ~vdd =
+  let i_conventional = off_current low_vt ~wl:total_width_wl ~vdd in
+  (* Series stack: the virtual ground floats up until the low-Vt leakage
+     equals the high-Vt sleep leakage.  Solve for the stack current by
+     bisection on the virtual-ground voltage. *)
+  let mismatch vx =
+    let i_block =
+      subthreshold_current low_vt ~wl:total_width_wl ~vgs:(-.vx)
+        ~vds:(vdd -. vx)
+    in
+    let i_sleep = subthreshold_current high_vt ~wl:sleep_wl ~vgs:0.0 ~vds:vx in
+    i_block -. i_sleep
+  in
+  let vx =
+    try Phys.Rootfind.bisect mismatch ~lo:0.0 ~hi:vdd
+    with Phys.Rootfind.No_bracket -> 0.0
+  in
+  let i_mtcmos =
+    subthreshold_current high_vt ~wl:sleep_wl ~vgs:0.0 ~vds:vx
+  in
+  (i_conventional, i_mtcmos)

@@ -1,0 +1,20 @@
+(** Subthreshold leakage model — the quantity MTCMOS exists to suppress
+    (paper §1). *)
+
+val subthreshold_current :
+  Mosfet.params -> wl:float -> vgs:float -> vds:float -> float
+(** Weak-inversion current of a device of size [wl] with the given gate
+    and drain bias (source and body grounded). *)
+
+val off_current : Mosfet.params -> wl:float -> vdd:float -> float
+(** Leakage of a nominally OFF device ([vgs = 0]) holding off a full
+    [vdd] across its channel. *)
+
+val standby_comparison :
+  low_vt:Mosfet.params -> high_vt:Mosfet.params ->
+  total_width_wl:float -> sleep_wl:float -> vdd:float -> float * float
+(** [(i_conventional, i_mtcmos)]: standby leakage of a low-Vt block of
+    total device size [total_width_wl] with no gating, versus the same
+    block gated by a high-Vt sleep device of size [sleep_wl].  In sleep
+    mode the stack current is limited by the high-Vt device, which is the
+    whole point of the MTCMOS structure (Fig. 1). *)

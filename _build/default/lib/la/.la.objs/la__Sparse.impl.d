@@ -1,0 +1,1 @@
+lib/la/sparse.ml: Array Dense Float Hashtbl Int List Set

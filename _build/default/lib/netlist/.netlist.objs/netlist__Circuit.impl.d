@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Buffer Device Format Gate Hashtbl Int List Option Printf

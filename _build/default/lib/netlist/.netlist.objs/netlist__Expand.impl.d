@@ -1,0 +1,1 @@
+lib/netlist/expand.ml: Array Circuit Device Gate Int List Phys Printf Transistor

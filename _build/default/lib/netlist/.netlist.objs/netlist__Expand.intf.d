@@ -1,0 +1,1 @@
+lib/netlist/expand.mli: Circuit Phys Transistor

@@ -1,0 +1,1 @@
+lib/netlist/parse.ml: Array Circuit Fun Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/parse.mli: Circuit Device Gate

@@ -1,0 +1,1 @@
+lib/netlist/signal.ml: Array Format List Sys

@@ -1,0 +1,1 @@
+lib/netlist/transistor.ml: Array Device Format Hashtbl List Phys Printf

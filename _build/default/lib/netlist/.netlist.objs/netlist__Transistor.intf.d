@@ -1,0 +1,1 @@
+lib/netlist/transistor.mli: Device Format Phys

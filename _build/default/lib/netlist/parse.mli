@@ -1,0 +1,30 @@
+(** A small structural netlist language so the CLI can size user
+    circuits, not just the built-in generators.
+
+    Line-oriented; [#] starts a comment.  Statements:
+
+    {v
+    input  <net> ...          declare primary inputs (vector order)
+    tie0   <net> ...          nets tied low
+    tie1   <net> ...          nets tied high
+    gate   <kind> <out> <in> ...   e.g. gate nand2 n1 a b
+    strength <float>          drive strength for subsequent gates (default 1)
+    load   <net> <farads>     extra lumped capacitance, SI suffixes ok (15f)
+    output <net> ...          declare primary outputs
+    v}
+
+    Gate kinds: [inv buf nand<N> nor<N> and<N> or<N> xor2 xnor2
+    carry_inv sum_inv]. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val circuit_of_string : Device.Tech.t -> string -> Circuit.t
+(** @raise Parse_error on any syntactic or semantic problem. *)
+
+val circuit_of_file : Device.Tech.t -> string -> Circuit.t
+(** @raise Parse_error as above.
+    @raise Sys_error when the file cannot be read. *)
+
+val kind_of_string : string -> Gate.kind option
+(** Exposed for the CLI's diagnostics. *)

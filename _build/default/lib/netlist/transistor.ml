@@ -1,0 +1,107 @@
+type node = int
+
+let ground = 0
+
+type element =
+  | Mos of {
+      params : Device.Mosfet.params;
+      wl : float;
+      drain : node;
+      gate : node;
+      source : node;
+      body : node;
+    }
+  | Cap of { pos : node; neg : node; c : float }
+  | Res of { pos : node; neg : node; r : float }
+  | Vsrc of { pos : node; neg : node; wave : Phys.Pwl.t }
+
+type builder = {
+  mutable next : int;
+  mutable elems : element list; (* reversed *)
+  names : (int, string) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let builder () =
+  let b =
+    { next = 1;
+      elems = [];
+      names = Hashtbl.create 64;
+      by_name = Hashtbl.create 64 }
+  in
+  Hashtbl.replace b.names 0 "gnd";
+  Hashtbl.replace b.by_name "gnd" 0;
+  b
+
+let node ?name b =
+  let n = b.next in
+  b.next <- n + 1;
+  (match name with
+   | Some s ->
+     if Hashtbl.mem b.by_name s then
+       invalid_arg (Printf.sprintf "Transistor: duplicate node name %S" s);
+     Hashtbl.replace b.names n s;
+     Hashtbl.replace b.by_name s n
+   | None -> ());
+  n
+
+let check_node b n =
+  if n < 0 || n >= b.next then invalid_arg "Transistor.add: unknown node"
+
+let add b e =
+  (match e with
+   | Mos { wl; drain; gate; source; body; _ } ->
+     if wl <= 0.0 then invalid_arg "Transistor.add: wl <= 0";
+     List.iter (check_node b) [ drain; gate; source; body ]
+   | Cap { pos; neg; c } ->
+     if c <= 0.0 then invalid_arg "Transistor.add: c <= 0";
+     check_node b pos;
+     check_node b neg
+   | Res { pos; neg; r } ->
+     if r <= 0.0 then invalid_arg "Transistor.add: r <= 0";
+     check_node b pos;
+     check_node b neg
+   | Vsrc { pos; neg; _ } ->
+     check_node b pos;
+     check_node b neg);
+  b.elems <- e :: b.elems
+
+type t = {
+  num_nodes : int;
+  elements : element array;
+  names : (int, string) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let freeze b =
+  { num_nodes = b.next;
+    elements = Array.of_list (List.rev b.elems);
+    names = b.names;
+    by_name = b.by_name }
+
+let num_nodes t = t.num_nodes
+let elements t = t.elements
+
+let node_name t n =
+  match Hashtbl.find_opt t.names n with
+  | Some s -> s
+  | None -> Printf.sprintf "node%d" n
+
+let find_node t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some n -> n
+  | None -> raise Not_found
+
+let count t which =
+  Array.fold_left
+    (fun acc e ->
+      match (e, which) with
+      | Mos _, `Mos | Cap _, `Cap | Res _, `Res | Vsrc _, `Vsrc -> acc + 1
+      | (Mos _ | Cap _ | Res _ | Vsrc _), _ -> acc)
+    0 t.elements
+
+let pp_stats fmt t =
+  Format.fprintf fmt
+    "netlist: %d nodes, %d mosfets, %d caps, %d resistors, %d sources"
+    t.num_nodes (count t `Mos) (count t `Cap) (count t `Res)
+    (count t `Vsrc)

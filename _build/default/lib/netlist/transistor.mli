@@ -1,0 +1,44 @@
+(** Flat transistor-level netlists consumed by the {!Spice} engine. *)
+
+type node = int
+(** Node 0 is always ground. *)
+
+val ground : node
+
+type element =
+  | Mos of {
+      params : Device.Mosfet.params;
+      wl : float;
+      drain : node;
+      gate : node;
+      source : node;
+      body : node;
+    }
+  | Cap of { pos : node; neg : node; c : float }
+  | Res of { pos : node; neg : node; r : float }
+  | Vsrc of { pos : node; neg : node; wave : Phys.Pwl.t }
+      (** Ideal voltage source whose value follows a PWL waveform. *)
+
+type builder
+
+val builder : unit -> builder
+
+val node : ?name:string -> builder -> node
+(** Allocate a node.  Named nodes can be retrieved with {!find_node}. *)
+
+val add : builder -> element -> unit
+(** @raise Invalid_argument on out-of-range nodes, non-positive R/C or
+    non-positive device sizes. *)
+
+type t
+
+val freeze : builder -> t
+
+val num_nodes : t -> int
+val elements : t -> element array
+val node_name : t -> node -> string
+val find_node : t -> string -> node
+(** @raise Not_found for unknown names. *)
+
+val count : t -> [ `Mos | `Cap | `Res | `Vsrc ] -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/phys/ascii_plot.ml: Array Buffer Bytes Float List Option Printf Pwl String Units

@@ -1,0 +1,1 @@
+lib/phys/ascii_plot.mli: Pwl

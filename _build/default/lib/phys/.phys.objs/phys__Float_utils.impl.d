@@ -1,0 +1,1 @@
+lib/phys/float_utils.ml: Array Float List

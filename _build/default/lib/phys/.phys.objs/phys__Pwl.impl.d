@@ -1,0 +1,1 @@
+lib/phys/pwl.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/phys/rootfind.ml: Float

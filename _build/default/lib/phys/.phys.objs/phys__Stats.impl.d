@@ -1,0 +1,1 @@
+lib/phys/stats.ml: Array Float Float_utils Format

@@ -1,0 +1,1 @@
+lib/phys/stats.mli: Format

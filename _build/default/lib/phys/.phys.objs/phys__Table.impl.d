@@ -1,0 +1,1 @@
+lib/phys/table.ml: Array Buffer Float_utils Format Fun Int List Printf Pwl String

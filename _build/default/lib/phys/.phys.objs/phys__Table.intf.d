@@ -1,0 +1,1 @@
+lib/phys/table.mli: Format Pwl

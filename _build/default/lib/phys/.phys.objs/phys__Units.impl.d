@@ -1,0 +1,1 @@
+lib/phys/units.ml: Float Format

@@ -1,0 +1,23 @@
+(** Terminal plots for examples and the bench harness. *)
+
+val waveforms :
+  ?width:int ->
+  ?height:int ->
+  ?t0:float ->
+  ?t1:float ->
+  (char * Pwl.t) list ->
+  string
+(** Render labelled waveforms on one voltage-vs-time grid; each waveform
+    is drawn with its character, later entries win collisions.  Axis
+    ranges default to the union of the inputs.
+    @raise Invalid_argument on an empty list. *)
+
+val xy :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  (float * float) list ->
+  string
+(** Scatter/line plot of one series, e.g. delay vs W/L.
+    @raise Invalid_argument with fewer than two points or non-positive
+    x-values under [logx]. *)

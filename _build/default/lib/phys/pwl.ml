@@ -1,0 +1,175 @@
+(* Waveforms are stored as parallel arrays for cache-friendly
+   interpolation; appends reallocate, which is fine because both simulators
+   build waveforms monotonically and then only read them. *)
+type t = { times : float array; values : float array }
+
+let check_finite t v =
+  if not (Float.is_finite t && Float.is_finite v) then
+    invalid_arg "Pwl: non-finite point"
+
+let create points =
+  match points with
+  | [] -> invalid_arg "Pwl.create: empty"
+  | _ ->
+    List.iter (fun (t, v) -> check_finite t v) points;
+    let sorted =
+      List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) points
+    in
+    (* keep the last value for duplicate times *)
+    let dedup =
+      List.fold_left
+        (fun acc (t, v) ->
+          match acc with
+          | (t0, _) :: rest when t0 = t -> (t, v) :: rest
+          | _ -> (t, v) :: acc)
+        [] sorted
+      |> List.rev
+    in
+    { times = Array.of_list (List.map fst dedup);
+      values = Array.of_list (List.map snd dedup) }
+
+let constant v = { times = [| 0.0 |]; values = [| v |] }
+let points w = Array.to_list (Array.map2 (fun t v -> (t, v)) w.times w.values)
+
+(* Index of the last breakpoint with time <= t, or -1. *)
+let locate w t =
+  let n = Array.length w.times in
+  if t < w.times.(0) then -1
+  else if t >= w.times.(n - 1) then n - 1
+  else
+    let rec search lo hi =
+      (* invariant: times.(lo) <= t < times.(hi) *)
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if w.times.(mid) <= t then search mid hi else search lo mid
+    in
+    search 0 (n - 1)
+
+let value_at w t =
+  let n = Array.length w.times in
+  let i = locate w t in
+  if i < 0 then w.values.(0)
+  else if i >= n - 1 then w.values.(n - 1)
+  else
+    let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+    let v0 = w.values.(i) and v1 = w.values.(i + 1) in
+    v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+
+let append w t v =
+  check_finite t v;
+  let n = Array.length w.times in
+  if t <= w.times.(n - 1) then
+    invalid_arg "Pwl.append: time not increasing";
+  { times = Array.append w.times [| t |];
+    values = Array.append w.values [| v |] }
+
+let segment_crossing t0 v0 t1 v1 ~level ~rising =
+  let crosses =
+    if rising then v0 < level && v1 >= level
+    else v0 > level && v1 <= level
+  in
+  if not crosses then None
+  else if v1 = v0 then Some t0
+  else Some (t0 +. ((level -. v0) *. (t1 -. t0) /. (v1 -. v0)))
+
+let first_crossing ?after w ~level ~rising =
+  let n = Array.length w.times in
+  let after = match after with Some a -> a | None -> w.times.(0) in
+  let rec scan i =
+    if i >= n - 1 then None
+    else
+      let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+      if t1 < after then scan (i + 1)
+      else
+        let v0 = value_at w (Float.max t0 after) in
+        let ts = Float.max t0 after in
+        match segment_crossing ts v0 t1 w.values.(i + 1) ~level ~rising with
+        | Some t when t >= after -> Some t
+        | Some _ | None -> scan (i + 1)
+  in
+  scan 0
+
+let crossings w ~level =
+  let n = Array.length w.times in
+  let acc = ref [] in
+  for i = 0 to n - 2 do
+    let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+    let v0 = w.values.(i) and v1 = w.values.(i + 1) in
+    (match segment_crossing t0 v0 t1 v1 ~level ~rising:true with
+     | Some t -> acc := (t, true) :: !acc
+     | None -> ());
+    (match segment_crossing t0 v0 t1 v1 ~level ~rising:false with
+     | Some t -> acc := (t, false) :: !acc
+     | None -> ())
+  done;
+  List.sort (fun (t1, _) (t2, _) -> compare t1 t2) (List.rev !acc)
+
+let shift w dt =
+  { w with times = Array.map (fun t -> t +. dt) w.times }
+
+let map f w = { w with values = Array.map f w.values }
+
+let sub a b =
+  let all = Array.append a.times b.times in
+  Array.sort compare all;
+  let pts = ref [] in
+  let last = ref neg_infinity in
+  Array.iter
+    (fun t ->
+      if t > !last then begin
+        last := t;
+        pts := (t, value_at a t -. value_at b t) :: !pts
+      end)
+    all;
+  create (List.rev !pts)
+
+let extrema w =
+  Array.fold_left
+    (fun (mn, mx) v -> (Float.min mn v, Float.max mx v))
+    (w.values.(0), w.values.(0))
+    w.values
+
+let duration w =
+  let n = Array.length w.times in
+  (w.times.(0), w.times.(n - 1))
+
+let sample w ~t0 ~t1 ~n =
+  if n < 2 then invalid_arg "Pwl.sample: n must be >= 2";
+  Array.init n (fun i ->
+      let t = t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (n - 1)) in
+      (t, value_at w t))
+
+let settle_time w ~target ~tolerance ~after =
+  let n = Array.length w.times in
+  let inside v = Float.abs (v -. target) <= tolerance in
+  (* scan backwards for the last departure from the band *)
+  let rec last_departure i acc =
+    if i < 0 then acc
+    else
+      let t0 = if i = 0 then w.times.(0) else w.times.(i - 1) in
+      let v0 = if i = 0 then w.values.(0) else w.values.(i - 1) in
+      let t1 = w.times.(i) and v1 = w.values.(i) in
+      if inside v0 && inside v1 then last_departure (i - 1) acc
+      else if inside v1 then
+        (* entered the band during this segment: crossing toward target *)
+        let level =
+          if v0 > target then target +. tolerance else target -. tolerance
+        in
+        let rising = v0 < level in
+        (match segment_crossing t0 v0 t1 v1 ~level ~rising with
+         | Some t -> Some t
+         | None -> Some t1)
+      else Some infinity
+  in
+  if not (inside w.values.(n - 1)) then None
+  else
+    match last_departure (n - 1) None with
+    | Some t when t = infinity -> None
+    | Some t -> Some (Float.max t after)
+    | None -> Some (Float.max w.times.(0) after)
+
+let l2_distance a b ~t0 ~t1 ~n =
+  let pts = sample (sub a b) ~t0 ~t1 ~n in
+  let acc = Array.fold_left (fun s (_, d) -> s +. (d *. d)) 0.0 pts in
+  sqrt (acc /. float_of_int n)

@@ -1,0 +1,75 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let mean = Float_utils.sum xs /. float_of_int n in
+  let var =
+    Float_utils.sum (Array.map (fun x -> (x -. mean) ** 2.0) xs)
+    /. float_of_int n
+  in
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  { n; mean; stddev = sqrt var; min = mn; max = mx;
+    median = percentile xs 50.0 }
+
+let correlation xs ys =
+  let n = Array.length xs in
+  if n = 0 || n <> Array.length ys then
+    invalid_arg "Stats.correlation: bad lengths";
+  let mx = Float_utils.sum xs /. float_of_int n in
+  let my = Float_utils.sum ys /. float_of_int n in
+  let num = ref 0.0 and dx2 = ref 0.0 and dy2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    num := !num +. (dx *. dy);
+    dx2 := !dx2 +. (dx *. dx);
+    dy2 := !dy2 +. (dy *. dy)
+  done;
+  if !dx2 = 0.0 || !dy2 = 0.0 then 0.0
+  else !num /. sqrt (!dx2 *. !dy2)
+
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare xs.(i) xs.(j)) idx;
+  let r = Array.make n 0.0 in
+  (* average ranks over ties *)
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n - 1 && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let rank_correlation xs ys = correlation (ranks xs) (ranks ys)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g"
+    s.n s.mean s.stddev s.min s.median s.max

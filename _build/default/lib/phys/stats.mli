@@ -1,0 +1,28 @@
+(** Summary statistics for experiment reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0, 100], linear interpolation between
+    order statistics.  @raise Invalid_argument on an empty array. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient.
+    @raise Invalid_argument on mismatched or empty arrays. *)
+
+val rank_correlation : float array -> float array -> float
+(** Spearman rank correlation — used to check that the switch-level
+    simulator orders input vectors the same way as the SPICE substrate
+    (the paper's Fig. 14 claim is about trend, not absolute value). *)
+
+val pp_summary : Format.formatter -> summary -> unit

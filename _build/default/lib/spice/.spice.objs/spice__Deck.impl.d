@@ -1,0 +1,1 @@
+lib/spice/deck.ml: Array Buffer Device Fun List Netlist Phys Printf String

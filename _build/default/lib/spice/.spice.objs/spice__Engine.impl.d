@@ -1,0 +1,1 @@
+lib/spice/engine.ml: Array Device Float Hashtbl La List Mna Netlist Phys Printf Sys

@@ -1,0 +1,1 @@
+lib/spice/engine.mli: Mna Netlist Phys

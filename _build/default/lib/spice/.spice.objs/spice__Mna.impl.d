@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array Device La List Netlist Phys

@@ -1,0 +1,101 @@
+module T = Netlist.Transistor
+
+let model_name params used =
+  (* stable name per distinct parameter card *)
+  match List.assq_opt params !used with
+  | Some name -> name
+  | None ->
+    let prefix =
+      match params.Device.Mosfet.polarity with
+      | Device.Mosfet.Nmos -> "nmos"
+      | Device.Mosfet.Pmos -> "pmos"
+    in
+    let name = Printf.sprintf "%s_%d" prefix (List.length !used) in
+    used := (params, name) :: !used;
+    name
+
+let node_ref netlist n =
+  if n = T.ground then "0" else T.node_name netlist n
+
+let pwl_spec wave =
+  match Phys.Pwl.points wave with
+  | [ (_, v) ] -> Printf.sprintf "DC %.6g" v
+  | pts ->
+    let body =
+      String.concat " "
+        (List.map (fun (t, v) -> Printf.sprintf "%.6g %.6g" t v) pts)
+    in
+    Printf.sprintf "PWL(%s)" body
+
+let to_deck ?(title = "mtcmos-sizing export") ?t_stop netlist =
+  let buf = Buffer.create 4096 in
+  let models = ref [] in
+  Buffer.add_string buf ("* " ^ title ^ "\n");
+  let m = ref 0 and c = ref 0 and r = ref 0 and v = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | T.Mos { params; wl; drain; gate; source; body } ->
+        incr m;
+        let model = model_name params models in
+        (* W/L expressed with L = 1u so W = wl in microns *)
+        Buffer.add_string buf
+          (Printf.sprintf "M%d %s %s %s %s %s W=%.4gu L=1u\n" !m
+             (node_ref netlist drain) (node_ref netlist gate)
+             (node_ref netlist source) (node_ref netlist body) model wl)
+      | T.Cap { pos; neg; c = cap } ->
+        incr c;
+        Buffer.add_string buf
+          (Printf.sprintf "C%d %s %s %.6g\n" !c (node_ref netlist pos)
+             (node_ref netlist neg) cap)
+      | T.Res { pos; neg; r = res } ->
+        incr r;
+        Buffer.add_string buf
+          (Printf.sprintf "R%d %s %s %.6g\n" !r (node_ref netlist pos)
+             (node_ref netlist neg) res)
+      | T.Vsrc { pos; neg; wave } ->
+        incr v;
+        Buffer.add_string buf
+          (Printf.sprintf "V%d %s %s %s\n" !v (node_ref netlist pos)
+             (node_ref netlist neg) (pwl_spec wave)))
+    (T.elements netlist);
+  List.iter
+    (fun (params, name) ->
+      let p = params in
+      Buffer.add_string buf
+        (Printf.sprintf
+           ".MODEL %s %s (LEVEL=1 VTO=%.4g KP=%.4g GAMMA=%.4g PHI=%.4g \
+            LAMBDA=%.4g)\n"
+           name
+           (match p.Device.Mosfet.polarity with
+            | Device.Mosfet.Nmos -> "NMOS"
+            | Device.Mosfet.Pmos -> "PMOS")
+           (match p.Device.Mosfet.polarity with
+            | Device.Mosfet.Nmos -> p.Device.Mosfet.vt0
+            | Device.Mosfet.Pmos -> -.p.Device.Mosfet.vt0)
+           p.Device.Mosfet.kp p.Device.Mosfet.gamma p.Device.Mosfet.phi
+           p.Device.Mosfet.lambda))
+    (List.rev !models);
+  (match t_stop with
+   | Some t ->
+     Buffer.add_string buf
+       (Printf.sprintf ".TRAN %.4g %.4g\n" (t /. 1000.0) t)
+   | None -> ());
+  (* print every named node *)
+  let printed = ref [] in
+  for n = 1 to T.num_nodes netlist - 1 do
+    let name = T.node_name netlist n in
+    if not (String.length name > 4 && String.sub name 0 4 = "node") then
+      printed := Printf.sprintf "V(%s)" name :: !printed
+  done;
+  if !printed <> [] then
+    Buffer.add_string buf
+      (".PRINT TRAN " ^ String.concat " " (List.rev !printed) ^ "\n");
+  Buffer.add_string buf ".END\n";
+  Buffer.contents buf
+
+let write_deck ?title ?t_stop ~path netlist =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_deck ?title ?t_stop netlist))

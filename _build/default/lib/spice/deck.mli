@@ -1,0 +1,16 @@
+(** SPICE-deck export: emit a transistor netlist as a standard [.sp]
+    file (Level-1 models, PWL sources) so results can be cross-checked
+    in any external SPICE — the workflow the paper prescribes ("the
+    designer could then use a more detailed simulator like SPICE to
+    verify circuit details"). *)
+
+val to_deck :
+  ?title:string -> ?t_stop:float -> Netlist.Transistor.t -> string
+(** Render the netlist.  Includes one [.MODEL] card per distinct device
+    card, a [.TRAN] line when [t_stop] is given, and [.PRINT] of every
+    named node. *)
+
+val write_deck :
+  ?title:string -> ?t_stop:float -> path:string -> Netlist.Transistor.t ->
+  unit
+(** [to_deck] straight to a file. *)

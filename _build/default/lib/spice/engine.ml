@@ -1,0 +1,367 @@
+type t = {
+  sys : Mna.system;
+  matrix : La.Sparse.matrix;
+  rhs : float array;
+}
+
+exception No_convergence of string
+
+type integration = Backward_euler | Trapezoidal
+
+let prepare netlist =
+  let sys = Mna.prepare netlist in
+  { sys;
+    matrix = La.Sparse.create_matrix sys.Mna.pattern;
+    rhs = Array.make sys.Mna.n_unknowns 0.0 }
+
+let system t = t.sys
+
+(* Per-capacitor dynamic state for the integration companions. *)
+type cap_state = {
+  v_prev : float array; (* voltage across each cap at the last step *)
+  i_prev : float array; (* current through each cap at the last step *)
+}
+
+let cap_voltage (c : Mna.two_pin) x =
+  let va = if c.Mna.ua >= 0 then x.(c.Mna.ua) else 0.0 in
+  let vb = if c.Mna.ub2 >= 0 then x.(c.Mna.ub2) else 0.0 in
+  va -. vb
+
+let stamp m slot v = if slot >= 0 then m.La.Sparse.values.(slot) <- m.La.Sparse.values.(slot) +. v
+
+let add_rhs rhs u v = if u >= 0 then rhs.(u) <- rhs.(u) +. v
+
+(* Assemble J and b = J x - F for the trial point [x].  [cap] = None in
+   DC mode.  [src_scale] scales every source value (source stepping). *)
+let assemble t ~x ~gmin ~time ~src_scale
+    ~(cap : (integration * float * cap_state) option) =
+  let m = t.matrix and rhs = t.rhs and sys = t.sys in
+  La.Sparse.clear m;
+  Array.fill rhs 0 (Array.length rhs) 0.0;
+  (* gmin to ground on every node unknown *)
+  Array.iter (fun s -> m.La.Sparse.values.(s) <- m.La.Sparse.values.(s) +. gmin)
+    sys.Mna.gmin_slots;
+  let vat u = if u >= 0 then x.(u) else 0.0 in
+  let cap_index = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Mna.P_res r ->
+        let g = r.Mna.value in
+        stamp m r.Mna.saa g;
+        stamp m r.Mna.sbb g;
+        stamp m r.Mna.sab (-.g);
+        stamp m r.Mna.sba (-.g)
+      | Mna.P_cap c ->
+        let k = !cap_index in
+        incr cap_index;
+        (match cap with
+         | None -> ()
+         | Some (integ, h, st) ->
+           let cv = c.Mna.value in
+           (match integ with
+            | Backward_euler ->
+              let geq = cv /. h in
+              let ieq = geq *. st.v_prev.(k) in
+              stamp m c.Mna.saa geq;
+              stamp m c.Mna.sbb geq;
+              stamp m c.Mna.sab (-.geq);
+              stamp m c.Mna.sba (-.geq);
+              add_rhs rhs c.Mna.ua ieq;
+              add_rhs rhs c.Mna.ub2 (-.ieq)
+            | Trapezoidal ->
+              let geq = 2.0 *. cv /. h in
+              let ieq = (geq *. st.v_prev.(k)) +. st.i_prev.(k) in
+              stamp m c.Mna.saa geq;
+              stamp m c.Mna.sbb geq;
+              stamp m c.Mna.sab (-.geq);
+              stamp m c.Mna.sba (-.geq);
+              add_rhs rhs c.Mna.ua ieq;
+              add_rhs rhs c.Mna.ub2 (-.ieq)))
+      | Mna.P_vsrc v ->
+        stamp m v.Mna.spb 1.0;
+        stamp m v.Mna.snb (-1.0);
+        stamp m v.Mna.sbp 1.0;
+        stamp m v.Mna.sbn (-1.0);
+        (* tiny source resistance regularises the otherwise zero branch
+           diagonal: the LU runs without pivoting *)
+        La.Sparse.add_to m v.Mna.ubr v.Mna.ubr 1e-9;
+        rhs.(v.Mna.ubr) <-
+          rhs.(v.Mna.ubr)
+          +. (src_scale *. Phys.Pwl.value_at v.Mna.wave time)
+      | Mna.P_mos d ->
+        let vd = vat d.Mna.ud and vg = vat d.Mna.ug in
+        let vs = vat d.Mna.us and vb = vat d.Mna.ub in
+        let bias =
+          { Device.Mosfet.vgs = vg -. vs; vds = vd -. vs; vbs = vb -. vs }
+        in
+        let op = Device.Mosfet.eval d.Mna.params ~wl:d.Mna.wl bias in
+        let gm = op.Device.Mosfet.gm
+        and gds = op.Device.Mosfet.gds
+        and gmb = op.Device.Mosfet.gmb in
+        let gs = -.(gm +. gds +. gmb) in
+        (* linearised current: ids ~ ieq + gm vgs + gds vds + gmb vbs *)
+        let ieq =
+          op.Device.Mosfet.ids
+          -. (gm *. bias.Device.Mosfet.vgs)
+          -. (gds *. bias.Device.Mosfet.vds)
+          -. (gmb *. bias.Device.Mosfet.vbs)
+        in
+        stamp m d.Mna.sdd gds;
+        stamp m d.Mna.sdg gm;
+        stamp m d.Mna.sdb gmb;
+        stamp m d.Mna.sds gs;
+        stamp m d.Mna.ssd (-.gds);
+        stamp m d.Mna.ssg (-.gm);
+        stamp m d.Mna.ssb (-.gmb);
+        stamp m d.Mna.sss (-.gs);
+        add_rhs rhs d.Mna.ud (-.ieq);
+        add_rhs rhs d.Mna.us ieq)
+    sys.Mna.elems
+
+let v_limit = 0.5
+
+(* One Newton solve at fixed time/companion state.  Returns the solution
+   or None. *)
+let debug = Sys.getenv_opt "SPICE_DEBUG" <> None
+
+let newton_solve ?(src_scale = 1.0) t ~x0 ~gmin ~time ~cap ~max_iter
+    ~counter =
+  let n = t.sys.Mna.n_unknowns in
+  let nn = t.sys.Mna.n_node_unknowns in
+  let x = Array.copy x0 in
+  let prev_delta = ref infinity in
+  let rec loop iter =
+    if iter >= max_iter then None
+    else begin
+      incr counter;
+      assemble t ~x ~gmin ~time ~src_scale ~cap;
+      match La.Sparse.factor t.sys.Mna.symbolic t.matrix with
+      | exception La.Sparse.Singular _ -> None
+      | num ->
+        let x_new = La.Sparse.solve num t.rhs in
+        (* one pass of iterative refinement cleans up pivot noise from the
+           static (non-pivoted) factorisation *)
+        let x_new =
+          let ax = La.Sparse.mul_vec t.matrix x_new in
+          let r = Array.mapi (fun i b -> b -. ax.(i)) t.rhs in
+          let dx = La.Sparse.solve num r in
+          Array.mapi (fun i v -> v +. dx.(i)) x_new
+        in
+        let ok = ref true in
+        let delta = ref 0.0 in
+        for i = 0 to n - 1 do
+          if not (Float.is_finite x_new.(i)) then ok := false
+        done;
+        if not !ok then None
+        else begin
+          (* voltage limiting on node unknowns *)
+          for i = 0 to nn - 1 do
+            let d = x_new.(i) -. x.(i) in
+            let d_lim = Phys.Float_utils.clamp ~lo:(-.v_limit) ~hi:v_limit d in
+            delta := Float.max !delta (Float.abs d);
+            x.(i) <- x.(i) +. d_lim
+          done;
+          for i = nn to n - 1 do
+            x.(i) <- x_new.(i)
+          done;
+          if debug && iter > max_iter - 6 then
+            Printf.eprintf "  newton iter %d t=%.6g delta=%.3g\n" iter time
+              !delta;
+          (* converged, or stalled in a sub-10uV limit cycle at a model
+             region boundary (SPICE's vntol-style acceptance) *)
+          let stalled =
+            !delta < 1e-5 && Float.abs (!delta -. !prev_delta) < 1e-10
+          in
+          prev_delta := !delta;
+          if !delta < 1e-6 || stalled then Some x else loop (iter + 1)
+        end
+    end
+  in
+  loop 0
+
+let dc ?(time = 0.0) ?x0 t =
+  let n = t.sys.Mna.n_unknowns in
+  let counter = ref 0 in
+  let start =
+    match x0 with
+    | Some v when Array.length v = n -> Array.copy v
+    | Some _ | None -> Array.make n 0.0
+  in
+  let direct =
+    newton_solve t ~x0:start ~gmin:1e-12 ~time ~cap:None ~max_iter:150
+      ~counter
+  in
+  match direct with
+  | Some x -> x
+  | None ->
+    (* gmin stepping, warm-started from the supplied guess *)
+    let gmin_ladder x =
+      let rec step gmin x =
+        if gmin < 1e-12 then
+          newton_solve t ~x0:x ~gmin:1e-12 ~time ~cap:None ~max_iter:200
+            ~counter
+        else
+          match
+            newton_solve t ~x0:x ~gmin ~time ~cap:None ~max_iter:200
+              ~counter
+          with
+          | Some x' -> step (gmin /. 10.0) x'
+          | None -> None
+      in
+      step 1e-3 x
+    in
+    (match gmin_ladder (Array.copy start) with
+     | Some x -> x
+     | None ->
+       (* source stepping: ramp every source from zero *)
+       let rec ramp scale x =
+         if scale > 1.0 then Some x
+         else
+           match
+             newton_solve ~src_scale:scale t ~x0:x ~gmin:1e-10 ~time
+               ~cap:None ~max_iter:250 ~counter
+           with
+           | Some x' -> ramp (scale +. 0.1) x'
+           | None -> None
+       in
+       (match ramp 0.1 (Array.make n 0.0) with
+        | Some x ->
+          (match
+             newton_solve t ~x0:x ~gmin:1e-12 ~time ~cap:None ~max_iter:250
+               ~counter
+           with
+           | Some x -> x
+           | None -> raise (No_convergence "dc: final polish failed"))
+        | None -> raise (No_convergence "dc: source stepping failed")))
+
+let initial_guess t assignments =
+  let x = Array.make t.sys.Mna.n_unknowns 0.0 in
+  List.iter
+    (fun (node, v) ->
+      let u = t.sys.Mna.unknown_of_node.(node) in
+      if u >= 0 then x.(u) <- v)
+    assignments;
+  x
+
+let voltage t x node = Mna.voltage_of t.sys x node
+
+type record = All | Nodes of Netlist.Transistor.node list
+
+type result = {
+  recorded : (Netlist.Transistor.node, (float * float) list ref) Hashtbl.t;
+  netlist : Netlist.Transistor.t;
+  mutable final_x : float array;
+  mutable n_steps : int;
+  mutable n_newton : int;
+}
+
+let transient ?(integration = Backward_euler) ?dt ?(record = All)
+    ?(max_newton = 40) ?x0 ?(uic = false) ?(adaptive = false) t ~t_stop =
+  if t_stop <= 0.0 then invalid_arg "Engine.transient: t_stop <= 0";
+  let dt = match dt with Some d -> d | None -> t_stop /. 2000.0 in
+  if dt <= 0.0 then invalid_arg "Engine.transient: dt <= 0";
+  let sys = t.sys in
+  let counter = ref 0 in
+  (* [uic]: trust the caller's initial condition (SPICE's .tran UIC) and
+     let the L-stable integrator settle it; otherwise solve the true
+     operating point *)
+  let x =
+    ref
+      (match (uic, x0) with
+       | true, Some v when Array.length v = sys.Mna.n_unknowns ->
+         Array.copy v
+       | true, (Some _ | None) -> Array.make sys.Mna.n_unknowns 0.0
+       | false, _ -> dc ~time:0.0 ?x0 t)
+  in
+  let caps = sys.Mna.caps in
+  let ncap = Array.length caps in
+  let st =
+    { v_prev = Array.init ncap (fun k -> cap_voltage caps.(k) !x);
+      i_prev = Array.make ncap 0.0 }
+  in
+  let nodes_to_record =
+    match record with
+    | All ->
+      List.init (Netlist.Transistor.num_nodes sys.Mna.netlist) (fun i -> i)
+    | Nodes l -> List.sort_uniq compare l
+  in
+  let recorded = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace recorded n (ref [])) nodes_to_record;
+  let sample time =
+    List.iter
+      (fun n ->
+        let cell = Hashtbl.find recorded n in
+        cell := (time, Mna.voltage_of sys !x n) :: !cell)
+      nodes_to_record
+  in
+  sample 0.0;
+  let res =
+    { recorded; netlist = sys.Mna.netlist; final_x = !x; n_steps = 0;
+      n_newton = 0 }
+  in
+  let time = ref 0.0 in
+  (* dt control: with [adaptive], grow the step while Newton converges
+     easily and shrink it when iterations pile up (SPICE's iteration-count
+     heuristic); bounded to [dt/16, 8*dt] around the nominal step *)
+  let dt_now = ref dt in
+  let dt_min = dt /. 16.0 and dt_max = 8.0 *. dt in
+  while !time < t_stop -. (dt_min *. 1e-6) do
+    (* try the current step, halving on failure *)
+    let rec attempt h depth =
+      if depth > 14 then
+        raise
+          (No_convergence
+             (Printf.sprintf "transient: step at t=%.4g failed" !time));
+      let t_next = Float.min (!time +. h) t_stop in
+      let h_eff = t_next -. !time in
+      let before = !counter in
+      match
+        newton_solve t ~x0:!x ~gmin:1e-12 ~time:t_next
+          ~cap:(Some (integration, h_eff, st))
+          ~max_iter:max_newton ~counter
+      with
+      | Some x' -> (x', t_next, h_eff, !counter - before)
+      | None -> attempt (h /. 2.0) (depth + 1)
+    in
+    let x', t_next, h_eff, iters = attempt !dt_now 0 in
+    if adaptive then begin
+      if iters <= 8 then
+        dt_now := Float.min dt_max (!dt_now *. 1.3)
+      else if iters > 16 then
+        dt_now := Float.max dt_min (!dt_now /. 2.0)
+    end;
+    (* update companion state *)
+    for k = 0 to ncap - 1 do
+      let v_new = cap_voltage caps.(k) x' in
+      let i_new =
+        match integration with
+        | Backward_euler ->
+          caps.(k).Mna.value /. h_eff *. (v_new -. st.v_prev.(k))
+        | Trapezoidal ->
+          (2.0 *. caps.(k).Mna.value /. h_eff *. (v_new -. st.v_prev.(k)))
+          -. st.i_prev.(k)
+      in
+      st.v_prev.(k) <- v_new;
+      st.i_prev.(k) <- i_new
+    done;
+    x := x';
+    time := t_next;
+    res.n_steps <- res.n_steps + 1;
+    sample !time
+  done;
+  res.final_x <- !x;
+  res.n_newton <- !counter;
+  res
+
+let waveform res node =
+  match Hashtbl.find_opt res.recorded node with
+  | Some cell -> Phys.Pwl.create (List.rev !cell)
+  | None -> raise Not_found
+
+let waveform_named res name =
+  waveform res (Netlist.Transistor.find_node res.netlist name)
+
+let final_solution res = res.final_x
+let steps_taken res = res.n_steps
+let newton_iterations res = res.n_newton

@@ -1,0 +1,67 @@
+(** DC and transient analysis — the repo's SPICE substitute.
+
+    Newton–Raphson over the MNA system with per-step voltage limiting,
+    gmin stepping for hard DC points, and backward-Euler or trapezoidal
+    integration for transients with automatic step halving on
+    non-convergence. *)
+
+type t
+(** A prepared simulation context (pattern, symbolic LU, stamp slots). *)
+
+val prepare : Netlist.Transistor.t -> t
+
+val system : t -> Mna.system
+
+exception No_convergence of string
+
+type integration = Backward_euler | Trapezoidal
+
+val dc : ?time:float -> ?x0:float array -> t -> float array
+(** Operating point with the sources evaluated at [time] (default 0).
+    [x0] seeds the Newton iteration (see {!initial_guess}); gmin stepping
+    and source stepping are tried in turn on failure.
+    @raise No_convergence when every strategy fails. *)
+
+val initial_guess :
+  t -> (Netlist.Transistor.node * float) list -> float array
+(** Build a DC seed vector from per-node voltage hints (e.g. the
+    logic-simulator steady state). *)
+
+val voltage : t -> float array -> Netlist.Transistor.node -> float
+
+type record = All | Nodes of Netlist.Transistor.node list
+
+type result
+
+val transient :
+  ?integration:integration ->
+  ?dt:float ->
+  ?record:record ->
+  ?max_newton:int ->
+  ?x0:float array ->
+  ?uic:bool ->
+  ?adaptive:bool ->
+  t ->
+  t_stop:float ->
+  result
+(** Simulate from a [dc] initial condition at [t = 0] to [t_stop].
+    [dt] defaults to [t_stop /. 2000.]; [x0] seeds the DC solve.  With
+    [uic] (default false) the DC solve is skipped entirely and [x0] is
+    taken as the initial state — the integrator settles any
+    inconsistency within a few steps, which is how very large blocks
+    whose cold DC diverges are simulated.  With [adaptive] (default
+    false) the step size floats in [dt/16, 8*dt] on a Newton-iteration-
+    count heuristic, trading exact step placement for speed.  Only
+    recorded nodes (default [All]) can be read back with {!waveform}.
+    @raise No_convergence when a step fails even after deep halving. *)
+
+val waveform : result -> Netlist.Transistor.node -> Phys.Pwl.t
+(** @raise Not_found for a node that was not recorded. *)
+
+val waveform_named : result -> string -> Phys.Pwl.t
+(** Look a node up by name first. *)
+
+val final_solution : result -> float array
+val steps_taken : result -> int
+val newton_iterations : result -> int
+(** Total Newton iterations over the run (performance accounting). *)

@@ -1,0 +1,26 @@
+(** Delay and waveform measurements shared by the experiment harness. *)
+
+val crossing_time :
+  Phys.Pwl.t -> level:float -> rising:bool -> after:float -> float option
+(** First crossing of [level] in the given direction at or after
+    [after]. *)
+
+val propagation_delay :
+  vin:Phys.Pwl.t ->
+  vout:Phys.Pwl.t ->
+  vdd:float ->
+  in_rising:bool ->
+  out_rising:bool ->
+  float option
+(** 50 %-to-50 % propagation delay between the input edge and the
+    {e last} matching output crossing (glitches before the final
+    settling are skipped, as the paper does when quoting a single
+    delay per transition). *)
+
+val peak_value : Phys.Pwl.t -> between:float * float -> float
+(** Maximum sampled value over a window. *)
+
+val peak_current_through_cap :
+  Phys.Pwl.t -> c:float -> window:float * float -> n:int -> float
+(** Max |C dV/dt| over the window: the discharge-current probe used by
+    the peak-current sizing baseline of §4. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Circuits Device Float Format Lazy List Mtcmos Netlist Phys Printf QCheck QCheck_alcotest Spice String

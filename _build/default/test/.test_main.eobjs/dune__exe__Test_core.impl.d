@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Circuits Device Float List Mtcmos Netlist Phys QCheck QCheck_alcotest Seq

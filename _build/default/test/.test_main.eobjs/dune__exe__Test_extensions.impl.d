@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuits Device Float List Mtcmos Netlist Phys Printf Spice String

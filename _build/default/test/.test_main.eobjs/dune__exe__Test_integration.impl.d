@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Circuits Device List Mtcmos Netlist Phys Printf Spice

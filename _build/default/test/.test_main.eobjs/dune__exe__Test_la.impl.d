@@ -1,0 +1,1 @@
+test/test_la.ml: Alcotest Array Float La List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logic_sim.ml: Alcotest Array Circuits Device List Mtcmos Netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Circuits Device List Netlist Phys QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_phys.ml: Alcotest Array Float Gen List Phys QCheck QCheck_alcotest String

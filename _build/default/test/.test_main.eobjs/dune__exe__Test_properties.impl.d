@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Circuits Device Float Gen List Mtcmos Netlist Phys QCheck QCheck_alcotest Spice String

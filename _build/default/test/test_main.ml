@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "mtcmos-sizing"
+    [ ("phys", Test_phys.suite);
+      ("la", Test_la.suite);
+      ("device", Test_device.suite);
+      ("netlist", Test_netlist.suite);
+      ("logic-sim", Test_logic_sim.suite);
+      ("spice", Test_spice.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("analysis", Test_analysis.suite);
+      ("properties", Test_properties.suite);
+      ("integration", Test_integration.suite) ]

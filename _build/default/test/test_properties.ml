@@ -1,0 +1,175 @@
+(* Additional property tests across module boundaries. *)
+
+module BP = Mtcmos.Breakpoint_sim
+module S = Netlist.Signal
+
+let tech = Device.Tech.mtcmos_07um
+
+let prop_pwl_crossings_alternate =
+  QCheck.Test.make ~count:200
+    ~name:"pwl: crossings of one level alternate in direction"
+    QCheck.(list_of_size Gen.(int_range 2 20) (float_range (-2.0) 2.0))
+    (fun vs ->
+      let pts = List.mapi (fun i v -> (float_of_int i, v)) vs in
+      let w = Phys.Pwl.create pts in
+      let crossings = Phys.Pwl.crossings w ~level:0.25 in
+      let rec alternates = function
+        | (_, d1) :: ((_, d2) :: _ as rest) ->
+          d1 <> d2 && alternates rest
+        | [ _ ] | [] -> true
+      in
+      (* degenerate touches at exactly the level can repeat a direction;
+         filter exact-level endpoints out of scope *)
+      QCheck.assume (List.for_all (fun v -> Float.abs (v -. 0.25) > 1e-9) vs);
+      alternates crossings)
+
+let prop_pwl_sub_is_linear =
+  QCheck.Test.make ~count:200 ~name:"pwl: (a - b) + b = a at sample points"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 10)
+           (pair (float_bound_exclusive 10.0) (float_range (-3.0) 3.0)))
+        (list_of_size Gen.(int_range 1 10)
+           (pair (float_bound_exclusive 10.0) (float_range (-3.0) 3.0))))
+    (fun (pa, pb) ->
+      QCheck.assume (pa <> [] && pb <> []);
+      let a = Phys.Pwl.create pa and b = Phys.Pwl.create pb in
+      let d = Phys.Pwl.sub a b in
+      List.for_all
+        (fun t ->
+          Float.abs
+            (Phys.Pwl.value_at d t +. Phys.Pwl.value_at b t
+             -. Phys.Pwl.value_at a t)
+          < 1e-9)
+        [ 0.0; 2.5; 5.0; 9.9 ])
+
+let prop_vground_current_conservation =
+  let cfg = Mtcmos.Vground.config tech in
+  QCheck.Test.make ~count:150
+    ~name:"vground: solver satisfies KCL at the equilibrium"
+    QCheck.(pair (float_range 50.0 50000.0)
+              (list_of_size Gen.(int_range 1 12) (float_range 0.5 6.0)))
+    (fun (r, wls) ->
+      let gates =
+        List.map (fun wl -> { Mtcmos.Vground.beta_wl = wl; vin = 1.2 }) wls
+      in
+      let vx = Mtcmos.Vground.solve_resistor cfg ~r gates in
+      let i_gates = Mtcmos.Vground.total_current cfg ~vx gates in
+      Float.abs ((vx /. r) -. i_gates) <= 1e-6 *. (1.0 +. i_gates))
+
+let prop_search_flipbit_involution =
+  (* two flips of the same bit restore the assignment: exercised through
+     the public hill climb by checking determinism across seeds *)
+  QCheck.Test.make ~count:20 ~name:"search: scores never regress vs start"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let add = Circuits.Ripple_adder.make tech ~bits:2 in
+      let c = add.Circuits.Ripple_adder.circuit in
+      let sleep =
+        BP.Sleep_fet
+          (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl:8.0 ~vdd:1.2)
+      in
+      let o =
+        Mtcmos.Search.hill_climb ~seed ~restarts:1 ~max_iters:40 c ~sleep
+          ~widths:[ 2; 2 ] Mtcmos.Search.Max_vx
+      in
+      o.Mtcmos.Search.score
+      >= Mtcmos.Search.score c ~sleep Mtcmos.Search.Max_vx
+           o.Mtcmos.Search.pair
+         -. 1e-12)
+
+let prop_resize_idempotent =
+  QCheck.Test.make ~count:25 ~name:"resize: repair is a fixpoint"
+    QCheck.(int_bound 300)
+    (fun seed ->
+      let r = Circuits.Random_logic.make ~seed tech ~inputs:4 ~gates:15 in
+      let c = r.Circuits.Random_logic.circuit in
+      let rep1 = Mtcmos.Resize.fix_weak_drivers c in
+      let rep2 =
+        Mtcmos.Resize.fix_weak_drivers rep1.Mtcmos.Resize.circuit
+      in
+      rep2.Mtcmos.Resize.upsized = [])
+
+let prop_sequence_vx_bounded =
+  QCheck.Test.make ~count:25 ~name:"sequence: workload rails stay in [0,vdd]"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let add = Circuits.Ripple_adder.make tech ~bits:2 in
+      let c = add.Circuits.Ripple_adder.circuit in
+      let vectors =
+        Mtcmos.Sequence.random_workload ~seed ~widths:[ 2; 2 ] 6
+      in
+      let r =
+        Mtcmos.Sequence.run ~config:(BP.mtcmos_config tech ~wl:8.0) c
+          ~period:5e-9 ~vectors
+      in
+      r.Mtcmos.Sequence.worst_vx >= 0.0
+      && r.Mtcmos.Sequence.worst_vx <= 1.2)
+
+let prop_deck_roundtrip_counts =
+  QCheck.Test.make ~count:20 ~name:"deck: element counts survive export"
+    QCheck.(int_bound 300)
+    (fun seed ->
+      let r = Circuits.Random_logic.make ~seed tech ~inputs:3 ~gates:8 in
+      let c = r.Circuits.Random_logic.circuit in
+      let stimuli =
+        Array.to_list
+          (Array.map
+             (fun n -> (n, Phys.Pwl.constant 0.0))
+             (Netlist.Circuit.inputs c))
+      in
+      let inst =
+        Netlist.Expand.expand ~config:(Netlist.Expand.mtcmos ~wl:5.0) c
+          ~stimuli
+      in
+      let deck = Spice.Deck.to_deck inst.Netlist.Expand.netlist in
+      let count prefix =
+        String.split_on_char '\n' deck
+        |> List.filter (fun l ->
+               String.length l > 1
+               && l.[0] = prefix
+               && l.[1] >= '0'
+               && l.[1] <= '9')
+        |> List.length
+      in
+      count 'M' = Netlist.Transistor.count inst.Netlist.Expand.netlist `Mos
+      && count 'C' = Netlist.Transistor.count inst.Netlist.Expand.netlist `Cap)
+
+let prop_parse_print_kind_names =
+  let kinds =
+    [ Netlist.Gate.Inv; Netlist.Gate.Buf; Netlist.Gate.Nand 2;
+      Netlist.Gate.Nand 5; Netlist.Gate.Nor 3; Netlist.Gate.And 4;
+      Netlist.Gate.Or 2; Netlist.Gate.Xor2; Netlist.Gate.Xnor2;
+      Netlist.Gate.Aoi21; Netlist.Gate.Oai21; Netlist.Gate.Carry_inv;
+      Netlist.Gate.Sum_inv ]
+  in
+  QCheck.Test.make ~count:(List.length kinds)
+    ~name:"parse: kind_of_string inverts Gate.name"
+    QCheck.(int_bound (List.length kinds - 1))
+    (fun i ->
+      let k = List.nth kinds i in
+      Netlist.Parse.kind_of_string (Netlist.Gate.name k) = Some k)
+
+let prop_hierarchy_blocks_cover =
+  QCheck.Test.make ~count:40 ~name:"hierarchy: by_level maps into range"
+    QCheck.(pair (int_bound 400) (int_range 1 5))
+    (fun (seed, blocks) ->
+      let r = Circuits.Random_logic.make ~seed tech ~inputs:4 ~gates:20 in
+      let c = r.Circuits.Random_logic.circuit in
+      let f = Mtcmos.Hierarchy.by_level c ~blocks in
+      Array.for_all
+        (fun (g : Netlist.Circuit.gate_inst) ->
+          let b = f g.Netlist.Circuit.id in
+          b >= 0 && b < blocks)
+        (Netlist.Circuit.gates c))
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_pwl_crossings_alternate;
+    QCheck_alcotest.to_alcotest prop_pwl_sub_is_linear;
+    QCheck_alcotest.to_alcotest prop_vground_current_conservation;
+    QCheck_alcotest.to_alcotest prop_search_flipbit_involution;
+    QCheck_alcotest.to_alcotest prop_resize_idempotent;
+    QCheck_alcotest.to_alcotest prop_sequence_vx_bounded;
+    QCheck_alcotest.to_alcotest prop_deck_roundtrip_counts;
+    QCheck_alcotest.to_alcotest prop_parse_print_kind_names;
+    QCheck_alcotest.to_alcotest prop_hierarchy_blocks_cover ]
