@@ -138,18 +138,45 @@ let or_die = function
     prerr_endline ("mtsize: " ^ e);
     exit 2
 
+(* Solver-effort cap: small budgets deliberately force the engine's
+   recovery ladder (or per-vector skips), which the resilience report
+   then accounts for. *)
+let newton_budget_term =
+  let doc =
+    "Cap the transistor-level engine's Newton iteration budget per \
+     solve.  Small values force recovery strategies or per-vector \
+     skips instead of aborting; the run ends with a resilience report. \
+     0 (default) keeps the engine's own budgets."
+  in
+  Arg.(value & opt int 0 & info [ "newton-budget" ] ~docv:"N" ~doc)
+
+let policy_of_budget n =
+  if n > 0 then
+    Some (Spice.Recover.with_newton_budget n Spice.Recover.default)
+  else if n < 0 then
+    or_die (Error (Printf.sprintf "--newton-budget %d: must be positive" n))
+  else None
+
+let print_resilience stats =
+  if stats.Mtcmos.Resilience.attempted > 0 then
+    Format.printf "%a@." Mtcmos.Resilience.pp_report stats
+
 (* ---- subcommands ---------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run tech_name circuit_name vectors wls spice =
+  let run tech_name circuit_name vectors wls spice budget =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let engine =
       if spice then Mtcmos.Sizing.Spice_level else Mtcmos.Sizing.Breakpoint
     in
+    let stats = Mtcmos.Resilience.create () in
+    let policy = policy_of_budget budget in
     Format.printf "%s: %a@." bc.name Netlist.Circuit.pp_stats bc.circuit;
-    Mtcmos.Sizing.sweep ~engine bc.circuit ~vectors:vecs ~wls
+    Mtcmos.Sizing.sweep ~stats ?policy ~engine bc.circuit ~vectors:vecs
+      ~wls
     |> List.iter (fun m ->
-           Format.printf "%a@." Mtcmos.Sizing.pp_measurement m)
+           Format.printf "%a@." Mtcmos.Sizing.pp_measurement m);
+    print_resilience stats
   in
   let wls_term =
     let doc = "Sleep W/L values to sweep." in
@@ -165,7 +192,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Delay and degradation versus sleep size")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wls_term
-          $ spice_term)
+          $ spice_term $ newton_budget_term)
 
 let size_cmd =
   let run tech_name circuit_name vectors target =
@@ -277,18 +304,20 @@ let simulate_cmd =
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term)
 
 let compare_cmd =
-  let run tech_name circuit_name vectors wl =
+  let run tech_name circuit_name vectors wl budget =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let bp =
       Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint bc.circuit
         ~vectors:vecs ~wl
     in
+    let stats = Mtcmos.Resilience.create () in
     let sp =
-      Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level bc.circuit
-        ~vectors:vecs ~wl
+      Mtcmos.Sizing.delay_at ~stats ?policy:(policy_of_budget budget)
+        ~engine:Mtcmos.Sizing.Spice_level bc.circuit ~vectors:vecs ~wl
     in
     Format.printf "switch-level:     %a@." Mtcmos.Sizing.pp_measurement bp;
-    Format.printf "transistor-level: %a@." Mtcmos.Sizing.pp_measurement sp
+    Format.printf "transistor-level: %a@." Mtcmos.Sizing.pp_measurement sp;
+    print_resilience stats
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -297,7 +326,8 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare the fast tool against the transistor-level engine")
-    Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term)
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term
+          $ newton_budget_term)
 
 let estimate_cmd =
   let run tech_name circuit_name vectors =
@@ -467,7 +497,7 @@ let lint_cmd =
     Term.(const run $ tech_term $ circuit_term)
 
 let search_cmd =
-  let run tech_name circuit_name wl restarts objective =
+  let run tech_name circuit_name wl restarts objective spice =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let sleep =
       Mtcmos.Breakpoint_sim.Sleep_fet
@@ -483,8 +513,12 @@ let search_cmd =
       | s -> Error (Printf.sprintf "unknown objective %S" s)
     in
     let objective = or_die objective in
+    let engine =
+      if spice then Mtcmos.Sizing.Spice_level else Mtcmos.Sizing.Breakpoint
+    in
+    let stats = Mtcmos.Resilience.create () in
     let o =
-      Mtcmos.Search.hill_climb ~restarts bc.circuit ~sleep
+      Mtcmos.Search.hill_climb ~restarts ~engine ~stats bc.circuit ~sleep
         ~widths:bc.widths objective
     in
     let fmt g =
@@ -493,7 +527,8 @@ let search_cmd =
     let before, after = o.Mtcmos.Search.pair in
     Format.printf "worst found: (%s)->(%s) score %.4g (%d evaluations)@."
       (fmt before) (fmt after) o.Mtcmos.Search.score
-      o.Mtcmos.Search.evaluations
+      o.Mtcmos.Search.evaluations;
+    print_resilience stats
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -508,11 +543,18 @@ let search_cmd =
     Arg.(value & opt string "degradation"
          & info [ "objective" ] ~docv:"OBJ" ~doc)
   in
+  let spice_term =
+    let doc =
+      "Score candidates with the transistor-level engine (slow); failed \
+       transients score 0 and are reported, not fatal."
+    in
+    Arg.(value & flag & info [ "spice" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Stochastic worst-vector hunt for unenumerable spaces")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ restarts_term
-          $ objective_term)
+          $ objective_term $ spice_term)
 
 let dot_cmd =
   let run tech_name circuit_name out =

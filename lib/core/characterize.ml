@@ -50,7 +50,7 @@ let edge ~t0 ~ramp ~rising ~vdd =
   if rising then Phys.Pwl.create [ (0.0, 0.0); (t0, 0.0); (t0 +. ramp, vdd) ]
   else Phys.Pwl.create [ (0.0, vdd); (t0, vdd); (t0 +. ramp, 0.0) ]
 
-let measure tech kind ~cl ~ramp =
+let measure ?stats tech kind ~cl ~ramp =
   let vdd = tech.Device.Tech.vdd in
   let circuit, drive_in, out = fixture tech kind ~cl in
   let t0 = 200e-12 in
@@ -60,57 +60,76 @@ let measure tech kind ~cl ~ramp =
       Netlist.Expand.expand circuit ~stimuli:[ (drive_in, wave) ]
     in
     let engine = Spice.Engine.prepare inst.Netlist.Expand.netlist in
-    let res =
-      Spice.Engine.transient engine ~t_stop:4e-9 ~dt:2e-12
+    match
+      Spice.Engine.transient_r engine ~t_stop:4e-9 ~dt:2e-12
         ~record:
           (Spice.Engine.Nodes [ inst.Netlist.Expand.node_of_net.(out) ])
-    in
-    let w =
-      Spice.Engine.waveform res inst.Netlist.Expand.node_of_net.(out)
-    in
-    (wave, w)
+    with
+    | Ok res ->
+      Resilience.record_success ?stats (Spice.Engine.telemetry res);
+      let w =
+        Spice.Engine.waveform res inst.Netlist.Expand.node_of_net.(out)
+      in
+      Some (wave, w)
+    | Error f ->
+      (* a failed fixture degrades to NaN entries in the point rather
+         than killing the whole characterisation run *)
+      Resilience.record_skip ?stats
+        ~label:
+          (Printf.sprintf "%s cl=%g ramp=%g %s" (Netlist.Gate.name kind)
+             cl ramp
+             (if in_rising then "rise" else "fall"))
+        f;
+      None
   in
   let inverting = Netlist.Gate.inverting kind in
-  let vin_r, vout_r = run ~in_rising:true in
-  let vin_f, vout_f = run ~in_rising:false in
-  let delay vin vout ~in_rising ~out_rising =
-    match
-      Spice.Measure.propagation_delay ~vin ~vout ~vdd ~in_rising
-        ~out_rising
-    with
-    | Some d -> d
+  let rise_run = run ~in_rising:true in
+  let fall_run = run ~in_rising:false in
+  let delay r ~in_rising ~out_rising =
+    match r with
     | None -> nan
+    | Some (vin, vout) ->
+      (match
+         Spice.Measure.propagation_delay ~vin ~vout ~vdd ~in_rising
+           ~out_rising
+       with
+       | Some d -> d
+       | None -> nan)
   in
   (* 10-90 % output transition time *)
-  let slew vout ~out_rising =
-    let lo = 0.1 *. vdd and hi = 0.9 *. vdd in
-    let first level rising =
-      Phys.Pwl.first_crossing ~after:t0 vout ~level ~rising
-    in
-    match
-      if out_rising then (first lo true, first hi true)
-      else (first hi false, first lo false)
-    with
-    | Some a, Some b when b > a -> b -. a
-    | _ -> nan
+  let slew r ~out_rising =
+    match r with
+    | None -> nan
+    | Some (_, vout) ->
+      let lo = 0.1 *. vdd and hi = 0.9 *. vdd in
+      let first level rising =
+        Phys.Pwl.first_crossing ~after:t0 vout ~level ~rising
+      in
+      (match
+         if out_rising then (first lo true, first hi true)
+         else (first hi false, first lo false)
+       with
+       | Some a, Some b when b > a -> b -. a
+       | _ -> nan)
   in
   if inverting then
     { cl; ramp;
-      fall_delay = delay vin_r vout_r ~in_rising:true ~out_rising:false;
-      rise_delay = delay vin_f vout_f ~in_rising:false ~out_rising:true;
-      fall_slew = slew vout_r ~out_rising:false;
-      rise_slew = slew vout_f ~out_rising:true }
+      fall_delay = delay rise_run ~in_rising:true ~out_rising:false;
+      rise_delay = delay fall_run ~in_rising:false ~out_rising:true;
+      fall_slew = slew rise_run ~out_rising:false;
+      rise_slew = slew fall_run ~out_rising:true }
   else
     { cl; ramp;
-      fall_delay = delay vin_f vout_f ~in_rising:false ~out_rising:false;
-      rise_delay = delay vin_r vout_r ~in_rising:true ~out_rising:true;
-      fall_slew = slew vout_f ~out_rising:false;
-      rise_slew = slew vout_r ~out_rising:true }
+      fall_delay = delay fall_run ~in_rising:false ~out_rising:false;
+      rise_delay = delay rise_run ~in_rising:true ~out_rising:true;
+      fall_slew = slew fall_run ~out_rising:false;
+      rise_slew = slew rise_run ~out_rising:true }
 
-let gate ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
+let gate ?stats ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
     ?(ramps = [ 20e-12; 100e-12 ]) tech kind =
   List.concat_map
-    (fun cl -> List.map (fun ramp -> measure tech kind ~cl ~ramp) ramps)
+    (fun cl ->
+      List.map (fun ramp -> measure ?stats tech kind ~cl ~ramp) ramps)
     loads
 
 let first_order_fall tech kind ~cl =

@@ -17,10 +17,14 @@ type point = {
 }
 
 val measure :
+  ?stats:Resilience.t ->
   Device.Tech.t -> Netlist.Gate.kind -> cl:float -> ramp:float -> point
-(** One fixture run at one operating point. *)
+(** One fixture run at one operating point.  A transient that fails
+    even after recovery yields NaN delay/slew entries (recorded with
+    its diagnosis in [?stats]) instead of raising. *)
 
 val gate :
+  ?stats:Resilience.t ->
   ?loads:float list ->
   ?ramps:float list ->
   Device.Tech.t ->

@@ -1,0 +1,66 @@
+(* Per-sweep resilience accounting: how many transistor-level analyses
+   ran clean, how many needed a recovery strategy, and which vectors had
+   to be skipped (with their structured diagnosis).  Sizing flows thread
+   an optional accumulator through and the CLI prints the report. *)
+
+type t = {
+  mutable attempted : int;
+  mutable direct : int;      (* converged with no recovery strategy *)
+  mutable recovered : int;   (* converged after at least one rescue *)
+  mutable skipped : int;     (* analysis failed; sample dropped *)
+  mutable fallback : int;    (* skipped samples replaced by the
+                                breakpoint-simulator estimate *)
+  mutable strategies : (string * int) list; (* rescue name -> count *)
+  mutable skips : (string * Spice.Diag.failure) list; (* label, diagnosis *)
+}
+
+let create () =
+  { attempted = 0; direct = 0; recovered = 0; skipped = 0; fallback = 0;
+    strategies = []; skips = [] }
+
+let add_strategies t l =
+  let rec bump name k = function
+    | [] -> [ (name, k) ]
+    | (n, k0) :: rest when n = name -> (n, k0 + k) :: rest
+    | p :: rest -> p :: bump name k rest
+  in
+  t.strategies <- List.fold_left (fun acc (n, k) -> bump n k acc) t.strategies l
+
+let record_success ?stats (tm : Spice.Diag.telemetry) =
+  match stats with
+  | None -> ()
+  | Some t ->
+    t.attempted <- t.attempted + 1;
+    if Spice.Diag.recovered tm then begin
+      t.recovered <- t.recovered + 1;
+      add_strategies t tm.Spice.Diag.recoveries
+    end
+    else t.direct <- t.direct + 1
+
+let record_skip ?stats ?(fallback = false) ~label (f : Spice.Diag.failure) =
+  match stats with
+  | None -> ()
+  | Some t ->
+    t.attempted <- t.attempted + 1;
+    t.skipped <- t.skipped + 1;
+    if fallback then t.fallback <- t.fallback + 1;
+    t.skips <- t.skips @ [ (label, f) ]
+
+let pp_report fmt t =
+  Format.fprintf fmt
+    "resilience: %d analyses attempted, %d direct, %d recovered, %d skipped"
+    t.attempted t.direct t.recovered t.skipped;
+  if t.fallback > 0 then
+    Format.fprintf fmt " (%d replaced by switch-level estimate)" t.fallback;
+  (match t.strategies with
+   | [] -> ()
+   | l ->
+     Format.fprintf fmt "@.  recoveries: %s"
+       (String.concat ", "
+          (List.map (fun (n, k) -> Printf.sprintf "%s x%d" n k) l)));
+  List.iter
+    (fun (label, f) ->
+      Format.fprintf fmt "@.  skipped %s: %a" label Spice.Diag.pp_failure f)
+    t.skips
+
+let report_string t = Format.asprintf "%a" pp_report t

@@ -1,0 +1,35 @@
+(** Per-sweep resilience accounting for transistor-level flows.
+
+    A sizing sweep runs many (vector x W/L) transient analyses; with
+    the Result-typed engine API a failed analysis degrades to a skipped
+    (or estimated) sample instead of aborting the sweep.  This
+    accumulator records what happened so the run can end with an honest
+    report: analyses attempted / converged directly / rescued by a
+    recovery strategy / skipped, which strategies fired, and each
+    skipped vector's structured diagnosis. *)
+
+type t = {
+  mutable attempted : int;
+  mutable direct : int;
+  mutable recovered : int;
+  mutable skipped : int;
+  mutable fallback : int;
+      (** skipped samples replaced by the breakpoint-simulator estimate *)
+  mutable strategies : (string * int) list;
+  mutable skips : (string * Spice.Diag.failure) list;
+}
+
+val create : unit -> t
+
+val record_success : ?stats:t -> Spice.Diag.telemetry -> unit
+(** Classify a finished analysis as direct or recovered from its
+    telemetry.  No-op when [stats] is absent (callers thread their
+    optional accumulator straight through). *)
+
+val record_skip :
+  ?stats:t -> ?fallback:bool -> label:string -> Spice.Diag.failure -> unit
+(** Record a failed analysis; [fallback] marks that the sample was
+    replaced by a switch-level estimate rather than dropped. *)
+
+val pp_report : Format.formatter -> t -> unit
+val report_string : t -> string

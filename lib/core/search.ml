@@ -10,7 +10,13 @@ type outcome = {
   evaluations : int;
 }
 
-let score ?(body_effect = true) c ~sleep objective (before, after) =
+let vector_label (before, after) =
+  let fmt g =
+    String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
+  in
+  Printf.sprintf "(%s)->(%s)" (fmt before) (fmt after)
+
+let score_bp ~body_effect c ~sleep objective (before, after) =
   let config =
     { Breakpoint_sim.default_config with Breakpoint_sim.sleep; body_effect }
   in
@@ -35,6 +41,48 @@ let score ?(body_effect = true) c ~sleep objective (before, after) =
         | Some (_, d0) when d0 > 0.0 -> (d_mt -. d0) /. d0
         | Some _ | None -> 0.0))
 
+(* transistor-level oracle: a transition whose transient fails even
+   after recovery scores 0 (it can never be selected as "worst") and is
+   recorded as a skip, so the hunt keeps going *)
+let score_spice ?stats c ~sleep objective ((before, after) as pair) =
+  let run ~sleep =
+    Spice_ref.run_ints_r
+      ~config:{ Spice_ref.default_config with Spice_ref.sleep }
+      c ~before ~after
+  in
+  match run ~sleep with
+  | Error f ->
+    Resilience.record_skip ?stats ~label:(vector_label pair) f;
+    0.0
+  | Ok r ->
+    Resilience.record_success ?stats (Spice_ref.telemetry r);
+    (match objective with
+     | Max_vx -> Spice_ref.vx_peak r
+     | Max_current -> Spice_ref.peak_sleep_current r
+     | Max_delay ->
+       (match Spice_ref.critical_delay r with
+        | Some (_, d) -> d
+        | None -> 0.0)
+     | Max_degradation ->
+       (match Spice_ref.critical_delay r with
+        | None -> 0.0
+        | Some (_, d_mt) ->
+          (match run ~sleep:Breakpoint_sim.Cmos with
+           | Error f ->
+             Resilience.record_skip ?stats ~label:(vector_label pair) f;
+             0.0
+           | Ok r0 ->
+             Resilience.record_success ?stats (Spice_ref.telemetry r0);
+             (match Spice_ref.critical_delay r0 with
+              | Some (_, d0) when d0 > 0.0 -> (d_mt -. d0) /. d0
+              | Some _ | None -> 0.0))))
+
+let score ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats c
+    ~sleep objective pair =
+  match engine with
+  | Sizing.Breakpoint -> score_bp ~body_effect c ~sleep objective pair
+  | Sizing.Spice_level -> score_spice ?stats c ~sleep objective pair
+
 (* enumerate the single-bit-flip neighbours of a packed assignment *)
 let flip_bit groups ~bit =
   let rec go acc bit = function
@@ -48,13 +96,13 @@ let flip_bit groups ~bit =
 let total_bits widths = List.fold_left ( + ) 0 widths
 
 let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
-    ?body_effect c ~sleep ~widths objective =
+    ?body_effect ?engine ?stats c ~sleep ~widths objective =
   let st = Random.State.make [| seed |] in
   let bits = total_bits widths in
   let evals = ref 0 in
   let eval pair =
     incr evals;
-    score ?body_effect c ~sleep objective pair
+    score ?body_effect ?engine ?stats c ~sleep objective pair
   in
   let random_groups () =
     List.map (fun w -> (w, Random.State.int st (1 lsl w))) widths
@@ -107,14 +155,14 @@ let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
   | Some (pair, s) -> { pair; score = s; evaluations = !evals }
   | None -> assert false
 
-let exhaustive ?body_effect c ~sleep ~widths objective =
+let exhaustive ?body_effect ?engine ?stats c ~sleep ~widths objective =
   let pairs = Vectors.enumerate_pairs ~widths in
   let evals = ref 0 in
   let best =
     List.fold_left
       (fun acc pair ->
         incr evals;
-        let s = score ?body_effect c ~sleep objective pair in
+        let s = score ?body_effect ?engine ?stats c ~sleep objective pair in
         match acc with
         | Some (_, s0) when s0 >= s -> acc
         | Some _ | None -> Some (pair, s))

@@ -26,19 +26,28 @@ type outcome = {
 
 val score :
   ?body_effect:bool ->
+  ?engine:Sizing.engine ->
+  ?stats:Resilience.t ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   objective ->
   Vectors.pair ->
   float
 (** Evaluate one transition under the chosen objective (0 when nothing
-    switches). *)
+    switches).  With [engine = Sizing.Spice_level] the transistor-level
+    reference scores the transition; a transient that fails even after
+    recovery scores 0 and is recorded as a skipped sample in [?stats],
+    so a hunt over thousands of vectors survives individual failures.
+    ([body_effect] only applies to the breakpoint oracle; the
+    transistor-level engine always models it.) *)
 
 val hill_climb :
   ?seed:int ->
   ?restarts:int ->
   ?max_iters:int ->
   ?body_effect:bool ->
+  ?engine:Sizing.engine ->
+  ?stats:Resilience.t ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   widths:int list ->
@@ -51,6 +60,8 @@ val hill_climb :
 
 val exhaustive :
   ?body_effect:bool ->
+  ?engine:Sizing.engine ->
+  ?stats:Resilience.t ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   widths:int list ->

@@ -22,16 +22,40 @@ let worst_delay_bp ~config c vectors =
       (Float.max dmax d, Float.max vxmax (Breakpoint_sim.vx_peak r)))
     (0.0, 0.0) vectors
 
-let worst_delay_spice ~config c vectors =
+let vector_label (before, after) =
+  let fmt g =
+    String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
+  in
+  Printf.sprintf "(%s)->(%s)" (fmt before) (fmt after)
+
+let worst_delay_spice ~config ~bp_config ?stats c vectors =
   List.fold_left
     (fun (dmax, vxmax) (before, after) ->
-      let r = Spice_ref.run_ints ~config c ~before ~after in
-      let d =
-        match Spice_ref.critical_delay r with
-        | Some (_, d) -> d
-        | None -> 0.0
-      in
-      (Float.max dmax d, Float.max vxmax (Spice_ref.vx_peak r)))
+      match Spice_ref.run_ints_r ~config c ~before ~after with
+      | Ok r ->
+        Resilience.record_success ?stats (Spice_ref.telemetry r);
+        let d =
+          match Spice_ref.critical_delay r with
+          | Some (_, d) -> d
+          | None -> 0.0
+        in
+        (Float.max dmax d, Float.max vxmax (Spice_ref.vx_peak r))
+      | Error f ->
+        (* graceful degradation: record the diagnosis and fall back to
+           the breakpoint-simulator estimate for this vector instead of
+           aborting the whole sweep *)
+        Resilience.record_skip ?stats ~fallback:true
+          ~label:(vector_label (before, after))
+          f;
+        let r =
+          Breakpoint_sim.simulate_ints ~config:bp_config c ~before ~after
+        in
+        let d =
+          match Breakpoint_sim.critical_delay r with
+          | Some (_, d) -> d
+          | None -> 0.0
+        in
+        (Float.max dmax d, Float.max vxmax (Breakpoint_sim.vx_peak r)))
     (0.0, 0.0) vectors
 
 let sleep_of c ~body_effect ~wl =
@@ -40,7 +64,8 @@ let sleep_of c ~body_effect ~wl =
   Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
     ~vdd:tech.Device.Tech.vdd
 
-let worst_delay ~engine ~body_effect c ~sleep vectors =
+let worst_delay ?stats ?(policy = Spice.Recover.default) ~engine
+    ~body_effect c ~sleep vectors =
   match engine with
   | Breakpoint ->
     let config =
@@ -61,33 +86,41 @@ let worst_delay ~engine ~body_effect c ~sleep vectors =
         (Spice_ref.default_config.Spice_ref.t_start +. (3.0 *. estimate))
     in
     let config =
-      { Spice_ref.default_config with Spice_ref.sleep; t_stop }
+      { Spice_ref.default_config with Spice_ref.sleep; t_stop; policy }
     in
-    worst_delay_spice ~config c vectors
+    worst_delay_spice ~config ~bp_config ?stats c vectors
 
-let cmos_delay ?(engine = Breakpoint) ?(body_effect = true) c ~vectors =
+let cmos_delay ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true)
+    c ~vectors =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
   fst
-    (worst_delay ~engine ~body_effect c ~sleep:Breakpoint_sim.Cmos vectors)
+    (worst_delay ?stats ?policy ~engine ~body_effect c
+       ~sleep:Breakpoint_sim.Cmos vectors)
 
-let delay_at ?(engine = Breakpoint) ?(body_effect = true) c ~vectors ~wl =
+let delay_at ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true) c
+    ~vectors ~wl =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let base = cmos_delay ~engine ~body_effect c ~vectors in
+  let base = cmos_delay ?stats ?policy ~engine ~body_effect c ~vectors in
   let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
-  let d, vx = worst_delay ~engine ~body_effect c ~sleep vectors in
+  let d, vx =
+    worst_delay ?stats ?policy ~engine ~body_effect c ~sleep vectors
+  in
   { wl;
     cmos_delay = base;
     mtcmos_delay = d;
     degradation = (d -. base) /. base;
     vx_peak = vx }
 
-let sweep ?(engine = Breakpoint) ?(body_effect = true) c ~vectors ~wls =
+let sweep ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true) c
+    ~vectors ~wls =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let base = cmos_delay ~engine ~body_effect c ~vectors in
+  let base = cmos_delay ?stats ?policy ~engine ~body_effect c ~vectors in
   List.map
     (fun wl ->
       let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
-      let d, vx = worst_delay ~engine ~body_effect c ~sleep vectors in
+      let d, vx =
+        worst_delay ?stats ?policy ~engine ~body_effect c ~sleep vectors
+      in
       { wl;
         cmos_delay = base;
         mtcmos_delay = d;
@@ -95,13 +128,16 @@ let sweep ?(engine = Breakpoint) ?(body_effect = true) c ~vectors ~wls =
         vx_peak = vx })
     wls
 
-let size_for_degradation ?(engine = Breakpoint) ?(body_effect = true)
-    ?(wl_lo = 0.5) ?(wl_hi = 4096.0) ?(tolerance = 0.01) c ~vectors ~target =
+let size_for_degradation ?stats ?policy ?(engine = Breakpoint)
+    ?(body_effect = true) ?(wl_lo = 0.5) ?(wl_hi = 4096.0)
+    ?(tolerance = 0.01) c ~vectors ~target =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let base = cmos_delay ~engine ~body_effect c ~vectors in
+  let base = cmos_delay ?stats ?policy ~engine ~body_effect c ~vectors in
   let degradation wl =
     let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
-    let d, _ = worst_delay ~engine ~body_effect c ~sleep vectors in
+    let d, _ =
+      worst_delay ?stats ?policy ~engine ~body_effect c ~sleep vectors
+    in
     (d -. base) /. base
   in
   if degradation wl_hi > target then raise Not_found;

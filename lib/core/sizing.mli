@@ -11,7 +11,13 @@ type vector_pair = (int * int) list * (int * int) list
 
 type engine = Breakpoint | Spice_level
 (** Which simulator evaluates delays: the paper's fast switch-level tool
-    or the transistor-level reference. *)
+    or the transistor-level reference.
+
+    With {!Spice_level}, every function below is fault-tolerant: a
+    vector whose transient fails even after the engine's recovery
+    [?policy] is recorded as a skipped sample (with its structured
+    diagnosis) in the optional [?stats] accumulator and replaced by the
+    breakpoint-simulator estimate, instead of aborting the sweep. *)
 
 type measurement = {
   wl : float;
@@ -22,6 +28,8 @@ type measurement = {
 }
 
 val delay_at :
+  ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
   ?engine:engine ->
   ?body_effect:bool ->
   Netlist.Circuit.t ->
@@ -32,11 +40,15 @@ val delay_at :
     @raise Invalid_argument on an empty vector list. *)
 
 val cmos_delay :
+  ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
   ?engine:engine -> ?body_effect:bool -> Netlist.Circuit.t ->
   vectors:vector_pair list -> float
 (** Ideal-ground baseline delay. *)
 
 val sweep :
+  ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
   ?engine:engine ->
   ?body_effect:bool ->
   Netlist.Circuit.t ->
@@ -46,6 +58,8 @@ val sweep :
 (** One measurement per W/L, sharing the CMOS baseline. *)
 
 val size_for_degradation :
+  ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
   ?engine:engine ->
   ?body_effect:bool ->
   ?wl_lo:float ->

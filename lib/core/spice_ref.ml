@@ -11,6 +11,7 @@ type config = {
   t_stop : float;
   dt : float option;
   record_all : bool;
+  policy : Spice.Recover.policy;
 }
 
 let default_config =
@@ -22,7 +23,8 @@ let default_config =
     ramp = 50e-12;
     t_stop = 6e-9;
     dt = None;
-    record_all = false }
+    record_all = false;
+    policy = Spice.Recover.default }
 
 type run = {
   circuit : C.t;
@@ -56,7 +58,7 @@ let stimulus cfg ~vdd before after =
     Phys.Pwl.create
       [ (0.0, v0); (cfg.t_start, v0); (cfg.t_start +. cfg.ramp, v1) ]
 
-let run ?(config = default_config) circuit ~before ~after =
+let run_r ?(config = default_config) circuit ~before ~after =
   let primary = C.inputs circuit in
   if Array.length before <> Array.length primary
      || Array.length after <> Array.length primary then
@@ -126,16 +128,27 @@ let run ?(config = default_config) circuit ~before ~after =
   (* small blocks get a true DC solve; large ones start from the
      logic-derived state and settle during the pre-[t_start] window *)
   let uic = C.num_gates circuit > 60 in
-  let result =
-    Spice.Engine.transient engine ~t_stop:config.t_stop ~dt ~record ~x0 ~uic
-  in
-  { circuit; cfg = config; instance; result; vdd }
+  match
+    Spice.Engine.transient_r engine ~t_stop:config.t_stop ~dt ~record ~x0
+      ~uic ~policy:config.policy
+  with
+  | Ok result -> Ok { circuit; cfg = config; instance; result; vdd }
+  | Error f -> Error f
+
+let run ?config circuit ~before ~after =
+  match run_r ?config circuit ~before ~after with
+  | Ok r -> r
+  | Error f ->
+    raise (Spice.Engine.No_convergence (Spice.Diag.failure_to_string f))
 
 let pack groups =
   Array.of_list
     (List.concat_map
        (fun (w, v) -> Array.to_list (S.bits_of_int ~width:w v))
        groups)
+
+let run_ints_r ?config circuit ~before ~after =
+  run_r ?config circuit ~before:(pack before) ~after:(pack after)
 
 let run_ints ?config circuit ~before ~after =
   run ?config circuit ~before:(pack before) ~after:(pack after)
@@ -196,3 +209,4 @@ let critical_delay r =
     None (C.outputs r.circuit)
 
 let newton_iterations r = Spice.Engine.newton_iterations r.result
+let telemetry r = Spice.Engine.telemetry r.result

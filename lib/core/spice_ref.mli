@@ -16,11 +16,23 @@ type config = {
   t_stop : float;          (** simulation horizon (default 6 ns) *)
   dt : float option;       (** time step; default [t_stop / 3000] *)
   record_all : bool;       (** record every node, not just the outputs *)
+  policy : Spice.Recover.policy; (** engine recovery-policy ladder *)
 }
 
 val default_config : config
 
 type run
+
+val run_r :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  before:Netlist.Signal.level array ->
+  after:Netlist.Signal.level array ->
+  (run, Spice.Diag.failure) result
+(** Result-typed variant: a transient that fails even after the
+    config's recovery policy returns its structured diagnosis instead
+    of raising, so sweeps can degrade gracefully.
+    @raise Invalid_argument on [X] inputs. *)
 
 val run :
   ?config:config ->
@@ -30,6 +42,13 @@ val run :
   run
 (** @raise Invalid_argument on [X] inputs.
     @raise Spice.Engine.No_convergence when the engine gives up. *)
+
+val run_ints_r :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  before:(int * int) list ->
+  after:(int * int) list ->
+  (run, Spice.Diag.failure) result
 
 val run_ints :
   ?config:config ->
@@ -62,3 +81,6 @@ val net_delay : run -> Netlist.Circuit.net -> float option
 
 val critical_delay : run -> (Netlist.Circuit.net * float) option
 val newton_iterations : run -> int
+
+val telemetry : run -> Spice.Diag.telemetry
+(** Solver-effort counters and recovery strategies fired for this run. *)

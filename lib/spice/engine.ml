@@ -121,23 +121,40 @@ let assemble t ~x ~gmin ~time ~src_scale
 
 let v_limit = 0.5
 
-(* One Newton solve at fixed time/companion state.  Returns the solution
-   or None. *)
+(* Branch-current deltas are folded into the shared convergence scalar
+   with this scale: 1e-3 A maps to one "volt-equivalent", so the 1e-6
+   tolerance accepts branch currents settled to ~1 nA (plus a relative
+   term for large currents). *)
+let i_scale = 1e-3
+
 let debug = Sys.getenv_opt "SPICE_DEBUG" <> None
 
+(* One Newton solve at fixed time/companion state. *)
+type newton_outcome =
+  | N_converged of float array
+  | N_singular
+  | N_nonfinite
+  | N_exhausted
+
+let kind_of_outcome = function
+  | N_singular -> Diag.Singular_matrix
+  | N_nonfinite -> Diag.Nan_in_solution
+  | N_exhausted | N_converged _ -> Diag.Newton_divergence
+
 let newton_solve ?(src_scale = 1.0) t ~x0 ~gmin ~time ~cap ~max_iter
-    ~counter =
+    ~(tm : Diag.telemetry) =
   let n = t.sys.Mna.n_unknowns in
   let nn = t.sys.Mna.n_node_unknowns in
   let x = Array.copy x0 in
   let prev_delta = ref infinity in
   let rec loop iter =
-    if iter >= max_iter then None
+    if iter >= max_iter then N_exhausted
     else begin
-      incr counter;
+      tm.Diag.newton_iterations <- tm.Diag.newton_iterations + 1;
       assemble t ~x ~gmin ~time ~src_scale ~cap;
+      tm.Diag.factorizations <- tm.Diag.factorizations + 1;
       match La.Sparse.factor t.sys.Mna.symbolic t.matrix with
-      | exception La.Sparse.Singular _ -> None
+      | exception La.Sparse.Singular _ -> N_singular
       | num ->
         let x_new = La.Sparse.solve num t.rhs in
         (* one pass of iterative refinement cleans up pivot noise from the
@@ -153,7 +170,7 @@ let newton_solve ?(src_scale = 1.0) t ~x0 ~gmin ~time ~cap ~max_iter
         for i = 0 to n - 1 do
           if not (Float.is_finite x_new.(i)) then ok := false
         done;
-        if not !ok then None
+        if not !ok then N_nonfinite
         else begin
           (* voltage limiting on node unknowns *)
           for i = 0 to nn - 1 do
@@ -162,7 +179,12 @@ let newton_solve ?(src_scale = 1.0) t ~x0 ~gmin ~time ~cap ~max_iter
             delta := Float.max !delta (Float.abs d);
             x.(i) <- x.(i) +. d_lim
           done;
+          (* branch-current unknowns take part in the convergence test
+             too (current-scaled), so a still-moving source current can
+             no longer be accepted as converged *)
           for i = nn to n - 1 do
+            let d = Float.abs (x_new.(i) -. x.(i)) in
+            delta := Float.max !delta (d /. (i_scale +. Float.abs x_new.(i)));
             x.(i) <- x_new.(i)
           done;
           if debug && iter > max_iter - 6 then
@@ -174,66 +196,164 @@ let newton_solve ?(src_scale = 1.0) t ~x0 ~gmin ~time ~cap ~max_iter
             !delta < 1e-5 && Float.abs (!delta -. !prev_delta) < 1e-10
           in
           prev_delta := !delta;
-          if !delta < 1e-6 || stalled then Some x else loop (iter + 1)
+          if !delta < 1e-6 || stalled then N_converged x else loop (iter + 1)
         end
     end
   in
   loop 0
 
-let dc ?(time = 0.0) ?x0 t =
+(* KCL residual F(x) = J x - b at a trial point: the node with the
+   largest magnitude names the spot where Newton was stuck. *)
+let worst_residual t ~x ~gmin ~time ~cap =
+  assemble t ~x ~gmin ~time ~src_scale:1.0 ~cap;
+  let ax = La.Sparse.mul_vec t.matrix x in
+  let nn = t.sys.Mna.n_node_unknowns in
+  let worst = ref 0.0 and worst_i = ref (-1) in
+  for i = 0 to nn - 1 do
+    let r = Float.abs (ax.(i) -. t.rhs.(i)) in
+    if Float.is_finite r && r > !worst then begin
+      worst := r;
+      worst_i := i
+    end
+  done;
+  if !worst_i < 0 then (None, 0.0)
+  else begin
+    let name = ref None in
+    Array.iteri
+      (fun node u ->
+        if u = !worst_i && !name = None then
+          name := Some (Netlist.Transistor.node_name t.sys.Mna.netlist node))
+      t.sys.Mna.unknown_of_node;
+    (!name, !worst)
+  end
+
+let dc_r ?(time = 0.0) ?x0 ?(policy = Recover.default) ?telemetry t =
+  let tm =
+    match telemetry with Some v -> v | None -> Diag.create_telemetry ()
+  in
+  let wall0 = Sys.time () in
   let n = t.sys.Mna.n_unknowns in
-  let counter = ref 0 in
   let start =
     match x0 with
     | Some v when Array.length v = n -> Array.copy v
     | Some _ | None -> Array.make n 0.0
   in
-  let direct =
-    newton_solve t ~x0:start ~gmin:1e-12 ~time ~cap:None ~max_iter:150
-      ~counter
+  let last = ref N_exhausted in
+  let run ?(src_scale = 1.0) ~x0 ~gmin ~max_iter () =
+    match
+      newton_solve ~src_scale t ~x0 ~gmin ~time ~cap:None ~max_iter ~tm
+    with
+    | N_converged x -> Some x
+    | o ->
+      last := o;
+      None
   in
-  match direct with
-  | Some x -> x
+  let finish x =
+    tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+    Ok x
+  in
+  match
+    run ~x0:start ~gmin:1e-12 ~max_iter:policy.Recover.direct_max_iter ()
+  with
+  | Some x -> finish x
   | None ->
-    (* gmin stepping, warm-started from the supplied guess *)
-    let gmin_ladder x =
-      let rec step gmin x =
-        if gmin < 1e-12 then
-          newton_solve t ~x0:x ~gmin:1e-12 ~time ~cap:None ~max_iter:200
-            ~counter
-        else
-          match
-            newton_solve t ~x0:x ~gmin ~time ~cap:None ~max_iter:200
-              ~counter
-          with
-          | Some x' -> step (gmin /. 10.0) x'
-          | None -> None
-      in
-      step 1e-3 x
+    let attempts = ref [] in
+    let apply = function
+      | Recover.Gmin_ramp ->
+        (* gmin stepping, warm-started from the supplied guess *)
+        let rec step gmin x =
+          if gmin < 1e-12 then
+            run ~x0:x ~gmin:1e-12 ~max_iter:policy.Recover.ladder_max_iter ()
+          else begin
+            tm.Diag.gmin_rounds <- tm.Diag.gmin_rounds + 1;
+            match
+              run ~x0:x ~gmin ~max_iter:policy.Recover.ladder_max_iter ()
+            with
+            | Some x' -> step (gmin /. 10.0) x'
+            | None -> None
+          end
+        in
+        step policy.Recover.gmin_start (Array.copy start)
+      | Recover.Source_step ->
+        (* ramp every source from zero, warm-started from the caller's
+           guess (the gmin ladder above used it too).  The ramp runs
+           under a heavy 1uS shunt — partial supplies park every device
+           at threshold, where a lightly loaded matrix limit-cycles —
+           and a failing increment is bisected (bounded) before giving
+           up; the shunt is then ramped off the full-source solution. *)
+        let steps = Stdlib.max 1 policy.Recover.source_steps in
+        let dscale = 1.0 /. float_of_int steps in
+        let rec ramp ~splits scale x =
+          if scale >= 1.0 -. (dscale *. 1e-9) then Some x
+          else begin
+            let target = Float.min 1.0 (scale +. dscale) in
+            tm.Diag.source_steps <- tm.Diag.source_steps + 1;
+            match
+              run ~src_scale:target ~x0:x ~gmin:1e-6
+                ~max_iter:policy.Recover.ladder_max_iter ()
+            with
+            | Some x' -> ramp ~splits target x'
+            | None when splits > 0 ->
+              (match
+                 run
+                   ~src_scale:(scale +. (0.5 *. (target -. scale)))
+                   ~x0:x ~gmin:1e-6
+                   ~max_iter:policy.Recover.ladder_max_iter ()
+               with
+               | Some x' ->
+                 ramp ~splits:(splits - 1)
+                   (scale +. (0.5 *. (target -. scale)))
+                   x'
+               | None -> None)
+            | None -> None
+          end
+        in
+        let rec shed gmin x =
+          if gmin < 1e-12 then
+            run ~x0:x ~gmin:1e-12 ~max_iter:policy.Recover.ladder_max_iter ()
+          else
+            match
+              run ~x0:x ~gmin ~max_iter:policy.Recover.ladder_max_iter ()
+            with
+            | Some x' -> shed (gmin /. 100.0) x'
+            | None -> None
+        in
+        (match ramp ~splits:steps 0.0 (Array.copy start) with
+         | Some x -> shed 1e-8 x
+         | None -> None)
+      | Recover.Shrink_step | Recover.Stiff_integration
+      | Recover.Warm_start_dc -> None (* transient-only *)
     in
-    (match gmin_ladder (Array.copy start) with
-     | Some x -> x
-     | None ->
-       (* source stepping: ramp every source from zero *)
-       let rec ramp scale x =
-         if scale > 1.0 then Some x
-         else
-           match
-             newton_solve ~src_scale:scale t ~x0:x ~gmin:1e-10 ~time
-               ~cap:None ~max_iter:250 ~counter
-           with
-           | Some x' -> ramp (scale +. 0.1) x'
-           | None -> None
-       in
-       (match ramp 0.1 (Array.make n 0.0) with
-        | Some x ->
-          (match
-             newton_solve t ~x0:x ~gmin:1e-12 ~time ~cap:None ~max_iter:250
-               ~counter
-           with
-           | Some x -> x
-           | None -> raise (No_convergence "dc: final polish failed"))
-        | None -> raise (No_convergence "dc: source stepping failed")))
+    let rec walk = function
+      | [] ->
+        let node, res =
+          worst_residual t ~x:start ~gmin:1e-12 ~time ~cap:None
+        in
+        tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+        Error
+          { Diag.analysis = Diag.Dc;
+            kind = kind_of_outcome !last;
+            time;
+            last_good_time = 0.0;
+            worst_residual_node = node;
+            worst_residual = res;
+            newton_iterations = tm.Diag.newton_iterations;
+            recovery_attempts = List.rev !attempts;
+            message = "" }
+      | s :: rest ->
+        attempts := Recover.strategy_name s :: !attempts;
+        (match apply s with
+         | Some x ->
+           Diag.record_recovery tm (Recover.strategy_name s);
+           finish x
+         | None -> walk rest)
+    in
+    walk policy.Recover.dc_strategies
+
+let dc ?time ?x0 t =
+  match dc_r ?time ?x0 t with
+  | Ok x -> x
+  | Error f -> raise (No_convergence (Diag.failure_to_string f))
 
 let initial_guess t assignments =
   let x = Array.make t.sys.Mna.n_unknowns 0.0 in
@@ -254,105 +374,232 @@ type result = {
   mutable final_x : float array;
   mutable n_steps : int;
   mutable n_newton : int;
+  mutable tele : Diag.telemetry;
 }
 
-let transient ?(integration = Backward_euler) ?dt ?(record = All)
-    ?(max_newton = 40) ?x0 ?(uic = false) ?(adaptive = false) t ~t_stop =
+exception Abort of Diag.failure
+
+let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
+    ?(max_newton = 40) ?x0 ?(uic = false) ?(adaptive = false)
+    ?(policy = Recover.default) ?telemetry t ~t_stop =
   if t_stop <= 0.0 then invalid_arg "Engine.transient: t_stop <= 0";
   let dt = match dt with Some d -> d | None -> t_stop /. 2000.0 in
   if dt <= 0.0 then invalid_arg "Engine.transient: dt <= 0";
+  if dt > t_stop then invalid_arg "Engine.transient: dt > t_stop";
+  let tm =
+    match telemetry with Some v -> v | None -> Diag.create_telemetry ()
+  in
+  let wall0 = Sys.time () in
+  let iters0 = tm.Diag.newton_iterations in
   let sys = t.sys in
-  let counter = ref 0 in
-  (* [uic]: trust the caller's initial condition (SPICE's .tran UIC) and
-     let the L-stable integrator settle it; otherwise solve the true
-     operating point *)
-  let x =
-    ref
-      (match (uic, x0) with
-       | true, Some v when Array.length v = sys.Mna.n_unknowns ->
-         Array.copy v
-       | true, (Some _ | None) -> Array.make sys.Mna.n_unknowns 0.0
-       | false, _ -> dc ~time:0.0 ?x0 t)
-  in
-  let caps = sys.Mna.caps in
-  let ncap = Array.length caps in
-  let st =
-    { v_prev = Array.init ncap (fun k -> cap_voltage caps.(k) !x);
-      i_prev = Array.make ncap 0.0 }
-  in
-  let nodes_to_record =
-    match record with
-    | All ->
-      List.init (Netlist.Transistor.num_nodes sys.Mna.netlist) (fun i -> i)
-    | Nodes l -> List.sort_uniq compare l
-  in
-  let recorded = Hashtbl.create 64 in
-  List.iter (fun n -> Hashtbl.replace recorded n (ref [])) nodes_to_record;
-  let sample time =
-    List.iter
-      (fun n ->
-        let cell = Hashtbl.find recorded n in
-        cell := (time, Mna.voltage_of sys !x n) :: !cell)
-      nodes_to_record
-  in
-  sample 0.0;
-  let res =
-    { recorded; netlist = sys.Mna.netlist; final_x = !x; n_steps = 0;
-      n_newton = 0 }
-  in
-  let time = ref 0.0 in
-  (* dt control: with [adaptive], grow the step while Newton converges
-     easily and shrink it when iterations pile up (SPICE's iteration-count
-     heuristic); bounded to [dt/16, 8*dt] around the nominal step *)
-  let dt_now = ref dt in
-  let dt_min = dt /. 16.0 and dt_max = 8.0 *. dt in
-  while !time < t_stop -. (dt_min *. 1e-6) do
-    (* try the current step, halving on failure *)
-    let rec attempt h depth =
-      if depth > 14 then
-        raise
-          (No_convergence
-             (Printf.sprintf "transient: step at t=%.4g failed" !time));
+  try
+    (* [uic]: trust the caller's initial condition (SPICE's .tran UIC) and
+       let the L-stable integrator settle it; otherwise solve the true
+       operating point *)
+    let x =
+      ref
+        (match (uic, x0) with
+         | true, Some v when Array.length v = sys.Mna.n_unknowns ->
+           Array.copy v
+         | true, (Some _ | None) -> Array.make sys.Mna.n_unknowns 0.0
+         | false, _ ->
+           (match dc_r ~time:0.0 ?x0 ~policy ~telemetry:tm t with
+            | Ok x -> x
+            | Error f ->
+              raise
+                (Abort
+                   { f with
+                     Diag.message = "transient initial operating point" })))
+    in
+    let caps = sys.Mna.caps in
+    let ncap = Array.length caps in
+    let st =
+      { v_prev = Array.init ncap (fun k -> cap_voltage caps.(k) !x);
+        i_prev = Array.make ncap 0.0 }
+    in
+    let nodes_to_record =
+      match record with
+      | All ->
+        List.init (Netlist.Transistor.num_nodes sys.Mna.netlist) (fun i -> i)
+      | Nodes l -> List.sort_uniq compare l
+    in
+    let recorded = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace recorded n (ref [])) nodes_to_record;
+    let sample time =
+      List.iter
+        (fun n ->
+          let cell = Hashtbl.find recorded n in
+          cell := (time, Mna.voltage_of sys !x n) :: !cell)
+        nodes_to_record
+    in
+    sample 0.0;
+    let res =
+      { recorded; netlist = sys.Mna.netlist; final_x = !x; n_steps = 0;
+        n_newton = 0; tele = tm }
+    in
+    let time = ref 0.0 in
+    (* dt control: with [adaptive], grow the step while Newton converges
+       easily and shrink it when iterations pile up (SPICE's iteration-count
+       heuristic); bounded to [dt/16, 8*dt] around the nominal step *)
+    let dt_now = ref dt in
+    let dt_min = dt /. 16.0 and dt_max = 8.0 *. dt in
+    let last = ref N_exhausted in
+    (* one solve attempt for the next step; failures count as rejections *)
+    let solve ~integ ~h ~x0 ~gmin ~max_iter =
       let t_next = Float.min (!time +. h) t_stop in
       let h_eff = t_next -. !time in
-      let before = !counter in
+      let i0 = tm.Diag.newton_iterations in
       match
-        newton_solve t ~x0:!x ~gmin:1e-12 ~time:t_next
-          ~cap:(Some (integration, h_eff, st))
-          ~max_iter:max_newton ~counter
+        newton_solve t ~x0 ~gmin ~time:t_next
+          ~cap:(Some (integ, h_eff, st))
+          ~max_iter ~tm
       with
-      | Some x' -> (x', t_next, h_eff, !counter - before)
-      | None -> attempt (h /. 2.0) (depth + 1)
+      | N_converged x' ->
+        Some (x', t_next, h_eff, integ, tm.Diag.newton_iterations - i0)
+      | o ->
+        tm.Diag.step_rejections <- tm.Diag.step_rejections + 1;
+        last := o;
+        None
     in
-    let x', t_next, h_eff, iters = attempt !dt_now 0 in
-    if adaptive then begin
-      if iters <= 8 then
-        dt_now := Float.min dt_max (!dt_now *. 1.3)
-      else if iters > 16 then
-        dt_now := Float.max dt_min (!dt_now /. 2.0)
-    end;
-    (* update companion state *)
-    for k = 0 to ncap - 1 do
-      let v_new = cap_voltage caps.(k) x' in
-      let i_new =
-        match integration with
-        | Backward_euler ->
-          caps.(k).Mna.value /. h_eff *. (v_new -. st.v_prev.(k))
-        | Trapezoidal ->
-          (2.0 *. caps.(k).Mna.value /. h_eff *. (v_new -. st.v_prev.(k)))
-          -. st.i_prev.(k)
-      in
-      st.v_prev.(k) <- v_new;
-      st.i_prev.(k) <- i_new
+    (* the per-step recovery ladder: the nominal attempt, then the
+       policy's transient strategies in order, each bounded *)
+    let step () =
+      match
+        solve ~integ:integration ~h:!dt_now ~x0:!x ~gmin:1e-12
+          ~max_iter:max_newton
+      with
+      | Some s -> s
+      | None ->
+        let attempts = ref [] in
+        let apply = function
+          | Recover.Shrink_step ->
+            let rec halve h k =
+              if k > policy.Recover.max_step_halvings then None
+              else
+                match
+                  solve ~integ:integration ~h ~x0:!x ~gmin:1e-12
+                    ~max_iter:max_newton
+                with
+                | Some s -> Some s
+                | None -> halve (h /. 2.0) (k + 1)
+            in
+            halve (!dt_now /. 2.0) 1
+          | Recover.Stiff_integration ->
+            (* an L-stable step damps the trapezoidal ringing that
+               rejected the step *)
+            if integration = Backward_euler then None
+            else
+              solve ~integ:Backward_euler ~h:!dt_now ~x0:!x ~gmin:1e-12
+                ~max_iter:policy.Recover.ladder_max_iter
+          | Recover.Gmin_ramp ->
+            (* solve the stuck step at elevated gmin and walk back down,
+               warm-starting each rung; only the 1e-12 solve is kept *)
+            let rec ramp gmin x0 =
+              if gmin < 1e-12 then
+                solve ~integ:integration ~h:!dt_now ~x0 ~gmin:1e-12
+                  ~max_iter:policy.Recover.ladder_max_iter
+              else begin
+                tm.Diag.gmin_rounds <- tm.Diag.gmin_rounds + 1;
+                match
+                  solve ~integ:integration ~h:!dt_now ~x0 ~gmin
+                    ~max_iter:policy.Recover.ladder_max_iter
+                with
+                | Some (x', _, _, _, _) -> ramp (gmin /. 10.0) x'
+                | None -> None
+              end
+            in
+            ramp policy.Recover.transient_gmin_start !x
+          | Recover.Warm_start_dc ->
+            (* re-seed from a fresh operating point at the target time *)
+            (match
+               dc_r
+                 ~time:(Float.min (!time +. !dt_now) t_stop)
+                 ~x0:!x ~policy ~telemetry:tm t
+             with
+             | Ok xdc ->
+               solve ~integ:integration ~h:!dt_now ~x0:xdc ~gmin:1e-12
+                 ~max_iter:policy.Recover.ladder_max_iter
+             | Error _ -> None)
+          | Recover.Source_step -> None (* DC-only *)
+        in
+        let rec walk = function
+          | [] ->
+            let kind =
+              if !last = N_exhausted
+                 && List.mem Recover.Shrink_step
+                      policy.Recover.transient_strategies
+              then Diag.Step_underflow
+              else kind_of_outcome !last
+            in
+            let t_next = Float.min (!time +. !dt_now) t_stop in
+            let node, res_worst =
+              worst_residual t ~x:!x ~gmin:1e-12 ~time:t_next
+                ~cap:(Some (integration, t_next -. !time, st))
+            in
+            raise
+              (Abort
+                 { Diag.analysis = Diag.Transient;
+                   kind;
+                   time = t_next;
+                   last_good_time = !time;
+                   worst_residual_node = node;
+                   worst_residual = res_worst;
+                   newton_iterations = tm.Diag.newton_iterations;
+                   recovery_attempts = List.rev !attempts;
+                   message = "" })
+          | s :: rest ->
+            attempts := Recover.strategy_name s :: !attempts;
+            (match apply s with
+             | Some step ->
+               Diag.record_recovery tm (Recover.strategy_name s);
+               step
+             | None -> walk rest)
+        in
+        walk policy.Recover.transient_strategies
+    in
+    while !time < t_stop -. (dt_min *. 1e-6) do
+      let x', t_next, h_eff, integ_used, iters = step () in
+      if adaptive then begin
+        if iters <= 8 then dt_now := Float.min dt_max (!dt_now *. 1.3)
+        else if iters > 16 then dt_now := Float.max dt_min (!dt_now /. 2.0)
+      end;
+      (* update companion state with the integrator the step actually
+         used (a stiff-integration rescue runs Backward-Euler even in a
+         trapezoidal analysis) *)
+      for k = 0 to ncap - 1 do
+        let v_new = cap_voltage caps.(k) x' in
+        let i_new =
+          match integ_used with
+          | Backward_euler ->
+            caps.(k).Mna.value /. h_eff *. (v_new -. st.v_prev.(k))
+          | Trapezoidal ->
+            (2.0 *. caps.(k).Mna.value /. h_eff *. (v_new -. st.v_prev.(k)))
+            -. st.i_prev.(k)
+        in
+        st.v_prev.(k) <- v_new;
+        st.i_prev.(k) <- i_new
+      done;
+      x := x';
+      time := t_next;
+      res.n_steps <- res.n_steps + 1;
+      sample !time
     done;
-    x := x';
-    time := t_next;
-    res.n_steps <- res.n_steps + 1;
-    sample !time
-  done;
-  res.final_x <- !x;
-  res.n_newton <- !counter;
-  res
+    res.final_x <- !x;
+    res.n_newton <- tm.Diag.newton_iterations - iters0;
+    tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+    Ok res
+  with Abort f ->
+    tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+    Error f
+
+let transient ?integration ?dt ?record ?max_newton ?x0 ?uic ?adaptive t
+    ~t_stop =
+  match
+    transient_r ?integration ?dt ?record ?max_newton ?x0 ?uic ?adaptive t
+      ~t_stop
+  with
+  | Ok res -> res
+  | Error f -> raise (No_convergence (Diag.failure_to_string f))
 
 let waveform res node =
   match Hashtbl.find_opt res.recorded node with
@@ -365,3 +612,4 @@ let waveform_named res name =
 let final_solution res = res.final_x
 let steps_taken res = res.n_steps
 let newton_iterations res = res.n_newton
+let telemetry res = res.tele

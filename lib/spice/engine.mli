@@ -1,9 +1,16 @@
 (** DC and transient analysis — the repo's SPICE substitute.
 
-    Newton–Raphson over the MNA system with per-step voltage limiting,
-    gmin stepping for hard DC points, and backward-Euler or trapezoidal
-    integration for transients with automatic step halving on
-    non-convergence. *)
+    Newton–Raphson over the MNA system with per-step voltage limiting
+    and an explicit recovery-policy ladder ({!Recover}) for hard solves:
+    gmin stepping and source stepping for DC, step halving /
+    Backward-Euler fallback / transient gmin ramping / DC re-seeding for
+    rejected transient steps.
+
+    Each analysis exists in two forms: a [Result]-typed variant
+    ({!dc_r}, {!transient_r}) returning [Ok result] or a structured
+    [Error Diag.failure], and the historical raising form ({!dc},
+    {!transient}) which is a thin wrapper that raises {!No_convergence}
+    with the rendered diagnosis. *)
 
 type t
 (** A prepared simulation context (pattern, symbolic LU, stamp slots). *)
@@ -16,10 +23,23 @@ exception No_convergence of string
 
 type integration = Backward_euler | Trapezoidal
 
-val dc : ?time:float -> ?x0:float array -> t -> float array
+val dc_r :
+  ?time:float ->
+  ?x0:float array ->
+  ?policy:Recover.policy ->
+  ?telemetry:Diag.telemetry ->
+  t ->
+  (float array, Diag.failure) result
 (** Operating point with the sources evaluated at [time] (default 0).
-    [x0] seeds the Newton iteration (see {!initial_guess}); gmin stepping
-    and source stepping are tried in turn on failure.
+    [x0] seeds the Newton iteration (see {!initial_guess}) and also
+    warm-starts every recovery strategy.  On failure of the direct
+    solve the [policy]'s DC strategies (default: gmin ramp, then source
+    stepping) are tried in order, each bounded by the policy budgets.
+    [telemetry] (optional, caller-owned) accumulates effort counters
+    across calls. *)
+
+val dc : ?time:float -> ?x0:float array -> t -> float array
+(** {!dc_r} with the default policy.
     @raise No_convergence when every strategy fails. *)
 
 val initial_guess :
@@ -33,6 +53,37 @@ type record = All | Nodes of Netlist.Transistor.node list
 
 type result
 
+val transient_r :
+  ?integration:integration ->
+  ?dt:float ->
+  ?record:record ->
+  ?max_newton:int ->
+  ?x0:float array ->
+  ?uic:bool ->
+  ?adaptive:bool ->
+  ?policy:Recover.policy ->
+  ?telemetry:Diag.telemetry ->
+  t ->
+  t_stop:float ->
+  (result, Diag.failure) Stdlib.result
+(** Simulate from a [dc_r] initial condition at [t = 0] to [t_stop].
+    [dt] defaults to [t_stop /. 2000.]; [x0] seeds the DC solve.  With
+    [uic] (default false) the DC solve is skipped entirely and [x0] is
+    taken as the initial state — the integrator settles any
+    inconsistency within a few steps, which is how very large blocks
+    whose cold DC diverges are simulated.  With [adaptive] (default
+    false) the step size floats in [dt/16, 8*dt] on a Newton-iteration-
+    count heuristic, trading exact step placement for speed.  Only
+    recorded nodes (default [All]) can be read back with {!waveform}.
+
+    A rejected step walks the [policy]'s transient strategies in order
+    (default: step halving, Backward-Euler fallback, transient gmin
+    ramping, DC re-seeding), each bounded, so every run terminates with
+    either [Ok] — whose waveforms contain only finite samples — or a
+    structured [Error].
+    @raise Invalid_argument on [t_stop <= 0], [dt <= 0] or
+    [dt > t_stop]. *)
+
 val transient :
   ?integration:integration ->
   ?dt:float ->
@@ -44,16 +95,9 @@ val transient :
   t ->
   t_stop:float ->
   result
-(** Simulate from a [dc] initial condition at [t = 0] to [t_stop].
-    [dt] defaults to [t_stop /. 2000.]; [x0] seeds the DC solve.  With
-    [uic] (default false) the DC solve is skipped entirely and [x0] is
-    taken as the initial state — the integrator settles any
-    inconsistency within a few steps, which is how very large blocks
-    whose cold DC diverges are simulated.  With [adaptive] (default
-    false) the step size floats in [dt/16, 8*dt] on a Newton-iteration-
-    count heuristic, trading exact step placement for speed.  Only
-    recorded nodes (default [All]) can be read back with {!waveform}.
-    @raise No_convergence when a step fails even after deep halving. *)
+(** {!transient_r} with the default policy.
+    @raise No_convergence when a step fails even after every recovery
+    strategy. *)
 
 val waveform : result -> Netlist.Transistor.node -> Phys.Pwl.t
 (** @raise Not_found for a node that was not recorded. *)
@@ -64,4 +108,8 @@ val waveform_named : result -> string -> Phys.Pwl.t
 val final_solution : result -> float array
 val steps_taken : result -> int
 val newton_iterations : result -> int
-(** Total Newton iterations over the run (performance accounting). *)
+(** Newton iterations spent by this run (performance accounting). *)
+
+val telemetry : result -> Diag.telemetry
+(** The telemetry record the run accumulated into (the caller-supplied
+    one when given, otherwise a fresh per-run record). *)

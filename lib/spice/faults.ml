@@ -1,0 +1,126 @@
+(* Deterministic fault injection for the resilience suite.
+
+   Each fault perturbs the same two-inverter base deck in a way real
+   decks go wrong; the contract under test is that every case either
+   recovers or yields a structured [Diag.failure] — never an uncaught
+   exception, a NaN sample or an unbounded run. *)
+
+module T = Netlist.Transistor
+
+type fault =
+  | Zero_width_device       (* a driver with a vanishing W/L *)
+  | Floating_node           (* a node with no DC path to anywhere *)
+  | Discontinuous_source    (* femtosecond input edges mid-run *)
+  | Near_singular_conductance (* bridging G comparable to gmin + a short *)
+  | Absurd_timestep         (* dt = t_stop: one step spans the run *)
+
+let all =
+  [ Zero_width_device; Floating_node; Discontinuous_source;
+    Near_singular_conductance; Absurd_timestep ]
+
+let name = function
+  | Zero_width_device -> "zero-width-device"
+  | Floating_node -> "floating-node"
+  | Discontinuous_source -> "discontinuous-source"
+  | Near_singular_conductance -> "near-singular-conductance"
+  | Absurd_timestep -> "absurd-timestep"
+
+type case = {
+  fault : fault;
+  netlist : T.t;
+  watch : T.node;      (* output node whose waveform the suite checks *)
+  dt : float;
+  t_stop : float;
+}
+
+let t_stop = 2e-9
+let dt = 5e-12
+
+(* Two-inverter chain, ramped input.  [perturb] edits the deck while it
+   is still a builder; [wl_scale] degenerates the first driver;
+   [vin_wave] overrides the stimulus. *)
+let deck ~tech ?(wl_scale = 1.0) ?vin_wave ~perturb () =
+  let vdd = tech.Device.Tech.vdd in
+  let b = T.builder () in
+  let nvdd = T.node ~name:"vdd" b in
+  let vin = T.node ~name:"vin" b in
+  let mid = T.node ~name:"mid" b in
+  let out = T.node ~name:"out" b in
+  T.add b (T.Vsrc { pos = nvdd; neg = T.ground; wave = Phys.Pwl.constant vdd });
+  let wave =
+    match vin_wave with
+    | Some w -> w
+    | None ->
+      Phys.Pwl.create [ (0.0, 0.0); (100e-12, 0.0); (150e-12, vdd) ]
+  in
+  T.add b (T.Vsrc { pos = vin; neg = T.ground; wave });
+  let inverter ~wl_n ~wl_p input output =
+    T.add b
+      (T.Mos
+         { params = tech.Device.Tech.nmos; wl = wl_n; drain = output;
+           gate = input; source = T.ground; body = T.ground });
+    T.add b
+      (T.Mos
+         { params = tech.Device.Tech.pmos; wl = wl_p; drain = output;
+           gate = input; source = nvdd; body = nvdd })
+  in
+  inverter ~wl_n:(2.0 *. wl_scale) ~wl_p:(4.0 *. wl_scale) vin mid;
+  inverter ~wl_n:2.0 ~wl_p:4.0 mid out;
+  T.add b (T.Cap { pos = mid; neg = T.ground; c = 10e-15 });
+  T.add b (T.Cap { pos = out; neg = T.ground; c = 10e-15 });
+  perturb b ~mid ~out;
+  (T.freeze b, out)
+
+let no_perturb _b ~mid:_ ~out:_ = ()
+
+let inject ~tech fault =
+  match fault with
+  | Zero_width_device ->
+    (* [T.add] rejects wl = 0 outright, so "zero width" means a device
+       ~1e9x under-sized: its output node is effectively undriven at DC
+       and leans entirely on the gmin regularisation *)
+    let netlist, watch =
+      deck ~tech ~wl_scale:1e-9 ~perturb:no_perturb ()
+    in
+    { fault; netlist; watch; dt; t_stop }
+  | Floating_node ->
+    let netlist, watch =
+      deck ~tech
+        ~perturb:(fun b ~mid ~out:_ ->
+          (* a node reachable only through a capacitor: no DC path *)
+          let dangling = T.node ~name:"dangling" b in
+          T.add b (T.Cap { pos = dangling; neg = mid; c = 5e-15 }))
+        ()
+    in
+    { fault; netlist; watch; dt; t_stop }
+  | Discontinuous_source ->
+    let vdd = tech.Device.Tech.vdd in
+    let wave =
+      (* femtosecond edges and a mid-run glitch: effectively a
+         discontinuous PWL *)
+      Phys.Pwl.create
+        [ (0.0, 0.0); (100e-12, 0.0); (100.001e-12, vdd);
+          (900e-12, vdd); (900.001e-12, 0.0); (900.002e-12, vdd) ]
+    in
+    let netlist, watch =
+      deck ~tech ~vin_wave:wave ~perturb:no_perturb ()
+    in
+    { fault; netlist; watch; dt; t_stop }
+  | Near_singular_conductance ->
+    let netlist, watch =
+      deck ~tech
+        ~perturb:(fun b ~mid ~out ->
+          (* a bridge whose conductance (1e-12 S) sits at the gmin
+             scale, plus a milliohm short loading the output: a badly
+             conditioned matrix on both ends of the spectrum *)
+          let remote = T.node ~name:"remote" b in
+          T.add b (T.Res { pos = mid; neg = remote; r = 1e12 });
+          T.add b (T.Res { pos = out; neg = T.ground; r = 1e-3 }))
+        ()
+    in
+    { fault; netlist; watch; dt; t_stop }
+  | Absurd_timestep ->
+    let netlist, watch = deck ~tech ~perturb:no_perturb () in
+    { fault; netlist; watch; dt = t_stop; t_stop }
+
+let corpus ~tech = List.map (inject ~tech) all

@@ -1,0 +1,35 @@
+(** Deterministic fault-injection harness for the resilience suite.
+
+    Each {!fault} perturbs a fixed two-inverter deck the way real decks
+    go wrong (degenerate devices, floating nodes, discontinuous
+    stimuli, near-singular conductances, absurd time steps).  The
+    contract the test suite asserts over {!corpus}: every case run
+    through {!Engine.dc_r} / {!Engine.transient_r} either recovers or
+    returns a structured [Diag.failure] — never an uncaught exception,
+    a non-finite sample or an unbounded run. *)
+
+type fault =
+  | Zero_width_device        (** a driver with a vanishing W/L *)
+  | Floating_node            (** a node with no DC path to anywhere *)
+  | Discontinuous_source     (** femtosecond input edges mid-run *)
+  | Near_singular_conductance
+      (** bridging conductance at the gmin scale plus a milliohm short *)
+  | Absurd_timestep          (** dt = t_stop: one step spans the run *)
+
+val all : fault list
+
+val name : fault -> string
+
+type case = {
+  fault : fault;
+  netlist : Netlist.Transistor.t;
+  watch : Netlist.Transistor.node;
+      (** output node whose waveform the suite checks for finiteness *)
+  dt : float;
+  t_stop : float;
+}
+
+val inject : tech:Device.Tech.t -> fault -> case
+
+val corpus : tech:Device.Tech.t -> case list
+(** One case per fault class, in {!all} order. *)

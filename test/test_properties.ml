@@ -150,6 +150,61 @@ let prop_parse_print_kind_names =
       let k = List.nth kinds i in
       Netlist.Parse.kind_of_string (Netlist.Gate.name k) = Some k)
 
+let prop_transient_samples_finite =
+  (* resilience invariant: an [Ok] transient contains only finite
+     samples, whatever random logic it simulates *)
+  QCheck.Test.make ~count:15 ~name:"engine: Ok transients are NaN-free"
+    QCheck.(int_bound 400)
+    (fun seed ->
+      let r = Circuits.Random_logic.make ~seed tech ~inputs:3 ~gates:6 in
+      let c = r.Circuits.Random_logic.circuit in
+      let vdd = tech.Device.Tech.vdd in
+      let stimuli =
+        Array.to_list
+          (Array.mapi
+             (fun i n ->
+               let t0 = 100e-12 +. (float_of_int i *. 50e-12) in
+               ( n,
+                 if i mod 2 = 0 then
+                   Phys.Pwl.create
+                     [ (0.0, 0.0); (t0, 0.0); (t0 +. 50e-12, vdd) ]
+                 else Phys.Pwl.constant 0.0 ))
+             (Netlist.Circuit.inputs c))
+      in
+      let inst = Netlist.Expand.expand c ~stimuli in
+      let eng = Spice.Engine.prepare inst.Netlist.Expand.netlist in
+      match Spice.Engine.transient_r eng ~t_stop:1e-9 ~dt:10e-12 with
+      | Error _ -> true (* a structured failure is an acceptable outcome *)
+      | Ok res ->
+        Array.for_all
+          (fun node ->
+            List.for_all
+              (fun (t, v) -> Float.is_finite t && Float.is_finite v)
+              (Phys.Pwl.points (Spice.Engine.waveform res node)))
+          (Array.init
+             (Netlist.Transistor.num_nodes inst.Netlist.Expand.netlist)
+             (fun i -> i)))
+
+let prop_result_api_never_raises =
+  (* the fault corpus exercises each injected failure mode through both
+     Result-typed analyses; neither may leak an exception *)
+  let corpus = Array.of_list (Spice.Faults.corpus ~tech) in
+  QCheck.Test.make
+    ~count:(2 * Array.length corpus)
+    ~name:"engine: dc_r/transient_r never raise on the fault corpus"
+    QCheck.(int_bound (Array.length corpus - 1))
+    (fun i ->
+      let case = corpus.(i) in
+      let eng = Spice.Engine.prepare case.Spice.Faults.netlist in
+      match
+        ( Spice.Engine.dc_r eng,
+          Spice.Engine.transient_r eng ~dt:case.Spice.Faults.dt
+            ~t_stop:case.Spice.Faults.t_stop
+            ~record:(Spice.Engine.Nodes [ case.Spice.Faults.watch ]) )
+      with
+      | (Ok _ | Error _), (Ok _ | Error _) -> true
+      | exception _ -> false)
+
 let prop_hierarchy_blocks_cover =
   QCheck.Test.make ~count:40 ~name:"hierarchy: by_level maps into range"
     QCheck.(pair (int_bound 400) (int_range 1 5))
@@ -172,4 +227,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_sequence_vx_bounded;
     QCheck_alcotest.to_alcotest prop_deck_roundtrip_counts;
     QCheck_alcotest.to_alcotest prop_parse_print_kind_names;
+    QCheck_alcotest.to_alcotest prop_transient_samples_finite;
+    QCheck_alcotest.to_alcotest prop_result_api_never_raises;
     QCheck_alcotest.to_alcotest prop_hierarchy_blocks_cover ]
