@@ -1035,6 +1035,68 @@ let extras ~fast () =
        -- the slew and compound-gate@.   margin matters)@."
   end
 
+(* ---- PAR: sequential vs parallel sweep/hunt ------------------------------------ *)
+
+let par ~fast () =
+  header "PAR: deterministic parallel sweep engine, sequential vs domains";
+  let cores = Domain.recommended_domain_count () in
+  (* at least 2 domains even on a single-core host, so the
+     identical-output assertion always exercises the real parallel path *)
+  let jobs = max 2 (Par.Pool.default_jobs ()) in
+  Format.printf
+    "available cores: %d; parallel runs use --jobs %d@." cores jobs;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* identical-output assertions run at every core count; the >= 2x
+     speedup assertion only where the acceptance criterion applies (a
+     machine with at least 4 cores) -- on fewer cores the honest
+     numbers are still printed *)
+  let report name t_seq t_par equal =
+    let speedup = t_seq /. t_par in
+    Format.printf
+      "{\"experiment\": \"par/%s\", \"jobs\": %d, \"t_seq_s\": %.3f, \
+       \"t_par_s\": %.3f, \"speedup\": %.2f, \"identical\": %b}@."
+      name jobs t_seq t_par speedup equal;
+    if not equal then begin
+      Format.eprintf "par/%s: parallel result differs from sequential@." name;
+      exit 1
+    end;
+    if cores >= 4 && jobs >= 4 && speedup < 2.0 then begin
+      Format.eprintf
+        "par/%s: speedup %.2fx < 2x at --jobs %d on a %d-core host@." name
+        speedup jobs cores;
+      exit 1
+    end
+  in
+  (* W/L sweep of the 8x8 multiplier over both paper vectors *)
+  let wls =
+    if fast then [ 30.0; 60.0; 100.0; 170.0; 300.0; 500.0 ]
+    else [ 20.0; 30.0; 45.0; 60.0; 80.0; 100.0; 130.0; 170.0; 220.0;
+           300.0; 400.0; 500.0 ]
+  in
+  let vectors = [ mult_vec_a; mult_vec_b ] in
+  let sweep j () = Mtcmos.Sizing.sweep ~jobs:j mult_c ~vectors ~wls in
+  let ms_seq, t_seq = time (sweep 1) in
+  let ms_par, t_par = time (sweep jobs) in
+  report "sizing-sweep-mult8" t_seq t_par (ms_seq = ms_par);
+  (* worst-vector hunt on the same multiplier *)
+  let sleep60 = sleep_of t03 60.0 in
+  let hunt j () =
+    Mtcmos.Search.hill_climb ~seed:2 ~restarts:(if fast then 4 else 8)
+      ~max_iters:(if fast then 100 else 250) ~jobs:j mult_c ~sleep:sleep60
+      ~widths:[ 8; 8 ] Mtcmos.Search.Max_degradation
+  in
+  let h_seq, ht_seq = time (hunt 1) in
+  let h_par, ht_par = time (hunt jobs) in
+  report "search-hunt-mult8" ht_seq ht_par (h_seq = h_par);
+  Format.printf
+    "hunt found score %.4g in %d evaluations (same at --jobs 1 and \
+     --jobs %d)@."
+    h_par.Mtcmos.Search.score h_par.Mtcmos.Search.evaluations jobs
+
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -1121,6 +1183,7 @@ let all ~fast () =
   ablations ();
   design_space ();
   extras ~fast ();
+  par ~fast ();
   bechamel ()
 
 let () =
@@ -1155,11 +1218,12 @@ let () =
         | "ablations" -> ablations ()
         | "design-space" -> design_space ()
         | "extras" -> extras ~fast ()
+        | "par" -> par ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
-             fig14 cpu ablations extras bechamel)@."
+             fig14 cpu ablations extras par bechamel)@."
             other;
           exit 2)
       names

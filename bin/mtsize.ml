@@ -161,10 +161,26 @@ let print_resilience stats =
   if stats.Mtcmos.Resilience.attempted > 0 then
     Format.printf "%a@." Mtcmos.Resilience.pp_report stats
 
+(* Worker-domain count for the parallel subcommands.  0 (the default)
+   means "one worker per available core"; results are identical whatever
+   the value (Par.Pool's deterministic chunked scheduling). *)
+let jobs_term =
+  let doc =
+    "Number of worker domains for the sweep/search ($(b,0) = one per \
+     available core).  The output is bit-for-bit identical whatever \
+     $(docv) is; only the wall time changes."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs n =
+  if n = 0 then Par.Pool.default_jobs ()
+  else if n > 0 then n
+  else or_die (Error (Printf.sprintf "--jobs %d: must be >= 0" n))
+
 (* ---- subcommands ---------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run tech_name circuit_name vectors wls spice budget =
+  let run tech_name circuit_name vectors wls spice budget jobs =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let engine =
       if spice then Mtcmos.Sizing.Spice_level else Mtcmos.Sizing.Breakpoint
@@ -172,8 +188,8 @@ let sweep_cmd =
     let stats = Mtcmos.Resilience.create () in
     let policy = policy_of_budget budget in
     Format.printf "%s: %a@." bc.name Netlist.Circuit.pp_stats bc.circuit;
-    Mtcmos.Sizing.sweep ~stats ?policy ~engine bc.circuit ~vectors:vecs
-      ~wls
+    Mtcmos.Sizing.sweep ~stats ?policy ~jobs:(resolve_jobs jobs) ~engine
+      bc.circuit ~vectors:vecs ~wls
     |> List.iter (fun m ->
            Format.printf "%a@." Mtcmos.Sizing.pp_measurement m);
     print_resilience stats
@@ -192,7 +208,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Delay and degradation versus sleep size")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wls_term
-          $ spice_term $ newton_budget_term)
+          $ spice_term $ newton_budget_term $ jobs_term)
 
 let size_cmd =
   let run tech_name circuit_name vectors target =
@@ -304,15 +320,16 @@ let simulate_cmd =
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term)
 
 let compare_cmd =
-  let run tech_name circuit_name vectors wl budget =
+  let run tech_name circuit_name vectors wl budget jobs =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
+    let jobs = resolve_jobs jobs in
     let bp =
       Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint bc.circuit
         ~vectors:vecs ~wl
     in
     let stats = Mtcmos.Resilience.create () in
     let sp =
-      Mtcmos.Sizing.delay_at ~stats ?policy:(policy_of_budget budget)
+      Mtcmos.Sizing.delay_at ~stats ?policy:(policy_of_budget budget) ~jobs
         ~engine:Mtcmos.Sizing.Spice_level bc.circuit ~vectors:vecs ~wl
     in
     Format.printf "switch-level:     %a@." Mtcmos.Sizing.pp_measurement bp;
@@ -327,7 +344,7 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Compare the fast tool against the transistor-level engine")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term
-          $ newton_budget_term)
+          $ newton_budget_term $ jobs_term)
 
 let estimate_cmd =
   let run tech_name circuit_name vectors =
@@ -497,7 +514,7 @@ let lint_cmd =
     Term.(const run $ tech_term $ circuit_term)
 
 let search_cmd =
-  let run tech_name circuit_name wl restarts objective spice =
+  let run tech_name circuit_name wl restarts objective spice jobs =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let sleep =
       Mtcmos.Breakpoint_sim.Sleep_fet
@@ -518,8 +535,9 @@ let search_cmd =
     in
     let stats = Mtcmos.Resilience.create () in
     let o =
-      Mtcmos.Search.hill_climb ~restarts ~engine ~stats bc.circuit ~sleep
-        ~widths:bc.widths objective
+      Mtcmos.Search.hill_climb ~restarts ~engine ~stats
+        ~jobs:(resolve_jobs jobs) bc.circuit ~sleep ~widths:bc.widths
+        objective
     in
     let fmt g =
       String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
@@ -554,7 +572,7 @@ let search_cmd =
     (Cmd.info "search"
        ~doc:"Stochastic worst-vector hunt for unenumerable spaces")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ restarts_term
-          $ objective_term $ spice_term)
+          $ objective_term $ spice_term $ jobs_term)
 
 let dot_cmd =
   let run tech_name circuit_name out =

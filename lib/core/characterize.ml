@@ -125,12 +125,30 @@ let measure ?stats tech kind ~cl ~ramp =
       fall_slew = slew fall_run ~out_rising:false;
       rise_slew = slew rise_run ~out_rising:true }
 
-let gate ?stats ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
+let gate ?stats ?(jobs = 1) ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
     ?(ramps = [ 20e-12; 100e-12 ]) tech kind =
-  List.concat_map
-    (fun cl ->
-      List.map (fun ramp -> measure ?stats tech kind ~cl ~ramp) ramps)
-    loads
+  (* the grid is materialised in loads-major order (same order the old
+     sequential concat_map produced) and each operating point is an
+     independent fixture run, so parallelising over the flat grid keeps
+     the result list identical whatever [jobs] is *)
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun cl -> List.map (fun ramp -> (cl, ramp)) ramps)
+         loads)
+  in
+  let points =
+    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
+      ~merge:(fun w ->
+        match stats with
+        | Some s -> Resilience.merge_into ~into:s w
+        | None -> ())
+      (Array.length grid)
+      (fun wstats i ->
+        let cl, ramp = grid.(i) in
+        measure ~stats:wstats tech kind ~cl ~ramp)
+  in
+  Array.to_list points
 
 let first_order_fall tech kind ~cl =
   let model = Delay_model.of_tech tech in

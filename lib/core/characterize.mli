@@ -25,6 +25,7 @@ val measure :
 
 val gate :
   ?stats:Resilience.t ->
+  ?jobs:int ->
   ?loads:float list ->
   ?ramps:float list ->
   Device.Tech.t ->
@@ -32,7 +33,9 @@ val gate :
   point list
 (** Characterise one kind (default loads 10/20/50/100 fF, ramps
     20/100 ps).  The gate's side inputs are tied so the first pin
-    controls. *)
+    controls.  [jobs] (default 1) spreads the loads x ramps grid over
+    that many domains; points come back in loads-major order and the
+    list (and [?stats] totals) is identical whatever [jobs] is. *)
 
 val first_order_fall : Device.Tech.t -> Netlist.Gate.kind -> cl:float -> float
 (** The switch-level model's own prediction for comparison. *)

@@ -43,45 +43,81 @@ let score_bp ~body_effect c ~sleep objective (before, after) =
 
 (* transistor-level oracle: a transition whose transient fails even
    after recovery scores 0 (it can never be selected as "worst") and is
-   recorded as a skip, so the hunt keeps going *)
-let score_spice ?stats c ~sleep objective ((before, after) as pair) =
-  let run ~sleep =
-    Spice_ref.run_ints_r
-      ~config:{ Spice_ref.default_config with Spice_ref.sleep }
-      c ~before ~after
+   recorded as a [Scored_zero] skip — distinguishable in [?stats] from
+   an honest nothing-switches zero, which records a plain success — so
+   a hunt over thousands of vectors survives individual failures
+   without silently conflating the two cases *)
+let score_spice ?stats ?(policy = Spice.Recover.default) ?(jobs = 1) c
+    ~sleep objective ((before, after) as pair) =
+  let run_one wstats sl =
+    let config =
+      { Spice_ref.default_config with Spice_ref.sleep = sl; policy }
+    in
+    match Spice_ref.run_ints_r ~config c ~before ~after with
+    | Error f ->
+      Resilience.record_skip ?stats:wstats ~kind:Resilience.Scored_zero
+        ~label:(vector_label pair) f;
+      None
+    | Ok r ->
+      Resilience.record_success ?stats:wstats (Spice_ref.telemetry r);
+      Some r
   in
-  match run ~sleep with
-  | Error f ->
-    Resilience.record_skip ?stats ~label:(vector_label pair) f;
-    0.0
-  | Ok r ->
-    Resilience.record_success ?stats (Spice_ref.telemetry r);
-    (match objective with
-     | Max_vx -> Spice_ref.vx_peak r
-     | Max_current -> Spice_ref.peak_sleep_current r
-     | Max_delay ->
-       (match Spice_ref.critical_delay r with
-        | Some (_, d) -> d
-        | None -> 0.0)
-     | Max_degradation ->
-       (match Spice_ref.critical_delay r with
-        | None -> 0.0
-        | Some (_, d_mt) ->
-          (match run ~sleep:Breakpoint_sim.Cmos with
-           | Error f ->
-             Resilience.record_skip ?stats ~label:(vector_label pair) f;
-             0.0
-           | Ok r0 ->
-             Resilience.record_success ?stats (Spice_ref.telemetry r0);
-             (match Spice_ref.critical_delay r0 with
-              | Some (_, d0) when d0 > 0.0 -> (d_mt -. d0) /. d0
-              | Some _ | None -> 0.0))))
+  match objective with
+  | Max_degradation ->
+    (* both runs are always evaluated (the MTCMOS transient and the
+       ideal-ground baseline), so the score and the recorded
+       diagnostics are identical whatever [jobs] is; at jobs >= 2 the
+       two transients run on separate domains *)
+    let sleeps = [| sleep; Breakpoint_sim.Cmos |] in
+    let runs =
+      Par.Pool.map_stateful ~jobs:(min jobs 2) ~chunk:1
+        ~create:Resilience.create
+        ~merge:(fun w ->
+          match stats with
+          | Some s -> Resilience.merge_into ~into:s w
+          | None -> ())
+        2
+        (fun wstats i -> run_one (Some wstats) sleeps.(i))
+    in
+    (match (runs.(0), runs.(1)) with
+     | Some r_mt, Some r0 ->
+       (match
+          (Spice_ref.critical_delay r_mt, Spice_ref.critical_delay r0)
+        with
+        | Some (_, d_mt), Some (_, d0) when d0 > 0.0 -> (d_mt -. d0) /. d0
+        | _ -> 0.0)
+     | _ -> 0.0)
+  | Max_vx | Max_current | Max_delay ->
+    (match run_one stats sleep with
+     | None -> 0.0
+     | Some r ->
+       (match objective with
+        | Max_vx -> Spice_ref.vx_peak r
+        | Max_current -> Spice_ref.peak_sleep_current r
+        | Max_delay | Max_degradation ->
+          (match Spice_ref.critical_delay r with
+           | Some (_, d) -> d
+           | None -> 0.0)))
 
-let score ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats c
-    ~sleep objective pair =
+let score ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats
+    ?policy ?jobs c ~sleep objective pair =
   match engine with
   | Sizing.Breakpoint -> score_bp ~body_effect c ~sleep objective pair
-  | Sizing.Spice_level -> score_spice ?stats c ~sleep objective pair
+  | Sizing.Spice_level ->
+    score_spice ?stats ?policy ?jobs c ~sleep objective pair
+
+let score_all ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats
+    ?policy ?(jobs = 1) c ~sleep objective pairs =
+  let arr = Array.of_list pairs in
+  Par.Pool.map_stateful ~jobs ~create:Resilience.create
+    ~merge:(fun w ->
+      match stats with
+      | Some s -> Resilience.merge_into ~into:s w
+      | None -> ())
+    (Array.length arr)
+    (fun wstats i ->
+      score ~body_effect ~engine ~stats:wstats ?policy c ~sleep objective
+        arr.(i))
 
 (* enumerate the single-bit-flip neighbours of a packed assignment *)
 let flip_bit groups ~bit =
@@ -95,15 +131,15 @@ let flip_bit groups ~bit =
 
 let total_bits widths = List.fold_left ( + ) 0 widths
 
-let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
-    ?body_effect ?engine ?stats c ~sleep ~widths objective =
-  let st = Random.State.make [| seed |] in
-  let bits = total_bits widths in
-  let evals = ref 0 in
-  let eval pair =
-    incr evals;
-    score ?body_effect ?engine ?stats c ~sleep objective pair
-  in
+(* One hill-climb restart with its own RNG stream, derived from
+   [(seed, restart)].  Seeding per restart (rather than sharing one
+   stream across restarts, as earlier versions did) is what lets
+   restarts run on separate domains while the hunt stays reproducible:
+   the candidate sequence of restart [r] no longer depends on how many
+   draws restarts [0..r-1] consumed, so the outcome is a pure function
+   of [seed] alone — identical for every [jobs]. *)
+let climb_restart ~seed ~restart ~max_iters ~widths ~bits ~eval =
+  let st = Random.State.make [| seed; restart |] in
   let random_groups () =
     List.map (fun w -> (w, Random.State.int st (1 lsl w))) widths
   in
@@ -113,61 +149,104 @@ let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
     | Some (_, s0) when s0 >= s -> ()
     | Some _ | None -> best := Some (pair, s)
   in
-  for _ = 1 to restarts do
-    let current = ref (random_groups (), random_groups ()) in
-    let current_score = ref (eval !current) in
-    consider !current !current_score;
-    let stuck = ref false in
-    let iters = ref 0 in
-    while (not !stuck) && !iters < max_iters do
-      (* first-improvement over a random permutation of the 2*bits moves *)
-      let moves = Array.init (2 * bits) (fun i -> i) in
-      for i = Array.length moves - 1 downto 1 do
-        let j = Random.State.int st (i + 1) in
-        let t = moves.(i) in
-        moves.(i) <- moves.(j);
-        moves.(j) <- t
-      done;
-      let improved = ref false in
-      let k = ref 0 in
-      while (not !improved) && !k < Array.length moves
-            && !iters < max_iters do
-        let m = moves.(!k) in
-        incr k;
-        incr iters;
-        let before, after = !current in
-        let candidate =
-          if m < bits then (flip_bit before ~bit:m, after)
-          else (before, flip_bit after ~bit:(m - bits))
-        in
-        let s = eval candidate in
-        consider candidate s;
-        if s > !current_score then begin
-          current := candidate;
-          current_score := s;
-          improved := true
-        end
-      done;
-      if not !improved then stuck := true
-    done
+  let current = ref (random_groups (), random_groups ()) in
+  let current_score = ref (eval !current) in
+  consider !current !current_score;
+  let stuck = ref false in
+  let iters = ref 0 in
+  while (not !stuck) && !iters < max_iters do
+    (* first-improvement over a random permutation of the 2*bits moves *)
+    let moves = Array.init (2 * bits) (fun i -> i) in
+    for i = Array.length moves - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = moves.(i) in
+      moves.(i) <- moves.(j);
+      moves.(j) <- t
+    done;
+    let improved = ref false in
+    let k = ref 0 in
+    while (not !improved) && !k < Array.length moves && !iters < max_iters
+    do
+      let m = moves.(!k) in
+      incr k;
+      incr iters;
+      let before, after = !current in
+      let candidate =
+        if m < bits then (flip_bit before ~bit:m, after)
+        else (before, flip_bit after ~bit:(m - bits))
+      in
+      let s = eval candidate in
+      consider candidate s;
+      if s > !current_score then begin
+        current := candidate;
+        current_score := s;
+        improved := true
+      end
+    done;
+    if not !improved then stuck := true
   done;
-  match !best with
-  | Some (pair, s) -> { pair; score = s; evaluations = !evals }
-  | None -> assert false
+  !best
 
-let exhaustive ?body_effect ?engine ?stats c ~sleep ~widths objective =
-  let pairs = Vectors.enumerate_pairs ~widths in
-  let evals = ref 0 in
-  let best =
-    List.fold_left
-      (fun acc pair ->
-        incr evals;
-        let s = score ?body_effect ?engine ?stats c ~sleep objective pair in
-        match acc with
-        | Some (_, s0) when s0 >= s -> acc
-        | Some _ | None -> Some (pair, s))
-      None pairs
+let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
+    ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats ?policy
+    ?(jobs = 1) c ~sleep ~widths objective =
+  let bits = total_bits widths in
+  (* restarts are the unit of parallelism: each is an independent climb
+     (own RNG stream, own evaluation counter, own resilience
+     accumulator), and the per-restart bests are reduced in restart
+     order — lower restart wins ties — so the outcome is identical for
+     every [jobs] *)
+  let per_restart =
+    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
+      ~merge:(fun w ->
+        match stats with
+        | Some s -> Resilience.merge_into ~into:s w
+        | None -> ())
+      restarts
+      (fun wstats r ->
+        let evals = ref 0 in
+        let eval pair =
+          incr evals;
+          score ~body_effect ~engine ~stats:wstats ?policy c ~sleep
+            objective pair
+        in
+        let best =
+          climb_restart ~seed ~restart:r ~max_iters ~widths ~bits ~eval
+        in
+        (best, !evals))
+  in
+  let best, evaluations =
+    Array.fold_left
+      (fun (acc, n) (best, evals) ->
+        let acc =
+          match (acc, best) with
+          | Some (_, s0), Some (_, s) when s0 >= s -> acc
+          | _, Some _ -> best
+          | _, None -> acc
+        in
+        (acc, n + evals))
+      (None, 0) per_restart
   in
   match best with
-  | Some (pair, s) -> { pair; score = s; evaluations = !evals }
+  | Some (pair, s) -> { pair; score = s; evaluations }
+  | None -> assert false
+
+let exhaustive ?body_effect ?engine ?stats ?policy ?jobs c ~sleep ~widths
+    objective =
+  let pairs = Vectors.enumerate_pairs ~widths in
+  let scores =
+    score_all ?body_effect ?engine ?stats ?policy ?jobs c ~sleep objective
+      pairs
+  in
+  let best = ref None in
+  List.iteri
+    (fun i pair ->
+      let s = scores.(i) in
+      match !best with
+      | Some (_, s0) when s0 >= s -> ()
+      | Some _ | None -> best := Some (pair, s))
+    pairs;
+  match !best with
+  | Some (pair, s) ->
+    { pair; score = s; evaluations = Array.length scores }
   | None -> invalid_arg "Search.exhaustive: empty space"

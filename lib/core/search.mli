@@ -5,7 +5,15 @@
     and B by structural insight.  This module automates that hunt with a
     stochastic hill climb over bit flips, using the breakpoint simulator
     as the (cheap) oracle: exactly the "narrow down the vector space"
-    role §5 assigns the tool. *)
+    role §5 assigns the tool.
+
+    All entry points take [?jobs] (default 1) and distribute their
+    independent simulator calls over that many domains via [Par.Pool].
+    The outcome — best pair, score, evaluation count, and the [?stats]
+    counter totals — is identical whatever [jobs] is: candidates are
+    assigned to workers statically, reduced in index order, and each
+    restart of the hill climb owns an RNG stream derived from
+    [(seed, restart)]. *)
 
 type objective =
   | Max_degradation
@@ -28,6 +36,8 @@ val score :
   ?body_effect:bool ->
   ?engine:Sizing.engine ->
   ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
+  ?jobs:int ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   objective ->
@@ -35,11 +45,33 @@ val score :
   float
 (** Evaluate one transition under the chosen objective (0 when nothing
     switches).  With [engine = Sizing.Spice_level] the transistor-level
-    reference scores the transition; a transient that fails even after
-    recovery scores 0 and is recorded as a skipped sample in [?stats],
-    so a hunt over thousands of vectors survives individual failures.
+    reference scores the transition under recovery [?policy] (default
+    [Spice.Recover.default]); a transient that fails even after
+    recovery scores 0 and is recorded as a [Resilience.Scored_zero]
+    skip in [?stats] — distinct from the honest nothing-switches zero,
+    which records a plain success — so a hunt over thousands of vectors
+    survives individual failures without conflating the two cases.
+    For [Max_degradation] at [jobs >= 2] the MTCMOS and CMOS transients
+    run on separate domains; both are always evaluated, so the value
+    and the recorded diagnostics are jobs-invariant.
     ([body_effect] only applies to the breakpoint oracle; the
     transistor-level engine always models it.) *)
+
+val score_all :
+  ?body_effect:bool ->
+  ?engine:Sizing.engine ->
+  ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
+  ?jobs:int ->
+  Netlist.Circuit.t ->
+  sleep:Breakpoint_sim.sleep_model ->
+  objective ->
+  Vectors.pair list ->
+  float array
+(** Score a batch of transitions; element [i] is the score of the
+    [i]-th pair.  [jobs] spreads the candidates over domains with
+    per-worker [?stats] accumulators merged in worker order, so the
+    array and the counters are identical whatever [jobs] is. *)
 
 val hill_climb :
   ?seed:int ->
@@ -48,6 +80,8 @@ val hill_climb :
   ?body_effect:bool ->
   ?engine:Sizing.engine ->
   ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
+  ?jobs:int ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   widths:int list ->
@@ -56,16 +90,24 @@ val hill_climb :
 (** Multi-restart stochastic hill climb: from a random transition, try
     single-bit flips of the before/after words (first-improvement);
     restart when stuck.  Defaults: 8 restarts, 400 iterations each.
-    Deterministic for a given [seed]. *)
+    Each restart draws from its own RNG stream seeded with
+    [(seed, restart)] and restarts are the unit of parallelism, so the
+    outcome is a pure function of [seed] — reproducible, and identical
+    for every [jobs].  Ties between restarts go to the lower restart
+    index. *)
 
 val exhaustive :
   ?body_effect:bool ->
   ?engine:Sizing.engine ->
   ?stats:Resilience.t ->
+  ?policy:Spice.Recover.policy ->
+  ?jobs:int ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   widths:int list ->
   objective ->
   outcome
-(** Ground truth for small spaces.
+(** Ground truth for small spaces.  Scores every pair (in parallel when
+    [jobs > 1]) and takes the argmax in enumeration order (first of
+    equals wins, matching the sequential fold).
     @raise Invalid_argument when the space exceeds 2^22 pairs. *)

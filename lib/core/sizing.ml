@@ -28,35 +28,53 @@ let vector_label (before, after) =
   in
   Printf.sprintf "(%s)->(%s)" (fmt before) (fmt after)
 
-let worst_delay_spice ~config ~bp_config ?stats c vectors =
-  List.fold_left
-    (fun (dmax, vxmax) (before, after) ->
-      match Spice_ref.run_ints_r ~config c ~before ~after with
-      | Ok r ->
-        Resilience.record_success ?stats (Spice_ref.telemetry r);
-        let d =
-          match Spice_ref.critical_delay r with
-          | Some (_, d) -> d
-          | None -> 0.0
-        in
-        (Float.max dmax d, Float.max vxmax (Spice_ref.vx_peak r))
-      | Error f ->
-        (* graceful degradation: record the diagnosis and fall back to
-           the breakpoint-simulator estimate for this vector instead of
-           aborting the whole sweep *)
-        Resilience.record_skip ?stats ~fallback:true
-          ~label:(vector_label (before, after))
-          f;
-        let r =
-          Breakpoint_sim.simulate_ints ~config:bp_config c ~before ~after
-        in
-        let d =
-          match Breakpoint_sim.critical_delay r with
-          | Some (_, d) -> d
-          | None -> 0.0
-        in
-        (Float.max dmax d, Float.max vxmax (Breakpoint_sim.vx_peak r)))
-    (0.0, 0.0) vectors
+(* one vector's transistor-level measurement, with graceful
+   degradation: record the diagnosis and fall back to the
+   breakpoint-simulator estimate for this vector instead of aborting
+   the whole sweep *)
+let spice_vector ~config ~bp_config ?stats c (before, after) =
+  match Spice_ref.run_ints_r ~config c ~before ~after with
+  | Ok r ->
+    Resilience.record_success ?stats (Spice_ref.telemetry r);
+    let d =
+      match Spice_ref.critical_delay r with
+      | Some (_, d) -> d
+      | None -> 0.0
+    in
+    (d, Spice_ref.vx_peak r)
+  | Error f ->
+    Resilience.record_skip ?stats ~kind:Resilience.Estimated
+      ~label:(vector_label (before, after))
+      f;
+    let r =
+      Breakpoint_sim.simulate_ints ~config:bp_config c ~before ~after
+    in
+    let d =
+      match Breakpoint_sim.critical_delay r with
+      | Some (_, d) -> d
+      | None -> 0.0
+    in
+    (d, Breakpoint_sim.vx_peak r)
+
+(* parallel over vectors; per-worker accumulators keep the recording
+   lock-free and are merged back (in worker order) after the join, and
+   the max-reduction runs in index order, so the measurement and the
+   diagnostics are independent of [jobs] *)
+let worst_delay_spice ~config ~bp_config ?stats ~jobs c vectors =
+  let vecs = Array.of_list vectors in
+  let per_vector =
+    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
+      ~merge:(fun w ->
+        match stats with
+        | Some s -> Resilience.merge_into ~into:s w
+        | None -> ())
+      (Array.length vecs)
+      (fun wstats i -> spice_vector ~config ~bp_config ~stats:wstats c vecs.(i))
+  in
+  Array.fold_left
+    (fun (dmax, vxmax) (d, vx) ->
+      (Float.max dmax d, Float.max vxmax vx))
+    (0.0, 0.0) per_vector
 
 let sleep_of c ~body_effect ~wl =
   ignore body_effect;
@@ -64,8 +82,8 @@ let sleep_of c ~body_effect ~wl =
   Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
     ~vdd:tech.Device.Tech.vdd
 
-let worst_delay ?stats ?(policy = Spice.Recover.default) ~engine
-    ~body_effect c ~sleep vectors =
+let worst_delay ?stats ?(policy = Spice.Recover.default) ?(jobs = 1)
+    ~engine ~body_effect c ~sleep vectors =
   match engine with
   | Breakpoint ->
     let config =
@@ -88,22 +106,22 @@ let worst_delay ?stats ?(policy = Spice.Recover.default) ~engine
     let config =
       { Spice_ref.default_config with Spice_ref.sleep; t_stop; policy }
     in
-    worst_delay_spice ~config ~bp_config ?stats c vectors
+    worst_delay_spice ~config ~bp_config ?stats ~jobs c vectors
 
 let cmos_delay ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true)
-    c ~vectors =
+    ?jobs c ~vectors =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
   fst
-    (worst_delay ?stats ?policy ~engine ~body_effect c
+    (worst_delay ?stats ?policy ?jobs ~engine ~body_effect c
        ~sleep:Breakpoint_sim.Cmos vectors)
 
-let delay_at ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true) c
-    ~vectors ~wl =
+let delay_at ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true)
+    ?jobs c ~vectors ~wl =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let base = cmos_delay ?stats ?policy ~engine ~body_effect c ~vectors in
+  let base = cmos_delay ?stats ?policy ?jobs ~engine ~body_effect c ~vectors in
   let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
   let d, vx =
-    worst_delay ?stats ?policy ~engine ~body_effect c ~sleep vectors
+    worst_delay ?stats ?policy ?jobs ~engine ~body_effect c ~sleep vectors
   in
   { wl;
     cmos_delay = base;
@@ -111,22 +129,36 @@ let delay_at ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true) c
     degradation = (d -. base) /. base;
     vx_peak = vx }
 
-let sweep ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true) c
-    ~vectors ~wls =
+let sweep ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true)
+    ?(jobs = 1) c ~vectors ~wls =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
   let base = cmos_delay ?stats ?policy ~engine ~body_effect c ~vectors in
-  List.map
-    (fun wl ->
-      let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
-      let d, vx =
-        worst_delay ?stats ?policy ~engine ~body_effect c ~sleep vectors
-      in
-      { wl;
-        cmos_delay = base;
-        mtcmos_delay = d;
-        degradation = (d -. base) /. base;
-        vx_peak = vx })
-    wls
+  (* parallelise across W/L points (each is an independent worst-delay
+     measurement); inner per-vector loops stay sequential so one sweep
+     spawns at most [jobs] domains.  Results land in index order, so
+     the list is identical whatever [jobs] is. *)
+  let wl_arr = Array.of_list wls in
+  let ms =
+    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
+      ~merge:(fun w ->
+        match stats with
+        | Some s -> Resilience.merge_into ~into:s w
+        | None -> ())
+      (Array.length wl_arr)
+      (fun wstats i ->
+        let wl = wl_arr.(i) in
+        let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
+        let d, vx =
+          worst_delay ~stats:wstats ?policy ~engine ~body_effect c ~sleep
+            vectors
+        in
+        { wl;
+          cmos_delay = base;
+          mtcmos_delay = d;
+          degradation = (d -. base) /. base;
+          vx_peak = vx })
+  in
+  Array.to_list ms
 
 let size_for_degradation ?stats ?policy ?(engine = Breakpoint)
     ?(body_effect = true) ?(wl_lo = 0.5) ?(wl_hi = 4096.0)

@@ -32,17 +32,21 @@ val delay_at :
   ?policy:Spice.Recover.policy ->
   ?engine:engine ->
   ?body_effect:bool ->
+  ?jobs:int ->
   Netlist.Circuit.t ->
   vectors:vector_pair list ->
   wl:float ->
   measurement
-(** Worst-case measurement over [vectors] at one sleep size.
+(** Worst-case measurement over [vectors] at one sleep size.  [jobs]
+    (default 1) spreads the per-vector transistor-level analyses over
+    that many domains via [Par.Pool]; the measurement and the [?stats]
+    totals are identical whatever [jobs] is.
     @raise Invalid_argument on an empty vector list. *)
 
 val cmos_delay :
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
-  ?engine:engine -> ?body_effect:bool -> Netlist.Circuit.t ->
+  ?engine:engine -> ?body_effect:bool -> ?jobs:int -> Netlist.Circuit.t ->
   vectors:vector_pair list -> float
 (** Ideal-ground baseline delay. *)
 
@@ -51,11 +55,16 @@ val sweep :
   ?policy:Spice.Recover.policy ->
   ?engine:engine ->
   ?body_effect:bool ->
+  ?jobs:int ->
   Netlist.Circuit.t ->
   vectors:vector_pair list ->
   wls:float list ->
   measurement list
-(** One measurement per W/L, sharing the CMOS baseline. *)
+(** One measurement per W/L, sharing the CMOS baseline.  [jobs]
+    (default 1) distributes the W/L points over that many domains;
+    results come back in [wls] order and are bit-for-bit identical to
+    the sequential run (deterministic chunked scheduling, worker-order
+    accumulator merge — see [Par.Pool]). *)
 
 val size_for_degradation :
   ?stats:Resilience.t ->

@@ -32,8 +32,8 @@ let shift_tech (tech : Device.Tech.t) ~dvt ~dkp_rel =
     sleep_nmos = shift_params tech.Device.Tech.sleep_nmos ~dvt ~dkp_rel;
     sleep_pmos = shift_params tech.Device.Tech.sleep_pmos ~dvt ~dkp_rel }
 
-let monte_carlo ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05) ~n
-    circuit ~wl ~vector =
+let monte_carlo ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
+    ?(jobs = 1) ~n circuit ~wl ~vector =
   if n < 1 then invalid_arg "Variation.monte_carlo: n < 1";
   let st = Random.State.make [| seed |] in
   let tech0 = C.tech circuit in
@@ -42,9 +42,17 @@ let monte_carlo ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05) ~n
   let nominal_cmos =
     Sizing.cmos_delay circuit ~vectors:[ vector ]
   in
-  let run_sample () =
-    let dvt = sigma_vt *. gaussian st in
-    let dkp_rel = sigma_kp_rel *. gaussian st in
+  (* the parameter shifts are presampled sequentially from the single
+     seeded stream (same draw order as ever: dvt then dkp per sample),
+     so the sample values are independent of [jobs] — only the
+     simulations fan out across domains *)
+  let params =
+    Array.init n (fun _ ->
+        let dvt = sigma_vt *. gaussian st in
+        let dkp_rel = sigma_kp_rel *. gaussian st in
+        (dvt, dkp_rel))
+  in
+  let run_sample (dvt, dkp_rel) =
     let tech = shift_tech tech0 ~dvt ~dkp_rel in
     let sleep =
       Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
@@ -63,7 +71,7 @@ let monte_carlo ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05) ~n
     in
     { dvt; dkp_rel; delay; vx_peak = Breakpoint_sim.vx_peak r }
   in
-  let samples = Array.init n (fun _ -> run_sample ()) in
+  let samples = Par.Pool.map ~jobs n (fun i -> run_sample params.(i)) in
   let delays = Array.map (fun s -> s.delay) samples in
   let vxs = Array.map (fun s -> s.vx_peak) samples in
   let degradations =

@@ -25,6 +25,7 @@ val monte_carlo :
   ?seed:int ->
   ?sigma_vt:float ->
   ?sigma_kp_rel:float ->
+  ?jobs:int ->
   n:int ->
   Netlist.Circuit.t ->
   wl:float ->
@@ -32,4 +33,7 @@ val monte_carlo :
   stats
 (** [n] samples with Gaussian die-to-die shifts (defaults: 20 mV on Vt,
     5 % on kp).  The circuit's own technology card is the nominal.
+    The parameter shifts are presampled sequentially from the seeded
+    stream before the simulations fan out over [jobs] (default 1)
+    domains, so the statistics are identical whatever [jobs] is.
     @raise Invalid_argument when [n < 1]. *)

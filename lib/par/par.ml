@@ -1,0 +1,103 @@
+(* Deterministic chunked fan-out over OCaml 5 domains.  See par.mli for
+   the scheduling contract; the short version: fixed chunks, static
+   round-robin chunk->worker assignment, results concatenated in index
+   order, worker states merged in worker order, worker exceptions
+   re-raised in the caller (lowest worker wins). *)
+
+module Pool = struct
+  let default_jobs () = Domain.recommended_domain_count ()
+
+  let resolve_jobs = function
+    | None -> default_jobs ()
+    | Some j when j >= 1 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Par.Pool: jobs = %d" j)
+
+  (* A worker either finishes with its state or aborts with the first
+     exception it hit; partial chunk results are discarded. *)
+  type 'w outcome =
+    | Finished of 'w
+    | Aborted of exn * Printexc.raw_backtrace
+
+  let chunk_bounds ~chunk ~n c =
+    let lo = c * chunk in
+    (lo, min n (lo + chunk))
+
+  (* Evaluate one chunk into a fresh array, strictly in index order
+     (Array.init's evaluation order is unspecified, so spell the loop
+     out). *)
+  let eval_chunk ~chunk ~n f state c =
+    let lo, hi = chunk_bounds ~chunk ~n c in
+    if hi <= lo then [||]
+    else begin
+      let first = f state lo in
+      let dst = Array.make (hi - lo) first in
+      for i = lo + 1 to hi - 1 do
+        dst.(i - lo) <- f state i
+      done;
+      dst
+    end
+
+  let map_stateful ?(jobs = 1) ?chunk ~create ~merge n f =
+    if n < 0 then invalid_arg "Par.Pool: negative range";
+    if jobs < 1 then invalid_arg (Printf.sprintf "Par.Pool: jobs = %d" jobs);
+    let jobs = max 1 (min jobs n) in
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Par.Pool: chunk = %d" c)
+      | None -> max 1 ((n + (4 * jobs) - 1) / (4 * jobs))
+    in
+    let num_chunks = if n = 0 then 0 else (n + chunk - 1) / chunk in
+    if jobs = 1 then begin
+      (* single-domain fallback: same chunk walk, no spawn *)
+      let state = create () in
+      let parts = Array.init num_chunks (eval_chunk ~chunk ~n f state) in
+      merge state;
+      Array.concat (Array.to_list parts)
+    end
+    else begin
+      let parts = Array.make num_chunks [||] in
+      let worker w () =
+        match
+          let state = create () in
+          let c = ref w in
+          while !c < num_chunks do
+            parts.(!c) <- eval_chunk ~chunk ~n f state !c;
+            c := !c + jobs
+          done;
+          state
+        with
+        | state -> Finished state
+        | exception e -> Aborted (e, Printexc.get_raw_backtrace ())
+      in
+      (* workers 1..jobs-1 in spawned domains, worker 0 in the caller *)
+      let spawned =
+        Array.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      let outcomes = Array.make jobs (worker 0 ()) in
+      Array.iteri (fun i d -> outcomes.(i + 1) <- Domain.join d) spawned;
+      (* joined every domain before deciding: no leaks on failure, and
+         the surviving exception is the lowest worker's *)
+      Array.iter
+        (function
+          | Aborted (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Finished _ -> ())
+        outcomes;
+      Array.iter
+        (function Finished s -> merge s | Aborted _ -> assert false)
+        outcomes;
+      Array.concat (Array.to_list parts)
+    end
+
+  let map ?jobs ?chunk n f =
+    map_stateful ?jobs ?chunk ~create:ignore ~merge:ignore n
+      (fun () i -> f i)
+
+  let map_list ?jobs ?chunk f xs =
+    let src = Array.of_list xs in
+    Array.to_list
+      (map ?jobs ?chunk (Array.length src) (fun i -> f src.(i)))
+
+  let map_reduce ?jobs ?chunk ~n ~map:m ~reduce ~init =
+    Array.fold_left reduce init (map ?jobs ?chunk n m)
+end

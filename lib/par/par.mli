@@ -1,0 +1,78 @@
+(** Deterministic Domain-based fan-out for embarrassingly parallel
+    sweeps.
+
+    Every hot loop in this codebase — W/L sweeps, worst-vector hunts,
+    characterisation grids, Monte-Carlo sampling — evaluates thousands
+    of independent simulations.  {!Pool} spreads an index range over
+    OCaml 5 domains with a schedule that is {e deterministic by
+    construction}:
+
+    - the range is cut into fixed chunks; chunk [c] covers indices
+      [c * chunk .. min n ((c+1) * chunk) - 1];
+    - chunks are assigned to workers statically (worker [w] owns every
+      chunk [c] with [c mod jobs = w]), so which domain computes which
+      index never depends on timing;
+    - results are written into per-chunk slots and concatenated in
+      index order, so the output equals the sequential run bit for bit
+      whatever [jobs] is;
+    - per-worker states (e.g. resilience/telemetry accumulators) are
+      handed back to the caller's domain and merged in worker order,
+      so counter totals are exact and every run with the same [jobs]
+      merges in the same order;
+    - a worker exception aborts the sweep and is re-raised in the
+      caller (never a hang); when several workers fail, the exception
+      of the lowest-numbered worker wins, deterministically.
+
+    The pool is dependency-free (no domainslib): plain [Domain.spawn]
+    / [Domain.join], one spawn per worker per call.  Calls are
+    independent — there is no persistent pool to shut down. *)
+
+module Pool : sig
+  val default_jobs : unit -> int
+  (** [Domain.recommended_domain_count ()] — what [?jobs] defaults to
+      at the CLI surface. *)
+
+  val resolve_jobs : int option -> int
+  (** [resolve_jobs None] is {!default_jobs} (so a single-core runtime
+      degrades to the sequential path); [resolve_jobs (Some j)] is [j].
+      @raise Invalid_argument when [j < 1]. *)
+
+  val map : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+  (** [map n f] is [[| f 0; ...; f (n-1) |]], computed on [jobs]
+      domains (default 1 — parallelism is strictly opt-in for library
+      callers).  [chunk] is the fixed chunk length (default: [n]
+      divided over 4 chunks per worker, at least 1).  Deterministic:
+      the result is identical for every [jobs]/[chunk] choice. *)
+
+  val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+  (** [map_list f xs] = [List.map f xs], parallelised like {!map} and
+      equally deterministic. *)
+
+  val map_reduce :
+    ?jobs:int ->
+    ?chunk:int ->
+    n:int ->
+    map:(int -> 'a) ->
+    reduce:('acc -> 'a -> 'acc) ->
+    init:'acc ->
+    'acc
+  (** Fold the {!map} results in index order — [reduce] need not be
+      commutative; it always sees [f 0, f 1, ...] left to right. *)
+
+  val map_stateful :
+    ?jobs:int ->
+    ?chunk:int ->
+    create:(unit -> 'w) ->
+    merge:('w -> unit) ->
+    int ->
+    ('w -> int -> 'a) ->
+    'a array
+  (** The general form: each worker domain gets its own state from
+      [create ()] (run inside that domain), every index it owns is
+      evaluated with that state, and after all workers have joined,
+      [merge] is called on each state {e in worker order} in the
+      caller's domain.  This is how sweeps thread
+      [Mtcmos.Resilience] / [Spice.Diag] accumulators through a
+      parallel region without locks: worker-local recording, exact
+      merged totals. *)
+end

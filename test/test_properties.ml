@@ -218,15 +218,72 @@ let prop_hierarchy_blocks_cover =
           b >= 0 && b < blocks)
         (Netlist.Circuit.gates c))
 
+let prop_score_jobs_invariant =
+  (* the parallel transistor-level score is the sequential one, bit for
+     bit, and so are the resilience counters it records *)
+  let ch = Circuits.Chain.inverter_chain tech ~length:3 in
+  let c = ch.Circuits.Chain.circuit in
+  let sleep =
+    BP.Sleep_fet
+      (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl:6.0 ~vdd:1.2)
+  in
+  QCheck.Test.make ~count:4 ~name:"search: score at jobs=2 = jobs=1 exactly"
+    QCheck.(int_bound 3)
+    (fun v ->
+      let pair = ([ (1, v land 1) ], [ (1, (v lsr 1) land 1) ]) in
+      let run jobs =
+        let stats = Mtcmos.Resilience.create () in
+        let s =
+          Mtcmos.Search.score ~engine:Mtcmos.Sizing.Spice_level ~stats
+            ~jobs c ~sleep Mtcmos.Search.Max_degradation pair
+        in
+        ( s,
+          stats.Mtcmos.Resilience.attempted,
+          stats.Mtcmos.Resilience.direct,
+          stats.Mtcmos.Resilience.recovered,
+          stats.Mtcmos.Resilience.scored_zero )
+      in
+      run 1 = run 2)
+
+let prop_hunt_reproducible =
+  (* a hunt is a pure function of its seed: rerunning it, sequentially
+     or across domains, lands on the same outcome *)
+  QCheck.Test.make ~count:8
+    ~name:"search: hunt outcome is reproducible and jobs-invariant"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let add = Circuits.Ripple_adder.make tech ~bits:2 in
+      let c = add.Circuits.Ripple_adder.circuit in
+      let sleep =
+        BP.Sleep_fet
+          (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl:8.0 ~vdd:1.2)
+      in
+      let hunt jobs =
+        Mtcmos.Search.hill_climb ~seed ~restarts:3 ~max_iters:40 ~jobs c
+          ~sleep ~widths:[ 2; 2 ] Mtcmos.Search.Max_degradation
+      in
+      let a = hunt 1 and b = hunt 1 and p = hunt 2 in
+      a = b && a = p)
+
+(* every QCheck suite below draws from an explicitly seeded generator:
+   a run is reproducible from the source alone, with no dependence on
+   qcheck's global seed or the QCHECK_SEED environment *)
+let seeded test =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed; 0xca5e |])
+    test
+
 let suite =
-  [ QCheck_alcotest.to_alcotest prop_pwl_crossings_alternate;
-    QCheck_alcotest.to_alcotest prop_pwl_sub_is_linear;
-    QCheck_alcotest.to_alcotest prop_vground_current_conservation;
-    QCheck_alcotest.to_alcotest prop_search_flipbit_involution;
-    QCheck_alcotest.to_alcotest prop_resize_idempotent;
-    QCheck_alcotest.to_alcotest prop_sequence_vx_bounded;
-    QCheck_alcotest.to_alcotest prop_deck_roundtrip_counts;
-    QCheck_alcotest.to_alcotest prop_parse_print_kind_names;
-    QCheck_alcotest.to_alcotest prop_transient_samples_finite;
-    QCheck_alcotest.to_alcotest prop_result_api_never_raises;
-    QCheck_alcotest.to_alcotest prop_hierarchy_blocks_cover ]
+  [ seeded prop_pwl_crossings_alternate;
+    seeded prop_pwl_sub_is_linear;
+    seeded prop_vground_current_conservation;
+    seeded prop_search_flipbit_involution;
+    seeded prop_resize_idempotent;
+    seeded prop_sequence_vx_bounded;
+    seeded prop_deck_roundtrip_counts;
+    seeded prop_parse_print_kind_names;
+    seeded prop_transient_samples_finite;
+    seeded prop_result_api_never_raises;
+    seeded prop_hierarchy_blocks_cover;
+    seeded prop_score_jobs_invariant;
+    seeded prop_hunt_reproducible ]
