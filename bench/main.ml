@@ -1097,6 +1097,67 @@ let par ~fast () =
      --jobs %d)@."
     h_par.Mtcmos.Search.score h_par.Mtcmos.Search.evaluations jobs
 
+(* ---- CACHE: content-addressed evaluation cache, cold vs warm ------------------- *)
+
+let cache_exp ~fast () =
+  header "CACHE: evaluation cache, cold vs warm repeated sizing sweeps";
+  Format.printf
+    "a warm repeat of an identical sweep must return bit-identical \
+     measurements at >= 3x the cold speed@.";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let check name ~engine c ~vectors ~wls =
+    let run ctx () = Mtcmos.Sizing.sweep ~ctx c ~vectors ~wls in
+    let base = Eval.Ctx.with_engine engine Eval.Ctx.default in
+    (* reference: no cache at all *)
+    let off, _ = time (run base) in
+    let cache = Eval.Cache.create () in
+    let ctx = Eval.Ctx.with_cache cache base in
+    let cold, t_cold = time (run ctx) in
+    let warm, t_warm = time (run ctx) in
+    let k = Eval.Cache.counters cache in
+    (* compare (not =): NaN fields must still count as identical *)
+    let identical = compare cold off = 0 && compare warm off = 0 in
+    let speedup = t_cold /. Float.max 1e-9 t_warm in
+    Format.printf
+      "{\"experiment\": \"cache/%s\", \"t_cold_s\": %.4f, \"t_warm_s\": \
+       %.4f, \"speedup\": %.1f, \"identical\": %b, \"hits\": %d, \
+       \"misses\": %d}@."
+      name t_cold t_warm speedup identical k.Eval.Cache.hits
+      k.Eval.Cache.misses;
+    if not identical then begin
+      Format.eprintf "cache/%s: cached sweep differs from uncached@." name;
+      exit 1
+    end;
+    if k.Eval.Cache.hits = 0 then begin
+      Format.eprintf "cache/%s: warm run never hit the cache@." name;
+      exit 1
+    end;
+    if speedup < 3.0 then begin
+      Format.eprintf "cache/%s: warm speedup %.1fx < 3x@." name speedup;
+      exit 1
+    end
+  in
+  let chain = Circuits.Chain.inverter_chain t07 ~length:8 in
+  check "sweep-chain-spice" ~engine:Eval.Spice_level
+    chain.Circuits.Chain.circuit
+    ~vectors:[ ([ (1, 0) ], [ (1, 1) ]); ([ (1, 1) ], [ (1, 0) ]) ]
+    ~wls:(if fast then [ 5.0; 20.0 ] else [ 2.0; 5.0; 10.0; 20.0; 50.0 ]);
+  (* the breakpoint engine is fast, so the workload must be big enough
+     that simulation (not sweep bookkeeping) dominates the cold run *)
+  let adder8 = Circuits.Ripple_adder.make t07 ~bits:8 in
+  let vectors =
+    List.init 32 (fun i ->
+        let a = (i * 37) land 255 and b = (i * 101) land 255 in
+        ([ (8, a); (8, b) ], [ (8, 255 - a); (8, b lxor 170) ]))
+  in
+  check "sweep-adder8-bp" ~engine:Eval.Breakpoint
+    adder8.Circuits.Ripple_adder.circuit ~vectors
+    ~wls:[ 2.0; 4.0; 6.0; 10.0; 16.0; 25.0; 40.0; 80.0 ]
+
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -1184,6 +1245,7 @@ let all ~fast () =
   design_space ();
   extras ~fast ();
   par ~fast ();
+  cache_exp ~fast ();
   bechamel ()
 
 let () =
@@ -1219,11 +1281,12 @@ let () =
         | "design-space" -> design_space ()
         | "extras" -> extras ~fast ()
         | "par" -> par ~fast ()
+        | "cache" -> cache_exp ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
-             fig14 cpu ablations extras par bechamel)@."
+             fig14 cpu ablations extras par cache bechamel)@."
             other;
           exit 2)
       names

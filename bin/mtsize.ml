@@ -177,22 +177,116 @@ let resolve_jobs n =
   else if n > 0 then n
   else or_die (Error (Printf.sprintf "--jobs %d: must be >= 0" n))
 
+(* Canonical engine spelling; --spice stays as a deprecated synonym on
+   the subcommands that historically had it. *)
+let engine_term =
+  let doc =
+    "Delay engine: $(b,bp) (the fast switch-level breakpoint tool, the \
+     default) or $(b,spice) (the transistor-level reference)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let resolve_engine ?(spice = false) name =
+  match name with
+  | None -> if spice then Eval.Engine.Spice_level else Eval.Engine.Breakpoint
+  | Some s -> or_die (Eval.Engine.of_string s)
+
+(* Evaluation-cache plumbing shared by the analysis subcommands: the
+   cache is on by default (--no-cache disables), --cache-file FILE
+   loads FILE when it exists and saves back on exit (so e.g. a search
+   run warms a later sweep), --cache-stats prints the hit/miss/eviction
+   report at the end. *)
+type cache_opts = {
+  cache : Eval.Cache.t option;
+  cache_file : string option;
+  show_stats : bool;
+}
+
+let cache_term =
+  let on =
+    let doc =
+      "Enable the evaluation cache.  This is the default; the flag \
+       exists to spell the intent (and to override a habit-formed \
+       $(b,--no-cache))."
+    in
+    Arg.(value & flag & info [ "cache" ] ~doc)
+  in
+  let off =
+    let doc = "Disable the evaluation cache." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let file =
+    let doc =
+      "Persist the evaluation cache: load $(docv) if it exists, save \
+       back on exit.  Lets one run warm the next (e.g. $(b,search) \
+       then $(b,sweep))."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "cache-file" ] ~docv:"FILE" ~doc)
+  in
+  let show =
+    let doc = "Print cache hit/miss/eviction counters at the end." in
+    Arg.(value & flag & info [ "cache-stats" ] ~doc)
+  in
+  let make on off file show =
+    ignore on;
+    if off then { cache = None; cache_file = None; show_stats = show }
+    else
+      let c =
+        match file with
+        | Some f when Sys.file_exists f ->
+          (try Eval.Cache.load f
+           with Failure m | Sys_error m ->
+             prerr_endline ("mtsize: ignoring cache file: " ^ m);
+             Eval.Cache.create ())
+        | _ -> Eval.Cache.create ()
+      in
+      { cache = Some c; cache_file = file; show_stats = show }
+  in
+  Term.(const make $ on $ off $ file $ show)
+
+let finish_cache co =
+  (match (co.cache, co.cache_file) with
+   | Some c, Some f ->
+     (try Eval.Cache.save c f
+      with Sys_error m -> prerr_endline ("mtsize: could not save cache: " ^ m))
+   | _ -> ());
+  if co.show_stats then
+    match co.cache with
+    | Some c -> Format.printf "%s@." (Eval.Cache.report_string c)
+    | None -> Format.printf "cache: disabled@."
+
+let ctx_of ?policy ?stats ~engine ~jobs co =
+  let ctx =
+    Eval.Ctx.default
+    |> Eval.Ctx.with_engine engine
+    |> Eval.Ctx.with_jobs jobs
+  in
+  let ctx =
+    match policy with Some p -> Eval.Ctx.with_policy p ctx | None -> ctx
+  in
+  let ctx =
+    match stats with Some s -> Eval.Ctx.with_stats s ctx | None -> ctx
+  in
+  match co.cache with Some c -> Eval.Ctx.with_cache c ctx | None -> ctx
+
 (* ---- subcommands ---------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run tech_name circuit_name vectors wls spice budget jobs =
+  let run tech_name circuit_name vectors wls engine spice budget jobs co =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
-    let engine =
-      if spice then Mtcmos.Sizing.Spice_level else Mtcmos.Sizing.Breakpoint
-    in
     let stats = Mtcmos.Resilience.create () in
-    let policy = policy_of_budget budget in
+    let ctx =
+      ctx_of ?policy:(policy_of_budget budget) ~stats
+        ~engine:(resolve_engine ~spice engine) ~jobs:(resolve_jobs jobs) co
+    in
     Format.printf "%s: %a@." bc.name Netlist.Circuit.pp_stats bc.circuit;
-    Mtcmos.Sizing.sweep ~stats ?policy ~jobs:(resolve_jobs jobs) ~engine
-      bc.circuit ~vectors:vecs ~wls
+    Mtcmos.Sizing.sweep ~ctx bc.circuit ~vectors:vecs ~wls
     |> List.iter (fun m ->
            Format.printf "%a@." Mtcmos.Sizing.pp_measurement m);
-    print_resilience stats
+    print_resilience stats;
+    finish_cache co
   in
   let wls_term =
     let doc = "Sleep W/L values to sweep." in
@@ -202,39 +296,73 @@ let sweep_cmd =
       & info [ "w"; "wl" ] ~docv:"WLS" ~doc)
   in
   let spice_term =
-    let doc = "Use the transistor-level engine instead of the fast tool." in
+    let doc = "Deprecated synonym of $(b,--engine spice)." in
     Arg.(value & flag & info [ "spice" ] ~doc)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Delay and degradation versus sleep size")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wls_term
-          $ spice_term $ newton_budget_term $ jobs_term)
+          $ engine_term $ spice_term $ newton_budget_term $ jobs_term
+          $ cache_term)
 
 let size_cmd =
-  let run tech_name circuit_name vectors target =
+  let run tech_name circuit_name vectors target engine budget jobs repair co =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
-    let wl =
-      try
-        Mtcmos.Sizing.size_for_degradation bc.circuit ~vectors:vecs ~target
-      with Not_found ->
-        prerr_endline "mtsize: no feasible size in [0.5, 4096]";
-        exit 1
+    let stats = Mtcmos.Resilience.create () in
+    let ctx =
+      ctx_of ?policy:(policy_of_budget budget) ~stats
+        ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
     in
-    let m = Mtcmos.Sizing.delay_at bc.circuit ~vectors:vecs ~wl in
-    Format.printf "minimum W/L for %.1f%% degradation: %.1f@."
-      (100.0 *. target) wl;
-    Format.printf "%a@." Mtcmos.Sizing.pp_measurement m
+    (try
+       if repair then begin
+         let r =
+           Mtcmos.Resize.repair_and_size ~ctx bc.circuit ~vectors:vecs
+             ~target
+         in
+         if r.Mtcmos.Resize.repair.Mtcmos.Resize.upsized <> [] then
+           Format.printf "repaired %d weak driver(s) in %d pass(es)@."
+             (List.length r.Mtcmos.Resize.repair.Mtcmos.Resize.upsized)
+             r.Mtcmos.Resize.repair.Mtcmos.Resize.iterations;
+         Format.printf "minimum W/L for %.1f%% degradation: %.1f@."
+           (100.0 *. target) r.Mtcmos.Resize.wl;
+         Format.printf "%a@." Mtcmos.Sizing.pp_measurement
+           r.Mtcmos.Resize.measurement
+       end
+       else begin
+         let wl =
+           Mtcmos.Sizing.size_for_degradation ~ctx bc.circuit ~vectors:vecs
+             ~target
+         in
+         let m = Mtcmos.Sizing.delay_at ~ctx bc.circuit ~vectors:vecs ~wl in
+         Format.printf "minimum W/L for %.1f%% degradation: %.1f@."
+           (100.0 *. target) wl;
+         Format.printf "%a@." Mtcmos.Sizing.pp_measurement m
+       end
+     with Not_found ->
+       prerr_endline "mtsize: no feasible size in [0.5, 4096]";
+       exit 1);
+    print_resilience stats;
+    finish_cache co
   in
   let target_term =
     let doc = "Degradation budget as a fraction (0.05 = 5%)." in
     Arg.(value & opt float 0.05 & info [ "target" ] ~docv:"FRAC" ~doc)
   in
+  let repair_term =
+    let doc =
+      "First upsize weak drivers (the $(b,lint) screen) to a clean \
+       circuit, then size its sleep transistor."
+    in
+    Arg.(value & flag & info [ "repair" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "size" ~doc:"Minimum sleep size for a delay budget")
-    Term.(const run $ tech_term $ circuit_term $ vectors_term $ target_term)
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ target_term
+          $ engine_term $ newton_budget_term $ jobs_term $ repair_term
+          $ cache_term)
 
 let worst_cmd =
-  let run tech_name circuit_name wl top sample =
+  let run tech_name circuit_name wl top sample co =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let total_bits = List.fold_left ( + ) 0 bc.widths in
     let pairs =
@@ -249,7 +377,8 @@ let worst_cmd =
     in
     Format.printf "ranking %d vector pairs at W/L = %.0f...@."
       (List.length pairs) wl;
-    let ranked = Mtcmos.Vectors.worst bc.circuit ~sleep ~pairs ~top in
+    let ctx = ctx_of ~engine:Eval.Engine.Breakpoint ~jobs:1 co in
+    let ranked = Mtcmos.Vectors.worst ~ctx bc.circuit ~sleep ~pairs ~top in
     List.iter
       (fun r ->
         let fmt g =
@@ -262,7 +391,8 @@ let worst_cmd =
           (Phys.Units.to_eng_string ~unit:"s" r.Mtcmos.Vectors.delay)
           (100.0 *. r.Mtcmos.Vectors.degradation)
           (Phys.Units.to_eng_string ~unit:"V" r.Mtcmos.Vectors.vx_peak))
-      ranked
+      ranked;
+    finish_cache co
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -280,7 +410,7 @@ let worst_cmd =
     (Cmd.info "worst-vectors"
        ~doc:"Rank input transitions by MTCMOS susceptibility")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ top_term
-          $ sample_term)
+          $ sample_term $ cache_term)
 
 let simulate_cmd =
   let run tech_name circuit_name vectors wl =
@@ -320,21 +450,23 @@ let simulate_cmd =
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term)
 
 let compare_cmd =
-  let run tech_name circuit_name vectors wl budget jobs =
+  let run tech_name circuit_name vectors wl budget jobs co =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let jobs = resolve_jobs jobs in
-    let bp =
-      Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint bc.circuit
-        ~vectors:vecs ~wl
-    in
+    (* both engines share one cache (distinct key spaces); the spice
+       path's internal bp estimates can hit the bp run's entries *)
+    let bp_ctx = ctx_of ~engine:Eval.Engine.Breakpoint ~jobs co in
+    let bp = Mtcmos.Sizing.delay_at ~ctx:bp_ctx bc.circuit ~vectors:vecs ~wl in
     let stats = Mtcmos.Resilience.create () in
-    let sp =
-      Mtcmos.Sizing.delay_at ~stats ?policy:(policy_of_budget budget) ~jobs
-        ~engine:Mtcmos.Sizing.Spice_level bc.circuit ~vectors:vecs ~wl
+    let sp_ctx =
+      ctx_of ?policy:(policy_of_budget budget) ~stats
+        ~engine:Eval.Engine.Spice_level ~jobs co
     in
+    let sp = Mtcmos.Sizing.delay_at ~ctx:sp_ctx bc.circuit ~vectors:vecs ~wl in
     Format.printf "switch-level:     %a@." Mtcmos.Sizing.pp_measurement bp;
     Format.printf "transistor-level: %a@." Mtcmos.Sizing.pp_measurement sp;
-    print_resilience stats
+    print_resilience stats;
+    finish_cache co
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -344,10 +476,10 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Compare the fast tool against the transistor-level engine")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term
-          $ newton_budget_term $ jobs_term)
+          $ newton_budget_term $ jobs_term $ cache_term)
 
 let estimate_cmd =
-  let run tech_name circuit_name vectors =
+  let run tech_name circuit_name vectors co =
     let tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     Format.printf "sum-of-widths estimate: W/L = %.1f@."
       (Mtcmos.Estimators.sum_of_widths bc.circuit);
@@ -362,15 +494,17 @@ let estimate_cmd =
     if ip > 0.0 then
       Format.printf "peak-current estimate:  W/L = %.1f@."
         (Mtcmos.Estimators.peak_current_wl tech ~i_peak:ip ~v_budget:vb);
+    let ctx = ctx_of ~engine:Eval.Engine.Breakpoint ~jobs:1 co in
     let wl =
-      Mtcmos.Sizing.size_for_degradation bc.circuit ~vectors:vecs
+      Mtcmos.Sizing.size_for_degradation ~ctx bc.circuit ~vectors:vecs
         ~target:0.05
     in
-    Format.printf "simulator-driven size:  W/L = %.1f@." wl
+    Format.printf "simulator-driven size:  W/L = %.1f@." wl;
+    finish_cache co
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Naive baselines versus the simulator size")
-    Term.(const run $ tech_term $ circuit_term $ vectors_term)
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ cache_term)
 
 let sta_cmd =
   let run tech_name circuit_name wl =
@@ -514,7 +648,7 @@ let lint_cmd =
     Term.(const run $ tech_term $ circuit_term)
 
 let search_cmd =
-  let run tech_name circuit_name wl restarts objective spice jobs =
+  let run tech_name circuit_name wl restarts objective engine spice jobs co =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let sleep =
       Mtcmos.Breakpoint_sim.Sleep_fet
@@ -530,14 +664,14 @@ let search_cmd =
       | s -> Error (Printf.sprintf "unknown objective %S" s)
     in
     let objective = or_die objective in
-    let engine =
-      if spice then Mtcmos.Sizing.Spice_level else Mtcmos.Sizing.Breakpoint
-    in
     let stats = Mtcmos.Resilience.create () in
+    let ctx =
+      ctx_of ~stats ~engine:(resolve_engine ~spice engine)
+        ~jobs:(resolve_jobs jobs) co
+    in
     let o =
-      Mtcmos.Search.hill_climb ~restarts ~engine ~stats
-        ~jobs:(resolve_jobs jobs) bc.circuit ~sleep ~widths:bc.widths
-        objective
+      Mtcmos.Search.hill_climb ~ctx ~restarts bc.circuit ~sleep
+        ~widths:bc.widths objective
     in
     let fmt g =
       String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
@@ -546,7 +680,8 @@ let search_cmd =
     Format.printf "worst found: (%s)->(%s) score %.4g (%d evaluations)@."
       (fmt before) (fmt after) o.Mtcmos.Search.score
       o.Mtcmos.Search.evaluations;
-    print_resilience stats
+    print_resilience stats;
+    finish_cache co
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -563,8 +698,8 @@ let search_cmd =
   in
   let spice_term =
     let doc =
-      "Score candidates with the transistor-level engine (slow); failed \
-       transients score 0 and are reported, not fatal."
+      "Deprecated synonym of $(b,--engine spice); failed transients \
+       score 0 and are reported, not fatal."
     in
     Arg.(value & flag & info [ "spice" ] ~doc)
   in
@@ -572,7 +707,8 @@ let search_cmd =
     (Cmd.info "search"
        ~doc:"Stochastic worst-vector hunt for unenumerable spaces")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ restarts_term
-          $ objective_term $ spice_term $ jobs_term)
+          $ objective_term $ engine_term $ spice_term $ jobs_term
+          $ cache_term)
 
 let dot_cmd =
   let run tech_name circuit_name out =

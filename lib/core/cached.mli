@@ -1,0 +1,57 @@
+(** Cache-key derivation for the analysis modules, plus the one cached
+    evaluator they share (a breakpoint simulation reduced to its scalar
+    metrics).
+
+    Keys are structural digests built with {!Eval.Key}: two evaluations
+    get the same key exactly when circuit topology + device sizes, tech
+    card, simulator config (sleep model, W/L, body effect, ...) and the
+    vector pair all agree — so logically identical evaluations hit the
+    cache regardless of call site (a [Sizing.sweep] can reuse what a
+    [Search.hill_climb] computed). *)
+
+val circuit_key : Netlist.Circuit.t -> string
+(** Digest of the frozen circuit (see {!Eval.Key.circuit}), memoized on
+    physical identity so repeated evaluations of the same circuit pay
+    for the traversal once. *)
+
+val bp_config_key : Breakpoint_sim.config -> string option
+(** Framed bytes for a breakpoint config — every field including the
+    sleep model and any [tech_override].  [None] when the config
+    carries a {!Breakpoint_sim.partition} (it contains a function and
+    cannot be digested); callers must then evaluate uncached. *)
+
+val sp_config_key : Spice_ref.config -> string
+(** Framed bytes for a transistor-level config, including the recovery
+    policy (a different policy can produce a different — recovered vs
+    failed — result) and the time grid ([t_start]/[t_stop]/[dt], which
+    Sizing derives from a circuit-dependent estimate). *)
+
+val vector_key : before:(int * int) list -> after:(int * int) list -> string
+(** Framed bytes for an input transition. *)
+
+val digest : tag:string -> string list -> string
+(** Assemble framed parts under a distinguishing tag into the final
+    16-byte key. *)
+
+val bp_key :
+  config:Breakpoint_sim.config ->
+  Netlist.Circuit.t ->
+  before:(int * int) list ->
+  after:(int * int) list ->
+  string option
+(** Complete key for one breakpoint simulation; [None] when the config
+    is not digestible (partition present). *)
+
+val bp_metrics :
+  ?cache:Eval.Cache.t ->
+  config:Breakpoint_sim.config ->
+  Netlist.Circuit.t ->
+  before:(int * int) list ->
+  after:(int * int) list ->
+  float option * float * float
+(** One breakpoint simulation reduced to
+    [(critical delay if any output switched, vx peak, peak discharge
+    current)] — the three scalars Sizing, Search, Variation and
+    Vectors consume.  Cached under {!bp_key} when a cache is given.
+    @raise Breakpoint_sim.Starved as the simulator does (never
+    cached). *)

@@ -1,5 +1,6 @@
 module C = Netlist.Circuit
 module T = Netlist.Transistor
+module K = Eval.Key
 
 type point = {
   cl : float;
@@ -9,6 +10,9 @@ type point = {
   fall_slew : float;
   rise_slew : float;
 }
+
+let resolve ?ctx ?stats ?jobs () =
+  Eval.Ctx.override ?stats ?jobs (Option.value ctx ~default:Eval.Ctx.default)
 
 (* single-gate fixture: pin 0 driven, remaining pins tied so pin 0 is
    controlling (ties high for AND-like pulldowns, low for OR-like). *)
@@ -50,7 +54,7 @@ let edge ~t0 ~ramp ~rising ~vdd =
   if rising then Phys.Pwl.create [ (0.0, 0.0); (t0, 0.0); (t0 +. ramp, vdd) ]
   else Phys.Pwl.create [ (0.0, vdd); (t0, vdd); (t0 +. ramp, 0.0) ]
 
-let measure ?stats tech kind ~cl ~ramp =
+let measure_uncached ~policy ?stats tech kind ~cl ~ramp =
   let vdd = tech.Device.Tech.vdd in
   let circuit, drive_in, out = fixture tech kind ~cl in
   let t0 = 200e-12 in
@@ -61,7 +65,7 @@ let measure ?stats tech kind ~cl ~ramp =
     in
     let engine = Spice.Engine.prepare inst.Netlist.Expand.netlist in
     match
-      Spice.Engine.transient_r engine ~t_stop:4e-9 ~dt:2e-12
+      Spice.Engine.transient_r engine ~t_stop:4e-9 ~dt:2e-12 ~policy
         ~record:
           (Spice.Engine.Nodes [ inst.Netlist.Expand.node_of_net.(out) ])
     with
@@ -125,8 +129,39 @@ let measure ?stats tech kind ~cl ~ramp =
       fall_slew = slew fall_run ~out_rising:false;
       rise_slew = slew rise_run ~out_rising:true }
 
-let gate ?stats ?(jobs = 1) ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
+let measure ?ctx ?stats tech kind ~cl ~ramp =
+  let ctx = resolve ?ctx ?stats () in
+  let policy = ctx.Eval.Ctx.policy in
+  let compute stats = measure_uncached ~policy ?stats tech kind ~cl ~ramp in
+  match ctx.Eval.Ctx.cache with
+  | None -> compute ctx.Eval.Ctx.stats
+  | Some _ ->
+    let key =
+      lazy
+        (let b = K.create () in
+         K.tech b tech;
+         K.string b (Netlist.Gate.name kind);
+         K.int b (Netlist.Gate.arity kind);
+         K.float b cl;
+         K.float b ramp;
+         K.policy b policy;
+         Cached.digest ~tag:"char1" [ K.contents b ])
+    in
+    Eval.Cache.memo ?cache:ctx.Eval.Ctx.cache ?stats:ctx.Eval.Ctx.stats ~key
+      ~arity:4
+      ~to_floats:(fun p ->
+        [| p.fall_delay; p.rise_delay; p.fall_slew; p.rise_slew |])
+      ~of_floats:(fun a ->
+        { cl; ramp;
+          fall_delay = a.(0);
+          rise_delay = a.(1);
+          fall_slew = a.(2);
+          rise_slew = a.(3) })
+      compute
+
+let gate ?ctx ?stats ?jobs ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
     ?(ramps = [ 20e-12; 100e-12 ]) tech kind =
+  let ctx = resolve ?ctx ?stats ?jobs () in
   (* the grid is materialised in loads-major order (same order the old
      sequential concat_map produced) and each operating point is an
      independent fixture run, so parallelising over the flat grid keeps
@@ -138,15 +173,19 @@ let gate ?stats ?(jobs = 1) ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
          loads)
   in
   let points =
-    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
+    Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~chunk:1
+      ~create:Resilience.create
       ~merge:(fun w ->
-        match stats with
+        match ctx.Eval.Ctx.stats with
         | Some s -> Resilience.merge_into ~into:s w
         | None -> ())
       (Array.length grid)
       (fun wstats i ->
         let cl, ramp = grid.(i) in
-        measure ~stats:wstats tech kind ~cl ~ramp)
+        let wctx =
+          { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
+        in
+        measure ~ctx:wctx tech kind ~cl ~ramp)
   in
   Array.to_list points
 
@@ -156,11 +195,11 @@ let first_order_fall tech kind ~cl =
   Delay_model.cmos_gate_delay model ~beta_wl:d.Netlist.Gate.wl_pull_down
     ~cl
 
-let calibration_factor ?(loads = [ 20e-15; 50e-15; 100e-15 ]) tech =
+let calibration_factor ?ctx ?(loads = [ 20e-15; 50e-15; 100e-15 ]) tech =
   let ratios =
     List.map
       (fun cl ->
-        let p = measure tech Netlist.Gate.Inv ~cl ~ramp:20e-12 in
+        let p = measure ?ctx tech Netlist.Gate.Inv ~cl ~ramp:20e-12 in
         (* the fixture load includes pin/junction parasitics on top of cl *)
         let b = C.builder tech in
         let a = C.add_input b in

@@ -5,7 +5,14 @@
     Two uses: (a) the data a downstream timing flow would consume, and
     (b) a single calibration factor that maps the switch-level
     simulator's first-order delays onto transistor-level time — the
-    "improve the simulator accuracy" direction of §5.3/§6.3. *)
+    "improve the simulator accuracy" direction of §5.3/§6.3.
+
+    Entry points take [?ctx:Eval.Ctx.t]; the context supplies the
+    recovery policy, stats accumulator, worker count and evaluation
+    cache (operating points are cached per (tech card, gate kind, load,
+    ramp, policy), so re-characterising a grid is nearly free).  The
+    historical [?stats]/[?jobs] arguments remain as deprecated
+    wrappers. *)
 
 type point = {
   cl : float;           (** output load, F *)
@@ -17,13 +24,15 @@ type point = {
 }
 
 val measure :
+  ?ctx:Eval.Ctx.t ->
   ?stats:Resilience.t ->
   Device.Tech.t -> Netlist.Gate.kind -> cl:float -> ramp:float -> point
 (** One fixture run at one operating point.  A transient that fails
     even after recovery yields NaN delay/slew entries (recorded with
-    its diagnosis in [?stats]) instead of raising. *)
+    its diagnosis in the stats accumulator) instead of raising. *)
 
 val gate :
+  ?ctx:Eval.Ctx.t ->
   ?stats:Resilience.t ->
   ?jobs:int ->
   ?loads:float list ->
@@ -35,12 +44,14 @@ val gate :
     20/100 ps).  The gate's side inputs are tied so the first pin
     controls.  [jobs] (default 1) spreads the loads x ramps grid over
     that many domains; points come back in loads-major order and the
-    list (and [?stats] totals) is identical whatever [jobs] is. *)
+    list (and stats totals) is identical whatever [jobs] is, and
+    whatever the cache already holds. *)
 
 val first_order_fall : Device.Tech.t -> Netlist.Gate.kind -> cl:float -> float
 (** The switch-level model's own prediction for comparison. *)
 
-val calibration_factor : ?loads:float list -> Device.Tech.t -> float
+val calibration_factor :
+  ?ctx:Eval.Ctx.t -> ?loads:float list -> Device.Tech.t -> float
 (** Mean transistor-level / first-order fall-delay ratio of an inverter
     across loads; multiply switch-level delays by it to report in
     transistor-level time.  (Degradation percentages are ratio-based and

@@ -1,97 +1,5 @@
-(* Per-sweep resilience accounting: how many transistor-level analyses
-   ran clean, how many needed a recovery strategy, and which vectors had
-   to be skipped (with their structured diagnosis).  Sizing flows thread
-   an optional accumulator through and the CLI prints the report.
+(* The accumulator moved to Eval.Resilience (the evaluation cache needs
+   it below lib/core in the dependency order); this alias keeps the
+   historical Mtcmos.Resilience name working. *)
 
-   Parallel sweeps give each worker domain its own accumulator and fold
-   them into the caller's with [merge_into] in worker order (see
-   Par.Pool.map_stateful), so counter totals are exact under
-   parallelism and the merge order never depends on timing. *)
-
-type skip_kind =
-  | Dropped      (* sample lost entirely *)
-  | Estimated    (* replaced by the breakpoint-simulator estimate *)
-  | Scored_zero  (* search candidate forced to score 0.0 *)
-
-type t = {
-  mutable attempted : int;
-  mutable direct : int;      (* converged with no recovery strategy *)
-  mutable recovered : int;   (* converged after at least one rescue *)
-  mutable skipped : int;     (* analysis failed; see the kind counters *)
-  mutable fallback : int;    (* Estimated skips *)
-  mutable scored_zero : int; (* Scored_zero skips *)
-  mutable strategies : (string * int) list; (* rescue name -> count *)
-  mutable skips : (string * skip_kind * Spice.Diag.failure) list;
-}
-
-let create () =
-  { attempted = 0; direct = 0; recovered = 0; skipped = 0; fallback = 0;
-    scored_zero = 0; strategies = []; skips = [] }
-
-let add_strategies t l =
-  let rec bump name k = function
-    | [] -> [ (name, k) ]
-    | (n, k0) :: rest when n = name -> (n, k0 + k) :: rest
-    | p :: rest -> p :: bump name k rest
-  in
-  t.strategies <- List.fold_left (fun acc (n, k) -> bump n k acc) t.strategies l
-
-let record_success ?stats (tm : Spice.Diag.telemetry) =
-  match stats with
-  | None -> ()
-  | Some t ->
-    t.attempted <- t.attempted + 1;
-    if Spice.Diag.recovered tm then begin
-      t.recovered <- t.recovered + 1;
-      add_strategies t tm.Spice.Diag.recoveries
-    end
-    else t.direct <- t.direct + 1
-
-let record_skip ?stats ?(kind = Dropped) ~label (f : Spice.Diag.failure) =
-  match stats with
-  | None -> ()
-  | Some t ->
-    t.attempted <- t.attempted + 1;
-    t.skipped <- t.skipped + 1;
-    (match kind with
-     | Dropped -> ()
-     | Estimated -> t.fallback <- t.fallback + 1
-     | Scored_zero -> t.scored_zero <- t.scored_zero + 1);
-    t.skips <- t.skips @ [ (label, kind, f) ]
-
-let merge_into ~into t =
-  into.attempted <- into.attempted + t.attempted;
-  into.direct <- into.direct + t.direct;
-  into.recovered <- into.recovered + t.recovered;
-  into.skipped <- into.skipped + t.skipped;
-  into.fallback <- into.fallback + t.fallback;
-  into.scored_zero <- into.scored_zero + t.scored_zero;
-  add_strategies into t.strategies;
-  into.skips <- into.skips @ t.skips
-
-let kind_label = function
-  | Dropped -> "skipped"
-  | Estimated -> "skipped (estimated instead)"
-  | Scored_zero -> "scored 0"
-
-let pp_report fmt t =
-  Format.fprintf fmt
-    "resilience: %d analyses attempted, %d direct, %d recovered, %d skipped"
-    t.attempted t.direct t.recovered t.skipped;
-  if t.fallback > 0 then
-    Format.fprintf fmt " (%d replaced by switch-level estimate)" t.fallback;
-  if t.scored_zero > 0 then
-    Format.fprintf fmt " (%d search candidates scored 0)" t.scored_zero;
-  (match t.strategies with
-   | [] -> ()
-   | l ->
-     Format.fprintf fmt "@.  recoveries: %s"
-       (String.concat ", "
-          (List.map (fun (n, k) -> Printf.sprintf "%s x%d" n k) l)));
-  List.iter
-    (fun (label, kind, f) ->
-      Format.fprintf fmt "@.  %s %s: %a" (kind_label kind) label
-        Spice.Diag.pp_failure f)
-    t.skips
-
-let report_string t = Format.asprintf "%a" pp_report t
+include Eval.Resilience

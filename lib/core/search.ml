@@ -1,3 +1,5 @@
+module BP = Breakpoint_sim
+
 type objective =
   | Max_degradation
   | Max_delay
@@ -10,36 +12,74 @@ type outcome = {
   evaluations : int;
 }
 
+let resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () =
+  Eval.Ctx.override ?engine ?body_effect ?policy ?stats ?jobs
+    (Option.value ctx ~default:Eval.Ctx.default)
+
 let vector_label (before, after) =
   let fmt g =
     String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
   in
   Printf.sprintf "(%s)->(%s)" (fmt before) (fmt after)
 
-let score_bp ~body_effect c ~sleep objective (before, after) =
-  let config =
-    { Breakpoint_sim.default_config with Breakpoint_sim.sleep; body_effect }
-  in
-  let r = Breakpoint_sim.simulate_ints ~config c ~before ~after in
+let score_bp ?cache ~body_effect c ~sleep objective (before, after) =
+  let config = { BP.default_config with BP.sleep; body_effect } in
+  let d_mt, vx, i_peak = Cached.bp_metrics ?cache ~config c ~before ~after in
   match objective with
-  | Max_vx -> Breakpoint_sim.vx_peak r
-  | Max_current -> Breakpoint_sim.peak_discharge_current r
-  | Max_delay ->
-    (match Breakpoint_sim.critical_delay r with
-     | Some (_, d) -> d
-     | None -> 0.0)
+  | Max_vx -> vx
+  | Max_current -> i_peak
+  | Max_delay -> Option.value d_mt ~default:0.0
   | Max_degradation ->
-    (match Breakpoint_sim.critical_delay r with
+    (match d_mt with
      | None -> 0.0
-     | Some (_, d_mt) ->
-       let cmos =
-         { Breakpoint_sim.default_config with
-           Breakpoint_sim.body_effect }
-       in
-       let r0 = Breakpoint_sim.simulate_ints ~config:cmos c ~before ~after in
-       (match Breakpoint_sim.critical_delay r0 with
-        | Some (_, d0) when d0 > 0.0 -> (d_mt -. d0) /. d0
+     | Some d_mt ->
+       let cmos = { BP.default_config with BP.body_effect } in
+       let d0, _, _ = Cached.bp_metrics ?cache ~config:cmos c ~before ~after in
+       (match d0 with
+        | Some d0 when d0 > 0.0 -> (d_mt -. d0) /. d0
         | Some _ | None -> 0.0))
+
+(* one cached transistor-level scoring run, reduced to the scalars every
+   objective needs: (converged, critical delay if any output switched,
+   vx peak, peak sleep current).  A failing transient is part of the
+   cacheable outcome — the entry carries the Scored_zero skip for
+   replay, so warm stats match cold ones. *)
+let sp_scored ?cache ?stats ~config ~label c (before, after) =
+  let compute stats =
+    match Spice_ref.run_ints_r ~config c ~before ~after with
+    | Error f ->
+      Resilience.record_skip ?stats ~kind:Resilience.Scored_zero ~label f;
+      (false, None, 0.0, 0.0)
+    | Ok r ->
+      Resilience.record_success ?stats (Spice_ref.telemetry r);
+      ( true,
+        Option.map snd (Spice_ref.critical_delay r),
+        Spice_ref.vx_peak r,
+        Spice_ref.peak_sleep_current r )
+  in
+  match cache with
+  | None -> compute stats
+  | Some _ ->
+    let key =
+      lazy
+        (Cached.digest ~tag:"score1"
+           [ Cached.circuit_key c;
+             Cached.sp_config_key config;
+             Cached.vector_key ~before ~after ])
+    in
+    Eval.Cache.memo ?cache ?stats ~key ~arity:5
+      ~to_floats:(fun (ok, d, vx, i) ->
+        [| (if ok then 1.0 else 0.0);
+           (match d with None -> 0.0 | Some _ -> 1.0);
+           (match d with None -> 0.0 | Some d -> d);
+           vx;
+           i |])
+      ~of_floats:(fun a ->
+        ( a.(0) <> 0.0,
+          (if a.(1) = 0.0 then None else Some a.(2)),
+          a.(3),
+          a.(4) ))
+      compute
 
 (* transistor-level oracle: a transition whose transient fails even
    after recovery scores 0 (it can never be selected as "worst") and is
@@ -47,20 +87,13 @@ let score_bp ~body_effect c ~sleep objective (before, after) =
    an honest nothing-switches zero, which records a plain success — so
    a hunt over thousands of vectors survives individual failures
    without silently conflating the two cases *)
-let score_spice ?stats ?(policy = Spice.Recover.default) ?(jobs = 1) c
-    ~sleep objective ((before, after) as pair) =
-  let run_one wstats sl =
+let score_spice ?cache ?stats ~policy ~jobs c ~sleep objective pair =
+  let label = vector_label pair in
+  let run_one ?cache wstats sl =
     let config =
       { Spice_ref.default_config with Spice_ref.sleep = sl; policy }
     in
-    match Spice_ref.run_ints_r ~config c ~before ~after with
-    | Error f ->
-      Resilience.record_skip ?stats:wstats ~kind:Resilience.Scored_zero
-        ~label:(vector_label pair) f;
-      None
-    | Ok r ->
-      Resilience.record_success ?stats:wstats (Spice_ref.telemetry r);
-      Some r
+    sp_scored ?cache ?stats:wstats ~config ~label c pair
   in
   match objective with
   | Max_degradation ->
@@ -68,7 +101,7 @@ let score_spice ?stats ?(policy = Spice.Recover.default) ?(jobs = 1) c
        ideal-ground baseline), so the score and the recorded
        diagnostics are identical whatever [jobs] is; at jobs >= 2 the
        two transients run on separate domains *)
-    let sleeps = [| sleep; Breakpoint_sim.Cmos |] in
+    let sleeps = [| sleep; BP.Cmos |] in
     let runs =
       Par.Pool.map_stateful ~jobs:(min jobs 2) ~chunk:1
         ~create:Resilience.create
@@ -77,47 +110,53 @@ let score_spice ?stats ?(policy = Spice.Recover.default) ?(jobs = 1) c
           | Some s -> Resilience.merge_into ~into:s w
           | None -> ())
         2
-        (fun wstats i -> run_one (Some wstats) sleeps.(i))
+        (fun wstats i -> run_one ?cache (Some wstats) sleeps.(i))
     in
     (match (runs.(0), runs.(1)) with
-     | Some r_mt, Some r0 ->
-       (match
-          (Spice_ref.critical_delay r_mt, Spice_ref.critical_delay r0)
-        with
-        | Some (_, d_mt), Some (_, d0) when d0 > 0.0 -> (d_mt -. d0) /. d0
+     | (true, d_mt, _, _), (true, d0, _, _) ->
+       (match (d_mt, d0) with
+        | Some d_mt, Some d0 when d0 > 0.0 -> (d_mt -. d0) /. d0
         | _ -> 0.0)
      | _ -> 0.0)
   | Max_vx | Max_current | Max_delay ->
-    (match run_one stats sleep with
-     | None -> 0.0
-     | Some r ->
+    (match run_one ?cache stats sleep with
+     | false, _, _, _ -> 0.0
+     | true, d, vx, i_sleep ->
        (match objective with
-        | Max_vx -> Spice_ref.vx_peak r
-        | Max_current -> Spice_ref.peak_sleep_current r
-        | Max_delay | Max_degradation ->
-          (match Spice_ref.critical_delay r with
-           | Some (_, d) -> d
-           | None -> 0.0)))
+        | Max_vx -> vx
+        | Max_current -> i_sleep
+        | Max_delay | Max_degradation -> Option.value d ~default:0.0))
 
-let score ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats
-    ?policy ?jobs c ~sleep objective pair =
-  match engine with
-  | Sizing.Breakpoint -> score_bp ~body_effect c ~sleep objective pair
-  | Sizing.Spice_level ->
-    score_spice ?stats ?policy ?jobs c ~sleep objective pair
+let score_ctx (ctx : Eval.Ctx.t) c ~sleep objective pair =
+  let cache = ctx.Eval.Ctx.cache in
+  match ctx.Eval.Ctx.engine with
+  | Eval.Breakpoint ->
+    score_bp ?cache ~body_effect:ctx.Eval.Ctx.body_effect c ~sleep objective
+      pair
+  | Eval.Spice_level ->
+    score_spice ?cache ?stats:ctx.Eval.Ctx.stats ~policy:ctx.Eval.Ctx.policy
+      ~jobs:ctx.Eval.Ctx.jobs c ~sleep objective pair
 
-let score_all ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats
-    ?policy ?(jobs = 1) c ~sleep objective pairs =
+let score ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep objective
+    pair =
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  score_ctx ctx c ~sleep objective pair
+
+let score_all ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep
+    objective pairs =
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
   let arr = Array.of_list pairs in
-  Par.Pool.map_stateful ~jobs ~create:Resilience.create
+  Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~create:Resilience.create
     ~merge:(fun w ->
-      match stats with
+      match ctx.Eval.Ctx.stats with
       | Some s -> Resilience.merge_into ~into:s w
       | None -> ())
     (Array.length arr)
     (fun wstats i ->
-      score ~body_effect ~engine ~stats:wstats ?policy c ~sleep objective
-        arr.(i))
+      let wctx =
+        { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
+      in
+      score_ctx wctx c ~sleep objective arr.(i))
 
 (* enumerate the single-bit-flip neighbours of a packed assignment *)
 let flip_bit groups ~bit =
@@ -187,28 +226,32 @@ let climb_restart ~seed ~restart ~max_iters ~widths ~bits ~eval =
   done;
   !best
 
-let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
-    ?(body_effect = true) ?(engine = Sizing.Breakpoint) ?stats ?policy
-    ?(jobs = 1) c ~sleep ~widths objective =
+let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400) ?ctx
+    ?body_effect ?engine ?stats ?policy ?jobs c ~sleep ~widths objective =
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
   let bits = total_bits widths in
   (* restarts are the unit of parallelism: each is an independent climb
      (own RNG stream, own evaluation counter, own resilience
      accumulator), and the per-restart bests are reduced in restart
      order — lower restart wins ties — so the outcome is identical for
-     every [jobs] *)
+     every [jobs].  A shared cache changes which evaluations hit, never
+     what they return. *)
   let per_restart =
-    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
+    Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~chunk:1
+      ~create:Resilience.create
       ~merge:(fun w ->
-        match stats with
+        match ctx.Eval.Ctx.stats with
         | Some s -> Resilience.merge_into ~into:s w
         | None -> ())
       restarts
       (fun wstats r ->
+        let wctx =
+          { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
+        in
         let evals = ref 0 in
         let eval pair =
           incr evals;
-          score ~body_effect ~engine ~stats:wstats ?policy c ~sleep
-            objective pair
+          score_ctx wctx c ~sleep objective pair
         in
         let best =
           climb_restart ~seed ~restart:r ~max_iters ~widths ~bits ~eval
@@ -231,13 +274,11 @@ let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400)
   | Some (pair, s) -> { pair; score = s; evaluations }
   | None -> assert false
 
-let exhaustive ?body_effect ?engine ?stats ?policy ?jobs c ~sleep ~widths
-    objective =
+let exhaustive ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep
+    ~widths objective =
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
   let pairs = Vectors.enumerate_pairs ~widths in
-  let scores =
-    score_all ?body_effect ?engine ?stats ?policy ?jobs c ~sleep objective
-      pairs
-  in
+  let scores = score_all ~ctx c ~sleep objective pairs in
   let best = ref None in
   List.iteri
     (fun i pair ->

@@ -7,13 +7,19 @@
     as the (cheap) oracle: exactly the "narrow down the vector space"
     role §5 assigns the tool.
 
-    All entry points take [?jobs] (default 1) and distribute their
-    independent simulator calls over that many domains via [Par.Pool].
-    The outcome — best pair, score, evaluation count, and the [?stats]
-    counter totals — is identical whatever [jobs] is: candidates are
-    assigned to workers statically, reduced in index order, and each
-    restart of the hill climb owns an RNG stream derived from
-    [(seed, restart)]. *)
+    Entry points take [?ctx:Eval.Ctx.t] (engine, body effect, recovery
+    policy, stats, jobs, cache); the historical per-function optional
+    arguments remain as deprecated wrappers overriding the context for
+    one release.  Work is distributed over [jobs] domains via
+    [Par.Pool]: the outcome — best pair, score, evaluation count, and
+    the stats counter totals — is identical whatever [jobs] is
+    (candidates are assigned to workers statically, reduced in index
+    order, and each restart of the hill climb owns an RNG stream
+    derived from [(seed, restart)]).  With a cache in the context the
+    oracle's repeated evaluations hit across candidates, restarts and
+    even other modules' sweeps; hits replay the exact resilience
+    counters of the original computation, so the totals are also
+    independent of the cache. *)
 
 type objective =
   | Max_degradation
@@ -33,8 +39,9 @@ type outcome = {
 }
 
 val score :
+  ?ctx:Eval.Ctx.t ->
   ?body_effect:bool ->
-  ?engine:Sizing.engine ->
+  ?engine:Eval.engine ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
   ?jobs:int ->
@@ -44,13 +51,13 @@ val score :
   Vectors.pair ->
   float
 (** Evaluate one transition under the chosen objective (0 when nothing
-    switches).  With [engine = Sizing.Spice_level] the transistor-level
-    reference scores the transition under recovery [?policy] (default
-    [Spice.Recover.default]); a transient that fails even after
-    recovery scores 0 and is recorded as a [Resilience.Scored_zero]
-    skip in [?stats] — distinct from the honest nothing-switches zero,
-    which records a plain success — so a hunt over thousands of vectors
-    survives individual failures without conflating the two cases.
+    switches).  With [Eval.Spice_level] the transistor-level reference
+    scores the transition under the context's recovery policy; a
+    transient that fails even after recovery scores 0 and is recorded
+    as a [Resilience.Scored_zero] skip — distinct from the honest
+    nothing-switches zero, which records a plain success — so a hunt
+    over thousands of vectors survives individual failures without
+    conflating the two cases.
     For [Max_degradation] at [jobs >= 2] the MTCMOS and CMOS transients
     run on separate domains; both are always evaluated, so the value
     and the recorded diagnostics are jobs-invariant.
@@ -58,8 +65,9 @@ val score :
     transistor-level engine always models it.) *)
 
 val score_all :
+  ?ctx:Eval.Ctx.t ->
   ?body_effect:bool ->
-  ?engine:Sizing.engine ->
+  ?engine:Eval.engine ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
   ?jobs:int ->
@@ -70,15 +78,16 @@ val score_all :
   float array
 (** Score a batch of transitions; element [i] is the score of the
     [i]-th pair.  [jobs] spreads the candidates over domains with
-    per-worker [?stats] accumulators merged in worker order, so the
+    per-worker stats accumulators merged in worker order, so the
     array and the counters are identical whatever [jobs] is. *)
 
 val hill_climb :
   ?seed:int ->
   ?restarts:int ->
   ?max_iters:int ->
+  ?ctx:Eval.Ctx.t ->
   ?body_effect:bool ->
-  ?engine:Sizing.engine ->
+  ?engine:Eval.engine ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
   ?jobs:int ->
@@ -93,12 +102,13 @@ val hill_climb :
     Each restart draws from its own RNG stream seeded with
     [(seed, restart)] and restarts are the unit of parallelism, so the
     outcome is a pure function of [seed] — reproducible, and identical
-    for every [jobs].  Ties between restarts go to the lower restart
-    index. *)
+    for every [jobs] and for any cache state.  Ties between restarts go
+    to the lower restart index. *)
 
 val exhaustive :
+  ?ctx:Eval.Ctx.t ->
   ?body_effect:bool ->
-  ?engine:Sizing.engine ->
+  ?engine:Eval.engine ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
   ?jobs:int ->

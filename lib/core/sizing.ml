@@ -1,6 +1,8 @@
+module BP = Breakpoint_sim
+
 type vector_pair = (int * int) list * (int * int) list
 
-type engine = Breakpoint | Spice_level
+type engine = Eval.engine = Breakpoint | Spice_level
 
 type measurement = {
   wl : float;
@@ -10,16 +12,18 @@ type measurement = {
   vx_peak : float;
 }
 
-let worst_delay_bp ~config c vectors =
+(* fold the deprecated per-function optional arguments into the context
+   (explicit arguments win over context fields) *)
+let resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () =
+  Eval.Ctx.override ?engine ?body_effect ?policy ?stats ?jobs
+    (Option.value ctx ~default:Eval.Ctx.default)
+
+let worst_delay_bp ?cache ~config c vectors =
   List.fold_left
     (fun (dmax, vxmax) (before, after) ->
-      let r = Breakpoint_sim.simulate_ints ~config c ~before ~after in
-      let d =
-        match Breakpoint_sim.critical_delay r with
-        | Some (_, d) -> d
-        | None -> 0.0
-      in
-      (Float.max dmax d, Float.max vxmax (Breakpoint_sim.vx_peak r)))
+      let d, vx, _ = Cached.bp_metrics ?cache ~config c ~before ~after in
+      let d = Option.value d ~default:0.0 in
+      (Float.max dmax d, Float.max vxmax vx))
     (0.0, 0.0) vectors
 
 let vector_label (before, after) =
@@ -31,36 +35,57 @@ let vector_label (before, after) =
 (* one vector's transistor-level measurement, with graceful
    degradation: record the diagnosis and fall back to the
    breakpoint-simulator estimate for this vector instead of aborting
-   the whole sweep *)
-let spice_vector ~config ~bp_config ?stats c (before, after) =
-  match Spice_ref.run_ints_r ~config c ~before ~after with
-  | Ok r ->
-    Resilience.record_success ?stats (Spice_ref.telemetry r);
-    let d =
-      match Spice_ref.critical_delay r with
-      | Some (_, d) -> d
-      | None -> 0.0
+   the whole sweep.  Cached per (circuit, spice config, fallback
+   config, vector): the entry stores the post-fallback (delay, vx)
+   together with the resilience deltas the computation recorded, so a
+   hit replays the exact counters of the miss that filled it. *)
+let spice_vector ?cache ~config ~bp_config ?stats c (before, after) =
+  let compute stats =
+    match Spice_ref.run_ints_r ~config c ~before ~after with
+    | Ok r ->
+      Resilience.record_success ?stats (Spice_ref.telemetry r);
+      let d =
+        match Spice_ref.critical_delay r with
+        | Some (_, d) -> d
+        | None -> 0.0
+      in
+      (d, Spice_ref.vx_peak r)
+    | Error f ->
+      Resilience.record_skip ?stats ~kind:Resilience.Estimated
+        ~label:(vector_label (before, after))
+        f;
+      let r = BP.simulate_ints ~config:bp_config c ~before ~after in
+      let d =
+        match BP.critical_delay r with
+        | Some (_, d) -> d
+        | None -> 0.0
+      in
+      (d, BP.vx_peak r)
+  in
+  match (cache, Cached.bp_config_key bp_config) with
+  | None, _ | _, None -> compute stats
+  | Some _, Some bk ->
+    let key =
+      lazy
+        (Cached.digest ~tag:"szv1"
+           [ Cached.circuit_key c;
+             Cached.sp_config_key config;
+             bk;
+             Cached.vector_key ~before ~after ])
     in
-    (d, Spice_ref.vx_peak r)
-  | Error f ->
-    Resilience.record_skip ?stats ~kind:Resilience.Estimated
-      ~label:(vector_label (before, after))
-      f;
-    let r =
-      Breakpoint_sim.simulate_ints ~config:bp_config c ~before ~after
-    in
-    let d =
-      match Breakpoint_sim.critical_delay r with
-      | Some (_, d) -> d
-      | None -> 0.0
-    in
-    (d, Breakpoint_sim.vx_peak r)
+    Eval.Cache.memo ?cache ?stats ~key ~arity:2
+      ~to_floats:(fun (d, vx) -> [| d; vx |])
+      ~of_floats:(fun a -> (a.(0), a.(1)))
+      compute
 
 (* parallel over vectors; per-worker accumulators keep the recording
    lock-free and are merged back (in worker order) after the join, and
    the max-reduction runs in index order, so the measurement and the
-   diagnostics are independent of [jobs] *)
-let worst_delay_spice ~config ~bp_config ?stats ~jobs c vectors =
+   diagnostics are independent of [jobs].  The cache may be shared by
+   the workers (it is mutex-guarded): a hit replays the same counters
+   the computation would have recorded, so the totals stay independent
+   of [jobs] and of the cache state. *)
+let worst_delay_spice ?cache ~config ~bp_config ?stats ~jobs c vectors =
   let vecs = Array.of_list vectors in
   let per_vector =
     Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
@@ -69,11 +94,11 @@ let worst_delay_spice ~config ~bp_config ?stats ~jobs c vectors =
         | Some s -> Resilience.merge_into ~into:s w
         | None -> ())
       (Array.length vecs)
-      (fun wstats i -> spice_vector ~config ~bp_config ~stats:wstats c vecs.(i))
+      (fun wstats i ->
+        spice_vector ?cache ~config ~bp_config ~stats:wstats c vecs.(i))
   in
   Array.fold_left
-    (fun (dmax, vxmax) (d, vx) ->
-      (Float.max dmax d, Float.max vxmax vx))
+    (fun (dmax, vxmax) (d, vx) -> (Float.max dmax d, Float.max vxmax vx))
     (0.0, 0.0) per_vector
 
 let sleep_of c ~body_effect ~wl =
@@ -82,94 +107,94 @@ let sleep_of c ~body_effect ~wl =
   Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
     ~vdd:tech.Device.Tech.vdd
 
-let worst_delay ?stats ?(policy = Spice.Recover.default) ?(jobs = 1)
-    ~engine ~body_effect c ~sleep vectors =
-  match engine with
-  | Breakpoint ->
-    let config =
-      { Breakpoint_sim.default_config with
-        Breakpoint_sim.sleep; body_effect }
-    in
-    worst_delay_bp ~config c vectors
-  | Spice_level ->
+let worst_delay_ctx (ctx : Eval.Ctx.t) c ~sleep vectors =
+  let body_effect = ctx.Eval.Ctx.body_effect in
+  let cache = ctx.Eval.Ctx.cache in
+  match ctx.Eval.Ctx.engine with
+  | Eval.Breakpoint ->
+    let config = { BP.default_config with BP.sleep; body_effect } in
+    worst_delay_bp ?cache ~config c vectors
+  | Eval.Spice_level ->
     (* size the transient horizon from the fast estimate so slow (small
        sleep device) cases are not cut off *)
-    let bp_config =
-      { Breakpoint_sim.default_config with
-        Breakpoint_sim.sleep; body_effect }
-    in
-    let estimate, _ = worst_delay_bp ~config:bp_config c vectors in
+    let bp_config = { BP.default_config with BP.sleep; body_effect } in
+    let estimate, _ = worst_delay_bp ?cache ~config:bp_config c vectors in
     let t_stop =
       Float.max Spice_ref.default_config.Spice_ref.t_stop
         (Spice_ref.default_config.Spice_ref.t_start +. (3.0 *. estimate))
     in
     let config =
-      { Spice_ref.default_config with Spice_ref.sleep; t_stop; policy }
+      { Spice_ref.default_config with
+        Spice_ref.sleep;
+        t_stop;
+        policy = ctx.Eval.Ctx.policy }
     in
-    worst_delay_spice ~config ~bp_config ?stats ~jobs c vectors
+    worst_delay_spice ?cache ~config ~bp_config ?stats:ctx.Eval.Ctx.stats
+      ~jobs:ctx.Eval.Ctx.jobs c vectors
 
-let cmos_delay ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true)
-    ?jobs c ~vectors =
+let cmos_delay ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  fst
-    (worst_delay ?stats ?policy ?jobs ~engine ~body_effect c
-       ~sleep:Breakpoint_sim.Cmos vectors)
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  fst (worst_delay_ctx ctx c ~sleep:BP.Cmos vectors)
 
-let delay_at ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true)
-    ?jobs c ~vectors ~wl =
-  if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let base = cmos_delay ?stats ?policy ?jobs ~engine ~body_effect c ~vectors in
-  let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
-  let d, vx =
-    worst_delay ?stats ?policy ?jobs ~engine ~body_effect c ~sleep vectors
+let measurement_at (ctx : Eval.Ctx.t) c ~base ~wl vectors =
+  let sleep =
+    BP.Sleep_fet (sleep_of c ~body_effect:ctx.Eval.Ctx.body_effect ~wl)
   in
+  let d, vx = worst_delay_ctx ctx c ~sleep vectors in
   { wl;
     cmos_delay = base;
     mtcmos_delay = d;
     degradation = (d -. base) /. base;
     vx_peak = vx }
 
-let sweep ?stats ?policy ?(engine = Breakpoint) ?(body_effect = true)
-    ?(jobs = 1) c ~vectors ~wls =
+let delay_at ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wl =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let base = cmos_delay ?stats ?policy ~engine ~body_effect c ~vectors in
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  let base = fst (worst_delay_ctx ctx c ~sleep:BP.Cmos vectors) in
+  measurement_at ctx c ~base ~wl vectors
+
+let sweep ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wls =
+  if vectors = [] then invalid_arg "Sizing: empty vector list";
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  (* the shared CMOS baseline is measured once, sequentially *)
+  let base =
+    fst
+      (worst_delay_ctx
+         { ctx with Eval.Ctx.jobs = 1 }
+         c ~sleep:BP.Cmos vectors)
+  in
   (* parallelise across W/L points (each is an independent worst-delay
      measurement); inner per-vector loops stay sequential so one sweep
      spawns at most [jobs] domains.  Results land in index order, so
      the list is identical whatever [jobs] is. *)
   let wl_arr = Array.of_list wls in
   let ms =
-    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
+    Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~chunk:1
+      ~create:Resilience.create
       ~merge:(fun w ->
-        match stats with
+        match ctx.Eval.Ctx.stats with
         | Some s -> Resilience.merge_into ~into:s w
         | None -> ())
       (Array.length wl_arr)
       (fun wstats i ->
-        let wl = wl_arr.(i) in
-        let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
-        let d, vx =
-          worst_delay ~stats:wstats ?policy ~engine ~body_effect c ~sleep
-            vectors
+        let wctx =
+          { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
         in
-        { wl;
-          cmos_delay = base;
-          mtcmos_delay = d;
-          degradation = (d -. base) /. base;
-          vx_peak = vx })
+        measurement_at wctx c ~base ~wl:wl_arr.(i) vectors)
   in
   Array.to_list ms
 
-let size_for_degradation ?stats ?policy ?(engine = Breakpoint)
-    ?(body_effect = true) ?(wl_lo = 0.5) ?(wl_hi = 4096.0)
-    ?(tolerance = 0.01) c ~vectors ~target =
+let size_for_degradation ?ctx ?stats ?policy ?engine ?body_effect
+    ?(wl_lo = 0.5) ?(wl_hi = 4096.0) ?(tolerance = 0.01) c ~vectors ~target =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let base = cmos_delay ?stats ?policy ~engine ~body_effect c ~vectors in
+  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect () in
+  let base = fst (worst_delay_ctx ctx c ~sleep:BP.Cmos vectors) in
   let degradation wl =
-    let sleep = Breakpoint_sim.Sleep_fet (sleep_of c ~body_effect ~wl) in
-    let d, _ =
-      worst_delay ?stats ?policy ~engine ~body_effect c ~sleep vectors
+    let sleep =
+      BP.Sleep_fet (sleep_of c ~body_effect:ctx.Eval.Ctx.body_effect ~wl)
     in
+    let d, _ = worst_delay_ctx ctx c ~sleep vectors in
     (d -. base) /. base
   in
   if degradation wl_hi > target then raise Not_found;

@@ -4,20 +4,34 @@
     A sizing question is always posed against a set of input transitions
     (because the worst-case vector depends on the sleep size itself,
     §2.4): the delay at a given W/L is the worst critical delay over the
-    vector set. *)
+    vector set.
+
+    Every entry point takes [?ctx:Eval.Ctx.t] — engine, body effect,
+    recovery policy, stats accumulator, worker count and evaluation
+    cache in one record.  The historical per-function optional
+    arguments ([?stats ?policy ?engine ?body_effect ?jobs]) are kept
+    for one release as thin wrappers that override the corresponding
+    context field; new code should build a context instead.  With a
+    cache in the context, repeated evaluations of the same (circuit,
+    config, vector, W/L) point — across [delay_at] calls, sweep
+    points, bisection probes, even different modules — are served from
+    memory with identical results and replayed resilience counters. *)
 
 type vector_pair = (int * int) list * (int * int) list
 (** [(before, after)] in [Logic_sim.eval_ints] packing. *)
 
-type engine = Breakpoint | Spice_level
+type engine = Eval.engine = Breakpoint | Spice_level
+[@@alert deprecated "Sizing.engine moved to Eval.engine"]
 (** Which simulator evaluates delays: the paper's fast switch-level tool
     or the transistor-level reference.
 
-    With {!Spice_level}, every function below is fault-tolerant: a
+    With {!Eval.Spice_level}, every function below is fault-tolerant: a
     vector whose transient fails even after the engine's recovery
-    [?policy] is recorded as a skipped sample (with its structured
-    diagnosis) in the optional [?stats] accumulator and replaced by the
-    breakpoint-simulator estimate, instead of aborting the sweep. *)
+    policy is recorded as a skipped sample (with its structured
+    diagnosis) in the stats accumulator and replaced by the
+    breakpoint-simulator estimate, instead of aborting the sweep.
+
+    @deprecated this alias moved to {!Eval.engine}. *)
 
 type measurement = {
   wl : float;
@@ -28,9 +42,10 @@ type measurement = {
 }
 
 val delay_at :
+  ?ctx:Eval.Ctx.t ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
-  ?engine:engine ->
+  ?engine:Eval.engine ->
   ?body_effect:bool ->
   ?jobs:int ->
   Netlist.Circuit.t ->
@@ -38,22 +53,27 @@ val delay_at :
   wl:float ->
   measurement
 (** Worst-case measurement over [vectors] at one sleep size.  [jobs]
-    (default 1) spreads the per-vector transistor-level analyses over
-    that many domains via [Par.Pool]; the measurement and the [?stats]
-    totals are identical whatever [jobs] is.
+    (from the context, default 1) spreads the per-vector
+    transistor-level analyses over that many domains via [Par.Pool];
+    the measurement and the stats totals are identical whatever [jobs]
+    is, and whatever the cache already holds.
+    @deprecated the per-field optional arguments; pass [?ctx].
     @raise Invalid_argument on an empty vector list. *)
 
 val cmos_delay :
+  ?ctx:Eval.Ctx.t ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
-  ?engine:engine -> ?body_effect:bool -> ?jobs:int -> Netlist.Circuit.t ->
+  ?engine:Eval.engine -> ?body_effect:bool -> ?jobs:int ->
+  Netlist.Circuit.t ->
   vectors:vector_pair list -> float
 (** Ideal-ground baseline delay. *)
 
 val sweep :
+  ?ctx:Eval.Ctx.t ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
-  ?engine:engine ->
+  ?engine:Eval.engine ->
   ?body_effect:bool ->
   ?jobs:int ->
   Netlist.Circuit.t ->
@@ -61,15 +81,18 @@ val sweep :
   wls:float list ->
   measurement list
 (** One measurement per W/L, sharing the CMOS baseline.  [jobs]
-    (default 1) distributes the W/L points over that many domains;
-    results come back in [wls] order and are bit-for-bit identical to
-    the sequential run (deterministic chunked scheduling, worker-order
-    accumulator merge — see [Par.Pool]). *)
+    distributes the W/L points over that many domains; results come
+    back in [wls] order and are bit-for-bit identical to the
+    sequential run (deterministic chunked scheduling, worker-order
+    accumulator merge — see [Par.Pool]).  A cache shared across the
+    workers is mutex-guarded; hit/miss counts may vary with
+    scheduling, the measurements never do. *)
 
 val size_for_degradation :
+  ?ctx:Eval.Ctx.t ->
   ?stats:Resilience.t ->
   ?policy:Spice.Recover.policy ->
-  ?engine:engine ->
+  ?engine:Eval.engine ->
   ?body_effect:bool ->
   ?wl_lo:float ->
   ?wl_hi:float ->
@@ -80,7 +103,9 @@ val size_for_degradation :
   float
 (** Smallest W/L whose degradation is at most [target] (e.g. 0.05 for
     the paper's 5 % budget), found by bisection over
-    [wl_lo, wl_hi] (defaults 0.5 and 4096).
+    [wl_lo, wl_hi] (defaults 0.5 and 4096).  With a cache in the
+    context the repeated baseline and probe evaluations hit across
+    calls (and across [sweep]/[delay_at] of the same points).
     @raise Not_found when even [wl_hi] misses the target. *)
 
 val pp_measurement : Format.formatter -> measurement -> unit

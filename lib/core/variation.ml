@@ -1,4 +1,5 @@
 module C = Netlist.Circuit
+module BP = Breakpoint_sim
 
 type sample = {
   dvt : float;
@@ -32,15 +33,27 @@ let shift_tech (tech : Device.Tech.t) ~dvt ~dkp_rel =
     sleep_nmos = shift_params tech.Device.Tech.sleep_nmos ~dvt ~dkp_rel;
     sleep_pmos = shift_params tech.Device.Tech.sleep_pmos ~dvt ~dkp_rel }
 
-let monte_carlo ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
-    ?(jobs = 1) ~n circuit ~wl ~vector =
+let monte_carlo ?ctx ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
+    ?jobs ~n circuit ~wl ~vector =
   if n < 1 then invalid_arg "Variation.monte_carlo: n < 1";
+  let ctx =
+    Eval.Ctx.override ?jobs (Option.value ctx ~default:Eval.Ctx.default)
+  in
+  let cache = ctx.Eval.Ctx.cache in
   let st = Random.State.make [| seed |] in
   let tech0 = C.tech circuit in
   let before, after = vector in
-  (* nominal CMOS baseline, fixed across samples *)
+  (* nominal CMOS baseline, fixed across samples; the MC itself is
+     switch-level, so the baseline is pinned to the breakpoint engine
+     whatever the context says *)
   let nominal_cmos =
-    Sizing.cmos_delay circuit ~vectors:[ vector ]
+    Sizing.cmos_delay
+      ~ctx:
+        { ctx with
+          Eval.Ctx.engine = Eval.Breakpoint;
+          Eval.Ctx.jobs = 1;
+          Eval.Ctx.stats = None }
+      circuit ~vectors:[ vector ]
   in
   (* the parameter shifts are presampled sequentially from the single
      seeded stream (same draw order as ever: dvt then dkp per sample),
@@ -59,19 +72,16 @@ let monte_carlo ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
         ~vdd:tech.Device.Tech.vdd
     in
     let config =
-      { Breakpoint_sim.default_config with
-        Breakpoint_sim.sleep = Breakpoint_sim.Sleep_fet sleep;
+      { BP.default_config with
+        BP.sleep = BP.Sleep_fet sleep;
         tech_override = Some tech }
     in
-    let r = Breakpoint_sim.simulate_ints ~config circuit ~before ~after in
-    let delay =
-      match Breakpoint_sim.critical_delay r with
-      | Some (_, d) -> d
-      | None -> 0.0
-    in
-    { dvt; dkp_rel; delay; vx_peak = Breakpoint_sim.vx_peak r }
+    let d, vx, _ = Cached.bp_metrics ?cache ~config circuit ~before ~after in
+    { dvt; dkp_rel; delay = Option.value d ~default:0.0; vx_peak = vx }
   in
-  let samples = Par.Pool.map ~jobs n (fun i -> run_sample params.(i)) in
+  let samples =
+    Par.Pool.map ~jobs:ctx.Eval.Ctx.jobs n (fun i -> run_sample params.(i))
+  in
   let delays = Array.map (fun s -> s.delay) samples in
   let vxs = Array.map (fun s -> s.vx_peak) samples in
   let degradations =

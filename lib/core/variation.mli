@@ -4,7 +4,14 @@
     transconductance together; the sleep device's overdrive
     [vdd - vt_high] is small, so its effective resistance is unusually
     sensitive to vt shifts — a margin the paper-era flows sized by
-    hand. *)
+    hand.
+
+    [monte_carlo] takes [?ctx:Eval.Ctx.t] for the worker count and the
+    evaluation cache; each sample's breakpoint simulation is cached
+    under its shifted technology card ([tech_override] is part of the
+    key), so re-running the same study — or overlapping studies — hits.
+    The engine field of the context is ignored: the MC is
+    switch-level by construction. *)
 
 type sample = {
   dvt : float;        (** threshold shift applied to every device, V *)
@@ -22,6 +29,7 @@ type stats = {
 }
 
 val monte_carlo :
+  ?ctx:Eval.Ctx.t ->
   ?seed:int ->
   ?sigma_vt:float ->
   ?sigma_kp_rel:float ->
@@ -35,5 +43,6 @@ val monte_carlo :
     5 % on kp).  The circuit's own technology card is the nominal.
     The parameter shifts are presampled sequentially from the seeded
     stream before the simulations fan out over [jobs] (default 1)
-    domains, so the statistics are identical whatever [jobs] is.
+    domains, so the statistics are identical whatever [jobs] is — and
+    whatever the cache holds.
     @raise Invalid_argument when [n < 1]. *)

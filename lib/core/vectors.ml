@@ -39,7 +39,13 @@ type ranking = {
   vx_peak : float;
 }
 
-let rank ?(body_effect = true) c ~sleep ~pairs =
+let rank ?ctx ?body_effect c ~sleep ~pairs =
+  let ctx =
+    Eval.Ctx.override ?body_effect
+      (Option.value ctx ~default:Eval.Ctx.default)
+  in
+  let body_effect = ctx.Eval.Ctx.body_effect in
+  let cache = ctx.Eval.Ctx.cache in
   let mt_config =
     { Breakpoint_sim.default_config with Breakpoint_sim.sleep; body_effect }
   in
@@ -47,30 +53,28 @@ let rank ?(body_effect = true) c ~sleep ~pairs =
     { Breakpoint_sim.default_config with Breakpoint_sim.body_effect }
   in
   let evaluate (before, after) =
-    let r_mt = Breakpoint_sim.simulate_ints ~config:mt_config c ~before ~after in
-    match Breakpoint_sim.critical_delay r_mt with
+    let d_mt, vx, _ =
+      Cached.bp_metrics ?cache ~config:mt_config c ~before ~after
+    in
+    match d_mt with
     | None -> None
-    | Some (_, d_mt) ->
-      let r_cm =
-        Breakpoint_sim.simulate_ints ~config:cmos_config c ~before ~after
+    | Some d_mt ->
+      let d_cm, _, _ =
+        Cached.bp_metrics ?cache ~config:cmos_config c ~before ~after
       in
-      let d_cm =
-        match Breakpoint_sim.critical_delay r_cm with
-        | Some (_, d) -> d
-        | None -> d_mt
-      in
+      let d_cm = Option.value d_cm ~default:d_mt in
       Some
         { pair = (before, after);
           delay = d_mt;
           cmos_delay = d_cm;
           degradation = (d_mt -. d_cm) /. d_cm;
-          vx_peak = Breakpoint_sim.vx_peak r_mt }
+          vx_peak = vx }
   in
   List.filter_map evaluate pairs
   |> List.sort (fun a b -> compare b.degradation a.degradation)
 
-let worst ?body_effect c ~sleep ~pairs ~top =
-  let ranked = rank ?body_effect c ~sleep ~pairs in
+let worst ?ctx ?body_effect c ~sleep ~pairs ~top =
+  let ranked = rank ?ctx ?body_effect c ~sleep ~pairs in
   List.filteri (fun i _ -> i < top) ranked
 
 let involving_output c ~net ~pairs =

@@ -28,6 +28,7 @@ type ranking = {
 }
 
 val rank :
+  ?ctx:Eval.Ctx.t ->
   ?body_effect:bool ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
@@ -35,9 +36,12 @@ val rank :
   ranking list
 (** Simulate every pair with the breakpoint simulator (CMOS baseline per
     pair), sorted worst degradation first.  Pairs that produce no output
-    transition are dropped. *)
+    transition are dropped.  A cache in [?ctx] memoizes the per-pair
+    simulations (shared with [Search]'s breakpoint oracle, which runs
+    the same (config, vector) points). *)
 
 val worst :
+  ?ctx:Eval.Ctx.t ->
   ?body_effect:bool ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->

@@ -1,0 +1,247 @@
+(* Mutex-guarded hash table + intrusive doubly-linked recency list.
+   [head] is most recently used, [tail] least; find bumps to head,
+   store evicts from tail.  OCaml 5 [Mutex] is domain-safe, so one
+   cache may be shared by Par.Pool worker domains: hit/miss counts can
+   then vary with scheduling, but values cannot — a hit returns the
+   exact floats a miss stored. *)
+
+type entry = { floats : float array; stats : Resilience.t option }
+
+type node = {
+  nkey : string;
+  mutable value : entry;
+  mutable nbytes : int;
+  mutable prev : node option; (* toward head / MRU *)
+  mutable next : node option; (* toward tail / LRU *)
+}
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+type t = {
+  table : (string, node) Hashtbl.t;
+  cap : int;
+  lock : Mutex.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(max_entries = 65536) () =
+  if max_entries <= 0 then invalid_arg "Eval.Cache.create: max_entries <= 0";
+  { table = Hashtbl.create 1024;
+    cap = max_entries;
+    lock = Mutex.create ();
+    head = None;
+    tail = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let max_entries t = t.cap
+
+(* rough heap footprint of one entry, for the bytes counter *)
+let stats_bytes = function
+  | None -> 0
+  | Some (s : Resilience.t) ->
+    64
+    + (32 * List.length s.Resilience.strategies)
+    + (160 * List.length s.Resilience.skips)
+
+let entry_bytes key e =
+  96 + String.length key + (8 * Array.length e.floats) + stats_bytes e.stats
+
+(* recency-list surgery; caller holds the lock *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.nkey;
+    t.bytes <- t.bytes - n.nbytes;
+    t.evictions <- t.evictions + 1
+
+let find t key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+        t.hits <- t.hits + 1;
+        unlink t n;
+        push_front t n;
+        Some n.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let store t key e =
+  Mutex.protect t.lock (fun () ->
+      let nb = entry_bytes key e in
+      (match Hashtbl.find_opt t.table key with
+       | Some n ->
+         t.bytes <- t.bytes - n.nbytes + nb;
+         n.value <- e;
+         n.nbytes <- nb;
+         unlink t n;
+         push_front t n
+       | None ->
+         while Hashtbl.length t.table >= t.cap do
+           evict_tail t
+         done;
+         let n = { nkey = key; value = e; nbytes = nb; prev = None; next = None } in
+         Hashtbl.replace t.table key n;
+         push_front t n;
+         t.bytes <- t.bytes + nb))
+
+let counters t =
+  Mutex.protect t.lock (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        bytes = t.bytes })
+
+let report_string t =
+  let c = counters t in
+  let looked_up = c.hits + c.misses in
+  let rate =
+    if looked_up = 0 then 0.0
+    else 100.0 *. float_of_int c.hits /. float_of_int looked_up
+  in
+  Printf.sprintf
+    "cache: %d entries (~%d KiB), %d hits / %d misses (%.1f%% hit rate), %d evictions"
+    c.entries ((c.bytes + 1023) / 1024) c.hits c.misses rate c.evictions
+
+let memo ?cache ?stats ~key ~arity ~to_floats ~of_floats compute =
+  match cache with
+  | None -> compute stats
+  | Some t ->
+    let k = Lazy.force key in
+    (match find t k with
+     | Some e when Array.length e.floats = arity ->
+       (match stats, e.stats with
+        | Some into, Some recorded -> Resilience.merge_into ~into recorded
+        | _ -> ());
+       of_floats e.floats
+     | _ ->
+       (* compute against a fresh accumulator so the entry can carry
+          exactly this computation's deltas for replay *)
+       let local = Resilience.create () in
+       let v = compute (Some local) in
+       (match stats with
+        | Some into -> Resilience.merge_into ~into local
+        | None -> ());
+       let snapshot =
+         if local.Resilience.attempted = 0 then None else Some local
+       in
+       store t k { floats = to_floats v; stats = snapshot };
+       v)
+
+(* ---- persistence ------------------------------------------------- *)
+
+let magic = "mtsize-eval-cache 1"
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then failwith "Eval.Cache: odd hex key";
+  String.init (n / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let save t file =
+  let lines =
+    Mutex.protect t.lock (fun () ->
+        (* walk head (MRU) to tail consing, so the final list is tail
+           (LRU) first and load re-inserts in recency order *)
+        let rec collect acc = function
+          | None -> acc
+          | Some n ->
+            let b = Buffer.create 64 in
+            Buffer.add_string b (hex_of_string n.nkey);
+            Buffer.add_char b ' ';
+            Buffer.add_string b (string_of_int (Array.length n.value.floats));
+            Array.iter
+              (fun f ->
+                Buffer.add_char b ' ';
+                Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float f)))
+              n.value.floats;
+            collect (Buffer.contents b :: acc) n.next
+        in
+        collect [] t.head)
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines)
+
+let load ?max_entries file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let first = try input_line ic with End_of_file -> "" in
+      if first <> magic then
+        failwith (Printf.sprintf "Eval.Cache.load %s: bad magic %S" file first);
+      let t = create ?max_entries () in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             match String.split_on_char ' ' line with
+             | keyhex :: count :: bits ->
+               let n =
+                 try int_of_string count
+                 with _ -> failwith ("Eval.Cache.load: bad count in " ^ file)
+               in
+               if List.length bits <> n then
+                 failwith ("Eval.Cache.load: truncated entry in " ^ file);
+               let floats =
+                 Array.of_list
+                   (List.map
+                      (fun h ->
+                        match Int64.of_string_opt ("0x" ^ h) with
+                        | Some b -> Int64.float_of_bits b
+                        | None ->
+                          failwith ("Eval.Cache.load: bad float in " ^ file))
+                      bits)
+               in
+               store t (string_of_hex keyhex) { floats; stats = None }
+             | _ -> failwith ("Eval.Cache.load: malformed line in " ^ file)
+           end
+         done
+       with End_of_file -> ());
+      (* loaded entries are population, not traffic *)
+      t.misses <- 0;
+      t.hits <- 0;
+      t)

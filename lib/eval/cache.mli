@@ -1,0 +1,87 @@
+(** Content-addressed, bounded memoization cache for simulator results.
+
+    Values are flat [float array]s (every cached quantity in the tool is
+    a tuple of floats), keyed by a structural digest built with {!Key}.
+    The table is bounded by an entry count and evicts least-recently
+    used entries; all operations are guarded by a mutex, so one cache
+    can be shared by the worker domains of [Par.Pool] — hit/miss counts
+    may then depend on scheduling, but the values returned never do,
+    because a hit returns exactly the floats a miss stored.
+
+    Each entry may also carry a {!Resilience} snapshot of the counters
+    the computation recorded; {!memo} replays the snapshot into the
+    caller's accumulator on every hit, so resilience totals are
+    identical with the cache on or off, cold or warm (see DESIGN.md).
+
+    {!save}/{!load} persist entries (not their resilience snapshots) to
+    a small text file so e.g. a [search] run can warm a later [sweep]. *)
+
+type t
+
+type entry = {
+  floats : float array;
+  stats : Resilience.t option;
+      (** resilience deltas the computation recorded, replayed on hit *)
+}
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** current population *)
+  bytes : int;    (** estimated heap footprint of the stored entries *)
+}
+
+val create : ?max_entries:int -> unit -> t
+(** Default bound: 65536 entries.
+    @raise Invalid_argument when [max_entries <= 0]. *)
+
+val max_entries : t -> int
+
+val find : t -> string -> entry option
+(** Look up a key, counting a hit (and bumping recency) or a miss. *)
+
+val store : t -> string -> entry -> unit
+(** Insert or replace, evicting least-recently-used entries as needed. *)
+
+val counters : t -> counters
+
+val report_string : t -> string
+(** One-line [Resilience]-style report, e.g.
+    ["cache: 1200 entries (~150 KiB), 3400 hits / 1200 misses (73.9% hit rate), 0 evictions"]. *)
+
+val memo :
+  ?cache:t ->
+  ?stats:Resilience.t ->
+  key:string Lazy.t ->
+  arity:int ->
+  to_floats:('a -> float array) ->
+  of_floats:(float array -> 'a) ->
+  (Resilience.t option -> 'a) ->
+  'a
+(** [memo ?cache ?stats ~key ~arity ~to_floats ~of_floats compute]
+    is the one memoization protocol every call site uses:
+
+    - no [cache]: run [compute stats] directly (zero overhead, the key
+      is never forced);
+    - hit (entry with [arity] floats): replay the entry's resilience
+      snapshot into [stats] and return [of_floats entry.floats];
+    - miss: run [compute] against a {e fresh} accumulator, merge the
+      fresh accumulator into [stats], store the floats together with
+      the accumulator (when it recorded anything) and return the value.
+
+    An entry whose float count differs from [arity] (possible only via
+    a corrupted or stale cache file) is treated as a miss and
+    overwritten.  Exceptions from [compute] propagate; nothing is
+    stored. *)
+
+val save : t -> string -> unit
+(** Write the entries to [file] in LRU-to-MRU order (so {!load}
+    restores recency).  Resilience snapshots are not persisted: entries
+    served from a loaded cache replay no counters.
+    @raise Sys_error on I/O failure. *)
+
+val load : ?max_entries:int -> string -> t
+(** Read a cache written by {!save}.  Counters start at zero.
+    @raise Sys_error on I/O failure.
+    @raise Failure on a malformed file. *)

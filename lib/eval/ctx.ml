@@ -1,0 +1,34 @@
+type t = {
+  engine : Engine.t;
+  body_effect : bool;
+  policy : Spice.Recover.policy;
+  stats : Resilience.t option;
+  jobs : int;
+  cache : Cache.t option;
+}
+
+let default =
+  { engine = Engine.Breakpoint;
+    body_effect = true;
+    policy = Spice.Recover.default;
+    stats = None;
+    jobs = 1;
+    cache = None }
+
+let with_engine engine t = { t with engine }
+let with_body_effect body_effect t = { t with body_effect }
+let with_policy policy t = { t with policy }
+let with_stats s t = { t with stats = Some s }
+let with_jobs jobs t = { t with jobs }
+let with_cache c t = { t with cache = Some c }
+let without_cache t = { t with cache = None }
+let without_stats t = { t with stats = None }
+
+let override ?engine ?body_effect ?policy ?stats ?jobs ?cache t =
+  let keep o field = match o with Some v -> Some v | None -> field in
+  { engine = Option.value engine ~default:t.engine;
+    body_effect = Option.value body_effect ~default:t.body_effect;
+    policy = Option.value policy ~default:t.policy;
+    stats = keep stats t.stats;
+    jobs = Option.value jobs ~default:t.jobs;
+    cache = keep cache t.cache }

@@ -1,0 +1,46 @@
+(** The evaluation context: one record holding every knob that used to
+    travel as the [?engine ?body_effect ?policy ?stats ?jobs] optional
+    argument sprawl, plus the memoization cache.
+
+    Analysis entry points ([Sizing], [Search], [Resize], [Characterize],
+    [Variation]) take [?ctx:Ctx.t]; the old per-function optional
+    arguments remain as deprecated wrappers that override the
+    corresponding context field for one release. *)
+
+type t = {
+  engine : Engine.t;          (** delay engine (default {!Engine.Breakpoint}) *)
+  body_effect : bool;         (** model the body effect (default [true]) *)
+  policy : Spice.Recover.policy;  (** solver recovery policy *)
+  stats : Resilience.t option;    (** resilience accumulator, if any *)
+  jobs : int;                 (** worker domains for parallel sweeps *)
+  cache : Cache.t option;     (** evaluation cache, if any *)
+}
+
+val default : t
+(** Breakpoint engine, body effect on, [Spice.Recover.default], no
+    stats, [jobs = 1], no cache — exactly the historical defaults of
+    every entry point. *)
+
+(** Builders, pipeline style:
+    [Ctx.default |> Ctx.with_engine Spice_level |> Ctx.with_jobs 4]. *)
+
+val with_engine : Engine.t -> t -> t
+val with_body_effect : bool -> t -> t
+val with_policy : Spice.Recover.policy -> t -> t
+val with_stats : Resilience.t -> t -> t
+val with_jobs : int -> t -> t
+val with_cache : Cache.t -> t -> t
+val without_cache : t -> t
+val without_stats : t -> t
+
+val override :
+  ?engine:Engine.t ->
+  ?body_effect:bool ->
+  ?policy:Spice.Recover.policy ->
+  ?stats:Resilience.t ->
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  t ->
+  t
+(** Replace only the fields given — the adapter the deprecated
+    per-function optional arguments funnel through. *)

@@ -1,0 +1,13 @@
+type t = Breakpoint | Spice_level
+
+let to_string = function Breakpoint -> "bp" | Spice_level -> "spice"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "bp" | "breakpoint" -> Ok Breakpoint
+  | "spice" -> Ok Spice_level
+  | other ->
+    Error
+      (Printf.sprintf "unknown engine %S (expected \"bp\" or \"spice\")" other)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

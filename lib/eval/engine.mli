@@ -1,0 +1,18 @@
+(** Which delay engine an evaluation runs on.
+
+    Historically this type lived in [Mtcmos.Sizing], but [Search], the
+    CLI and the bench harness all need it too; it now lives here and
+    [Sizing.engine] is a deprecated alias. *)
+
+type t =
+  | Breakpoint   (** fast switch-level breakpoint simulator *)
+  | Spice_level  (** transistor-level reference (Spice bridge) *)
+
+val to_string : t -> string
+(** ["bp"] or ["spice"] — the spelling the CLI accepts. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["bp"], ["breakpoint"], ["spice"]; anything else is an
+    [Error] naming the valid spellings. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** Unified evaluation API: the context record ({!Ctx}), the engine
+    selector ({!Engine} / {!engine}), resilience accounting
+    ({!Resilience}) and the content-addressed memoization cache
+    ({!Cache}, keys built with {!Key}). *)
+
+module Engine = Engine
+module Resilience = Resilience
+module Key = Key
+module Cache = Cache
+module Ctx = Ctx
+
+type engine = Engine.t = Breakpoint | Spice_level
+(** Alias so call sites can write [Eval.Breakpoint] /
+    [Eval.Spice_level] without opening {!Engine}. *)

@@ -1,0 +1,119 @@
+type t = Buffer.t
+
+let create () = Buffer.create 256
+let raw b s = Buffer.add_string b s
+
+let string b s =
+  Buffer.add_char b 's';
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let int b i =
+  Buffer.add_char b 'i';
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let bool b v = Buffer.add_char b (if v then 'T' else 'F')
+
+let float b f =
+  Buffer.add_char b 'f';
+  Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float f));
+  Buffer.add_char b ';'
+
+let option b f = function
+  | None -> Buffer.add_char b 'N'
+  | Some v ->
+    Buffer.add_char b 'S';
+    f b v
+
+let ints b l =
+  int b (List.length l);
+  List.iter
+    (fun (net, v) ->
+      int b net;
+      int b v)
+    l
+
+let mosfet b (p : Device.Mosfet.params) =
+  Buffer.add_char b
+    (match p.Device.Mosfet.polarity with Nmos -> 'n' | Pmos -> 'p');
+  float b p.Device.Mosfet.vt0;
+  float b p.Device.Mosfet.kp;
+  float b p.Device.Mosfet.gamma;
+  float b p.Device.Mosfet.phi;
+  float b p.Device.Mosfet.lambda;
+  float b p.Device.Mosfet.n_sub;
+  float b p.Device.Mosfet.i0
+
+let tech b (t : Device.Tech.t) =
+  string b t.Device.Tech.name;
+  float b t.Device.Tech.vdd;
+  float b t.Device.Tech.lmin;
+  mosfet b t.Device.Tech.nmos;
+  mosfet b t.Device.Tech.pmos;
+  mosfet b t.Device.Tech.sleep_nmos;
+  mosfet b t.Device.Tech.sleep_pmos;
+  float b t.Device.Tech.alpha;
+  float b t.Device.Tech.cg_per_wl;
+  float b t.Device.Tech.cj_per_wl;
+  float b t.Device.Tech.cwire;
+  float b t.Device.Tech.wl_n_unit;
+  float b t.Device.Tech.wl_p_unit
+
+let sleep b (s : Device.Sleep.t) =
+  mosfet b s.Device.Sleep.params;
+  float b s.Device.Sleep.wl;
+  float b s.Device.Sleep.vdd
+
+let policy b (p : Spice.Recover.policy) =
+  let strategies l =
+    int b (List.length l);
+    List.iter (fun s -> string b (Spice.Recover.strategy_name s)) l
+  in
+  strategies p.Spice.Recover.dc_strategies;
+  strategies p.Spice.Recover.transient_strategies;
+  int b p.Spice.Recover.direct_max_iter;
+  int b p.Spice.Recover.ladder_max_iter;
+  float b p.Spice.Recover.gmin_start;
+  float b p.Spice.Recover.transient_gmin_start;
+  int b p.Spice.Recover.source_steps;
+  int b p.Spice.Recover.max_step_halvings
+
+let circuit b c =
+  let module C = Netlist.Circuit in
+  tech b (C.tech c);
+  int b (C.num_nets c);
+  let nets a =
+    int b (Array.length a);
+    Array.iter (fun n -> int b n) a
+  in
+  nets (C.inputs c);
+  nets (C.outputs c);
+  let ties = C.ties c in
+  int b (Array.length ties);
+  Array.iter
+    (fun (n, v) ->
+      int b n;
+      bool b v)
+    ties;
+  let gates = C.gates c in
+  int b (Array.length gates);
+  Array.iter
+    (fun (g : C.gate_inst) ->
+      int b g.C.id;
+      string b (Netlist.Gate.name g.C.kind);
+      int b (Netlist.Gate.arity g.C.kind);
+      nets g.C.inputs;
+      int b g.C.output;
+      float b g.C.strength)
+    gates;
+  (* load_capacitance folds in explicit extra loads (add_load), which are
+     otherwise invisible through the public accessors *)
+  for n = 0 to C.num_nets c - 1 do
+    float b (C.load_capacitance c n)
+  done
+
+let contents = Buffer.contents
+let digest b = Digest.string (Buffer.contents b)
+let digest_hex b = Digest.to_hex (digest b)

@@ -10,6 +10,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
       ("properties", Test_properties.suite);
+      ("eval", Test_eval.suite);
       ("par", Test_par.suite);
       ("differential", Test_differential.suite);
       ("integration", Test_integration.suite) ]
