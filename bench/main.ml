@@ -1158,6 +1158,86 @@ let cache_exp ~fast () =
     adder8.Circuits.Ripple_adder.circuit ~vectors
     ~wls:[ 2.0; 4.0; 6.0; 10.0; 16.0; 25.0; 40.0; 80.0 ]
 
+(* ---- OBS: observability overhead, identical output, trace validity ------------- *)
+
+let obs_exp ~fast () =
+  header "OBS: observability layer, overhead gate and trace validation";
+  Format.printf
+    "fully-enabled observability (metrics + tracing) must cost < 5%% \
+     over the default disabled path on the same workloads, return \
+     bit-identical measurements, and emit a trace that passes the \
+     trace-check validator@.";
+  (* best-of-3 so one scheduler hiccup does not fail the gate; the
+     disabled run is exactly what a PR-3-era caller gets (the no-op
+     handle), so the measured on-vs-off gap upper-bounds what the
+     instrumentation added to the uninstrumented baseline *)
+  let best_of_3 f =
+    let time () =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (v, Unix.gettimeofday () -. t0)
+    in
+    let v, t1 = time () in
+    let _, t2 = time () in
+    let _, t3 = time () in
+    (v, Float.min t1 (Float.min t2 t3))
+  in
+  let dump_last = ref "" in
+  let check name ~engine c ~vectors ~wls =
+    (* no cache: every point re-simulates, so the timing compares the
+       instrumented hot paths themselves *)
+    let run ctx () = Mtcmos.Sizing.sweep ~ctx c ~vectors ~wls in
+    let base = Eval.Ctx.with_engine engine Eval.Ctx.default in
+    let off, t_off = best_of_3 (run base) in
+    let obs = Obs.create ~trace:true () in
+    let on_res, t_on = best_of_3 (run (Eval.Ctx.with_obs obs base)) in
+    let overhead = 100.0 *. (t_on -. t_off) /. Float.max 1e-9 t_off in
+    (* compare (not =): NaN fields must still count as identical *)
+    let identical = compare off on_res = 0 in
+    let trace_file = Filename.temp_file ("obs-" ^ name) ".json" in
+    Obs.write_trace obs trace_file;
+    let trace_ok =
+      match Obs.Trace.validate_file trace_file with
+      | Ok _ -> true
+      | Error msgs ->
+        List.iter (fun m -> Format.eprintf "obs/%s: %s@." name m) msgs;
+        false
+    in
+    Sys.remove trace_file;
+    dump_last := Obs.metrics_jsonl obs;
+    Format.printf
+      "{\"experiment\": \"obs/%s\", \"t_off_s\": %.4f, \"t_on_s\": %.4f, \
+       \"overhead_pct\": %.2f, \"identical\": %b, \"trace_ok\": %b}@."
+      name t_off t_on overhead identical trace_ok;
+    if not identical then begin
+      Format.eprintf "obs/%s: observed run differs from disabled run@." name;
+      exit 1
+    end;
+    if not trace_ok then begin
+      Format.eprintf "obs/%s: emitted trace failed validation@." name;
+      exit 1
+    end;
+    if overhead > 5.0 then begin
+      Format.eprintf "obs/%s: overhead %.2f%% > 5%%@." name overhead;
+      exit 1
+    end
+  in
+  let chain = Circuits.Chain.inverter_chain t07 ~length:8 in
+  check "sweep-chain-spice" ~engine:Eval.Spice_level
+    chain.Circuits.Chain.circuit
+    ~vectors:[ ([ (1, 0) ], [ (1, 1) ]); ([ (1, 1) ], [ (1, 0) ]) ]
+    ~wls:(if fast then [ 5.0; 20.0 ] else [ 2.0; 5.0; 10.0; 20.0; 50.0 ]);
+  let adder8 = Circuits.Ripple_adder.make t07 ~bits:8 in
+  let vectors =
+    List.init (if fast then 16 else 32) (fun i ->
+        let a = (i * 37) land 255 and b = (i * 101) land 255 in
+        ([ (8, a); (8, b) ], [ (8, 255 - a); (8, b lxor 170) ]))
+  in
+  check "sweep-adder8-bp" ~engine:Eval.Breakpoint
+    adder8.Circuits.Ripple_adder.circuit ~vectors
+    ~wls:[ 2.0; 4.0; 6.0; 10.0; 16.0; 25.0; 40.0; 80.0 ];
+  Format.printf "metrics registry after the adder8 run:@.%s" !dump_last
+
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -1246,6 +1326,7 @@ let all ~fast () =
   extras ~fast ();
   par ~fast ();
   cache_exp ~fast ();
+  obs_exp ~fast ();
   bechamel ()
 
 let () =
@@ -1282,11 +1363,12 @@ let () =
         | "extras" -> extras ~fast ()
         | "par" -> par ~fast ()
         | "cache" -> cache_exp ~fast ()
+        | "obs" -> obs_exp ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
-             fig14 cpu ablations extras par cache bechamel)@."
+             fig14 cpu ablations extras par cache obs bechamel)@."
             other;
           exit 2)
       names

@@ -247,38 +247,131 @@ let cache_term =
   Term.(const make $ on $ off $ file $ show)
 
 let finish_cache co =
-  (match (co.cache, co.cache_file) with
-   | Some c, Some f ->
-     (try Eval.Cache.save c f
-      with Sys_error m -> prerr_endline ("mtsize: could not save cache: " ^ m))
-   | _ -> ());
-  if co.show_stats then
-    match co.cache with
-    | Some c -> Format.printf "%s@." (Eval.Cache.report_string c)
-    | None -> Format.printf "cache: disabled@."
+  match (co.cache, co.cache_file) with
+  | Some c, Some f ->
+    (try Eval.Cache.save c f
+     with Sys_error m -> prerr_endline ("mtsize: could not save cache: " ^ m))
+  | _ -> ()
 
-let ctx_of ?policy ?stats ~engine ~jobs co =
+(* Observability plumbing, shared by every subcommand: --trace FILE
+   writes a Chrome trace_event JSON of the run's spans, --metrics[=FILE]
+   dumps the metrics registry as JSON lines (default stdout), --report
+   prints the structured run report.  With none of the flags the run
+   carries the shared no-op handle — zero overhead, bit-identical
+   numeric output. *)
+type obs_opts = {
+  obs : Obs.t;
+  trace_file : string option;
+  metrics_out : string option; (* "-" = stdout *)
+  report : bool;
+}
+
+let obs_term =
+  let trace =
+    let doc =
+      "Write the run's spans as Chrome trace_event JSON to $(docv) \
+       (loadable in Perfetto / about:tracing); the registry counters \
+       are embedded so $(b,mtsize trace-check) can validate the file \
+       on its own."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc =
+      "Dump the metrics registry as JSON lines at the end of the run, \
+       to $(docv) ($(b,-) or no value: stdout)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let report =
+    let doc =
+      "Print the run report at the end: solver effort, recovery-ladder \
+       usage, cache hit rate, per-worker pool utilization, hottest \
+       spans."
+    in
+    Arg.(value & flag & info [ "report" ] ~doc)
+  in
+  let make trace metrics report =
+    let obs =
+      if trace <> None || metrics <> None || report then
+        Obs.create ~trace:(trace <> None) ()
+      else Obs.disabled
+    in
+    { obs; trace_file = trace; metrics_out = metrics; report }
+  in
+  Term.(const make $ trace $ metrics $ report)
+
+(* End-of-run output, in registry order: publish the cache counters
+   (idempotent set), render --cache-stats from the registry (the cache
+   line and the run report now share one formatter), dump the metrics,
+   write the trace, print the report. *)
+let finish_obs ?co oo =
+  let cache = Option.bind co (fun co -> co.cache) in
+  let show_stats =
+    match co with Some co -> co.show_stats | None -> false
+  in
+  (* --cache-stats is a registry view even when no obs flag was given:
+     publish into a private registry so the formatting path is shared *)
+  let obs =
+    if show_stats && not (Obs.metrics_on oo.obs) then Obs.create ()
+    else oo.obs
+  in
+  (match cache with
+   | Some c when Obs.metrics_on obs -> Eval.Cache.publish c obs
+   | _ -> ());
+  if show_stats then begin
+    match cache with
+    | None -> Format.printf "cache: disabled@."
+    | Some _ ->
+      (match Obs.Report.cache_summary (Obs.metrics obs) with
+       | Some line -> Format.printf "%s@." line
+       | None -> ())
+  end;
+  (match oo.metrics_out with
+   | None -> ()
+   | Some "-" -> print_string (Obs.metrics_jsonl oo.obs)
+   | Some f ->
+     let oc = open_out f in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (Obs.metrics_jsonl oo.obs)));
+  (match oo.trace_file with
+   | None -> ()
+   | Some f -> Obs.write_trace oo.obs f);
+  if oo.report then print_string (Obs.report oo.obs)
+
+let ctx_of ?policy ?stats ?(obs = Obs.disabled) ~engine ~jobs co =
   let ctx =
     Eval.Ctx.default
     |> Eval.Ctx.with_engine engine
     |> Eval.Ctx.with_jobs jobs
+    |> Eval.Ctx.with_obs obs
   in
   let ctx =
     match policy with Some p -> Eval.Ctx.with_policy p ctx | None -> ctx
   in
   let ctx =
-    match stats with Some s -> Eval.Ctx.with_stats s ctx | None -> ctx
+    match stats with
+    | Some s ->
+      (* the root accumulator (and only the root — worker shards merge
+         into it) mirrors its counts into the registry *)
+      if Obs.metrics_on obs then Mtcmos.Resilience.attach_obs s obs;
+      Eval.Ctx.with_stats s ctx
+    | None -> ctx
   in
   match co.cache with Some c -> Eval.Ctx.with_cache c ctx | None -> ctx
 
 (* ---- subcommands ---------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run tech_name circuit_name vectors wls engine spice budget jobs co =
+  let run tech_name circuit_name vectors wls engine spice budget jobs co oo =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let stats = Mtcmos.Resilience.create () in
     let ctx =
-      ctx_of ?policy:(policy_of_budget budget) ~stats
+      ctx_of ?policy:(policy_of_budget budget) ~stats ~obs:oo.obs
         ~engine:(resolve_engine ~spice engine) ~jobs:(resolve_jobs jobs) co
     in
     Format.printf "%s: %a@." bc.name Netlist.Circuit.pp_stats bc.circuit;
@@ -286,7 +379,8 @@ let sweep_cmd =
     |> List.iter (fun m ->
            Format.printf "%a@." Mtcmos.Sizing.pp_measurement m);
     print_resilience stats;
-    finish_cache co
+    finish_cache co;
+    finish_obs ~co oo
   in
   let wls_term =
     let doc = "Sleep W/L values to sweep." in
@@ -303,14 +397,15 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Delay and degradation versus sleep size")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wls_term
           $ engine_term $ spice_term $ newton_budget_term $ jobs_term
-          $ cache_term)
+          $ cache_term $ obs_term)
 
 let size_cmd =
-  let run tech_name circuit_name vectors target engine budget jobs repair co =
+  let run tech_name circuit_name vectors target engine budget jobs repair co
+      oo =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let stats = Mtcmos.Resilience.create () in
     let ctx =
-      ctx_of ?policy:(policy_of_budget budget) ~stats
+      ctx_of ?policy:(policy_of_budget budget) ~stats ~obs:oo.obs
         ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
     in
     (try
@@ -342,7 +437,8 @@ let size_cmd =
        prerr_endline "mtsize: no feasible size in [0.5, 4096]";
        exit 1);
     print_resilience stats;
-    finish_cache co
+    finish_cache co;
+    finish_obs ~co oo
   in
   let target_term =
     let doc = "Degradation budget as a fraction (0.05 = 5%)." in
@@ -359,10 +455,10 @@ let size_cmd =
     (Cmd.info "size" ~doc:"Minimum sleep size for a delay budget")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ target_term
           $ engine_term $ newton_budget_term $ jobs_term $ repair_term
-          $ cache_term)
+          $ cache_term $ obs_term)
 
 let worst_cmd =
-  let run tech_name circuit_name wl top sample co =
+  let run tech_name circuit_name wl top sample co oo =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let total_bits = List.fold_left ( + ) 0 bc.widths in
     let pairs =
@@ -377,7 +473,7 @@ let worst_cmd =
     in
     Format.printf "ranking %d vector pairs at W/L = %.0f...@."
       (List.length pairs) wl;
-    let ctx = ctx_of ~engine:Eval.Engine.Breakpoint ~jobs:1 co in
+    let ctx = ctx_of ~obs:oo.obs ~engine:Eval.Engine.Breakpoint ~jobs:1 co in
     let ranked = Mtcmos.Vectors.worst ~ctx bc.circuit ~sleep ~pairs ~top in
     List.iter
       (fun r ->
@@ -392,7 +488,8 @@ let worst_cmd =
           (100.0 *. r.Mtcmos.Vectors.degradation)
           (Phys.Units.to_eng_string ~unit:"V" r.Mtcmos.Vectors.vx_peak))
       ranked;
-    finish_cache co
+    finish_cache co;
+    finish_obs ~co oo
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -410,10 +507,10 @@ let worst_cmd =
     (Cmd.info "worst-vectors"
        ~doc:"Rank input transitions by MTCMOS susceptibility")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ top_term
-          $ sample_term $ cache_term)
+          $ sample_term $ cache_term $ obs_term)
 
 let simulate_cmd =
-  let run tech_name circuit_name vectors wl =
+  let run tech_name circuit_name vectors wl oo =
     let tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let before, after = List.hd vecs in
     let config =
@@ -421,7 +518,8 @@ let simulate_cmd =
       else Mtcmos.Breakpoint_sim.default_config
     in
     let r =
-      Mtcmos.Breakpoint_sim.simulate_ints ~config bc.circuit ~before ~after
+      Mtcmos.Breakpoint_sim.simulate_ints ~config ~obs:oo.obs bc.circuit
+        ~before ~after
     in
     Format.printf "events: %d, finished at %s, vx peak %s, peak current %s@."
       (Mtcmos.Breakpoint_sim.events r)
@@ -439,7 +537,8 @@ let simulate_cmd =
         | None ->
           Format.printf "  output %-8s (no transition)@."
             (Netlist.Circuit.net_name bc.circuit n))
-      (Netlist.Circuit.outputs bc.circuit)
+      (Netlist.Circuit.outputs bc.circuit);
+    finish_obs oo
   in
   let wl_term =
     let doc = "Sleep W/L; 0 simulates the conventional CMOS circuit." in
@@ -447,26 +546,28 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate one transition with the fast tool")
-    Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term)
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term
+          $ obs_term)
 
 let compare_cmd =
-  let run tech_name circuit_name vectors wl budget jobs co =
+  let run tech_name circuit_name vectors wl budget jobs co oo =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let jobs = resolve_jobs jobs in
     (* both engines share one cache (distinct key spaces); the spice
        path's internal bp estimates can hit the bp run's entries *)
-    let bp_ctx = ctx_of ~engine:Eval.Engine.Breakpoint ~jobs co in
+    let bp_ctx = ctx_of ~obs:oo.obs ~engine:Eval.Engine.Breakpoint ~jobs co in
     let bp = Mtcmos.Sizing.delay_at ~ctx:bp_ctx bc.circuit ~vectors:vecs ~wl in
     let stats = Mtcmos.Resilience.create () in
     let sp_ctx =
-      ctx_of ?policy:(policy_of_budget budget) ~stats
+      ctx_of ?policy:(policy_of_budget budget) ~stats ~obs:oo.obs
         ~engine:Eval.Engine.Spice_level ~jobs co
     in
     let sp = Mtcmos.Sizing.delay_at ~ctx:sp_ctx bc.circuit ~vectors:vecs ~wl in
     Format.printf "switch-level:     %a@." Mtcmos.Sizing.pp_measurement bp;
     Format.printf "transistor-level: %a@." Mtcmos.Sizing.pp_measurement sp;
     print_resilience stats;
-    finish_cache co
+    finish_cache co;
+    finish_obs ~co oo
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -476,10 +577,10 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Compare the fast tool against the transistor-level engine")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term
-          $ newton_budget_term $ jobs_term $ cache_term)
+          $ newton_budget_term $ jobs_term $ cache_term $ obs_term)
 
 let estimate_cmd =
-  let run tech_name circuit_name vectors co =
+  let run tech_name circuit_name vectors co oo =
     let tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     Format.printf "sum-of-widths estimate: W/L = %.1f@."
       (Mtcmos.Estimators.sum_of_widths bc.circuit);
@@ -494,20 +595,22 @@ let estimate_cmd =
     if ip > 0.0 then
       Format.printf "peak-current estimate:  W/L = %.1f@."
         (Mtcmos.Estimators.peak_current_wl tech ~i_peak:ip ~v_budget:vb);
-    let ctx = ctx_of ~engine:Eval.Engine.Breakpoint ~jobs:1 co in
+    let ctx = ctx_of ~obs:oo.obs ~engine:Eval.Engine.Breakpoint ~jobs:1 co in
     let wl =
       Mtcmos.Sizing.size_for_degradation ~ctx bc.circuit ~vectors:vecs
         ~target:0.05
     in
     Format.printf "simulator-driven size:  W/L = %.1f@." wl;
-    finish_cache co
+    finish_cache co;
+    finish_obs ~co oo
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Naive baselines versus the simulator size")
-    Term.(const run $ tech_term $ circuit_term $ vectors_term $ cache_term)
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ cache_term
+          $ obs_term)
 
 let sta_cmd =
-  let run tech_name circuit_name wl =
+  let run tech_name circuit_name wl oo =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let t = Mtcmos.Sta.analyze bc.circuit in
     let path = Mtcmos.Sta.critical_path t in
@@ -537,7 +640,8 @@ let sta_cmd =
       Format.printf
         "MTCMOS at W/L = %.0f runs %.1f%% past the static estimate@." wl
         (100.0 *. under)
-    end
+    end;
+    finish_obs oo
   in
   let wl_term =
     let doc = "Also quantify the MTCMOS underestimate at this sleep W/L." in
@@ -545,10 +649,10 @@ let sta_cmd =
   in
   Cmd.v
     (Cmd.info "sta" ~doc:"Static critical path (vectorless baseline)")
-    Term.(const run $ tech_term $ circuit_term $ wl_term)
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ obs_term)
 
 let energy_cmd =
-  let run tech_name circuit_name wl =
+  let run tech_name circuit_name wl oo =
     let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let b = Mtcmos.Energy.budget bc.circuit ~wl in
     Format.printf "%a@." Mtcmos.Energy.pp_budget b;
@@ -557,7 +661,8 @@ let energy_cmd =
          (Mtcmos.Energy.sleep_cycle_overhead bc.circuit ~wl));
     Format.printf "break-even idle time: %s@."
       (Phys.Units.to_eng_string ~unit:"s"
-         (Mtcmos.Energy.break_even_idle_time bc.circuit ~wl))
+         (Mtcmos.Energy.break_even_idle_time bc.circuit ~wl));
+    finish_obs oo
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -565,10 +670,10 @@ let energy_cmd =
   in
   Cmd.v
     (Cmd.info "energy" ~doc:"Sleep-device energy budget and break-even")
-    Term.(const run $ tech_term $ circuit_term $ wl_term)
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ obs_term)
 
 let wakeup_cmd =
-  let run tech_name circuit_name wl simulate =
+  let run tech_name circuit_name wl simulate oo =
     let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let e = Mtcmos.Wakeup.estimate bc.circuit ~wl in
     Format.printf
@@ -576,13 +681,14 @@ let wakeup_cmd =
       (Phys.Units.to_eng_string ~unit:"F" e.Mtcmos.Wakeup.rail_capacitance)
       (Phys.Units.to_eng_string ~unit:"V" e.Mtcmos.Wakeup.v_float)
       (Phys.Units.to_eng_string ~unit:"s" e.Mtcmos.Wakeup.analytic);
-    if simulate then
+    (if simulate then
       match Mtcmos.Wakeup.simulate bc.circuit ~wl with
       | t ->
         Format.printf "transistor-level wake (to 10%% Vdd): %s@."
           (Phys.Units.to_eng_string ~unit:"s" t)
       | exception Not_found ->
-        Format.printf "transistor-level wake: did not settle@."
+        Format.printf "transistor-level wake: did not settle@.");
+    finish_obs oo
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -594,10 +700,11 @@ let wakeup_cmd =
   in
   Cmd.v
     (Cmd.info "wakeup" ~doc:"Sleep-exit latency analysis")
-    Term.(const run $ tech_term $ circuit_term $ wl_term $ sim_term)
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ sim_term
+          $ obs_term)
 
 let deck_cmd =
-  let run tech_name circuit_name wl out =
+  let run tech_name circuit_name wl out oo =
     let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let stimuli =
       Array.to_list
@@ -612,7 +719,8 @@ let deck_cmd =
     Spice.Deck.write_deck ~title:("mtsize export: " ^ bc.name)
       ~t_stop:10e-9 ~path:out inst.Netlist.Expand.netlist;
     Format.printf "wrote %s (%a)@." out Netlist.Transistor.pp_stats
-      inst.Netlist.Expand.netlist
+      inst.Netlist.Expand.netlist;
+    finish_obs oo
   in
   let wl_term =
     let doc = "Sleep W/L; 0 exports the conventional CMOS netlist." in
@@ -625,30 +733,33 @@ let deck_cmd =
   Cmd.v
     (Cmd.info "export-deck"
        ~doc:"Write the expanded transistor netlist as a SPICE deck")
-    Term.(const run $ tech_term $ circuit_term $ wl_term $ out_term)
+    Term.(const run $ tech_term $ circuit_term $ wl_term $ out_term
+          $ obs_term)
 
 let lint_cmd =
-  let run tech_name circuit_name =
+  let run tech_name circuit_name oo =
     let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
-    match Mtcmos.Lint.check bc.circuit with
-    | [] -> Format.printf "%s: clean@." bc.name
-    | findings ->
-      List.iter
-        (fun f -> Format.printf "%a@." Mtcmos.Lint.pp_finding f)
-        findings;
-      let warnings =
-        List.exists
-          (fun f -> f.Mtcmos.Lint.severity = Mtcmos.Lint.Warning)
-          findings
-      in
-      if warnings then exit 1
+    (match Mtcmos.Lint.check bc.circuit with
+     | [] -> Format.printf "%s: clean@." bc.name
+     | findings ->
+       List.iter
+         (fun f -> Format.printf "%a@." Mtcmos.Lint.pp_finding f)
+         findings;
+       let warnings =
+         List.exists
+           (fun f -> f.Mtcmos.Lint.severity = Mtcmos.Lint.Warning)
+           findings
+       in
+       if warnings then exit 1);
+    finish_obs oo
   in
   Cmd.v
     (Cmd.info "lint" ~doc:"MTCMOS design checks (exit 1 on warnings)")
-    Term.(const run $ tech_term $ circuit_term)
+    Term.(const run $ tech_term $ circuit_term $ obs_term)
 
 let search_cmd =
-  let run tech_name circuit_name wl restarts objective engine spice jobs co =
+  let run tech_name circuit_name wl restarts objective engine spice jobs co
+      oo =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let sleep =
       Mtcmos.Breakpoint_sim.Sleep_fet
@@ -666,7 +777,7 @@ let search_cmd =
     let objective = or_die objective in
     let stats = Mtcmos.Resilience.create () in
     let ctx =
-      ctx_of ~stats ~engine:(resolve_engine ~spice engine)
+      ctx_of ~stats ~obs:oo.obs ~engine:(resolve_engine ~spice engine)
         ~jobs:(resolve_jobs jobs) co
     in
     let o =
@@ -681,7 +792,8 @@ let search_cmd =
       (fmt before) (fmt after) o.Mtcmos.Search.score
       o.Mtcmos.Search.evaluations;
     print_resilience stats;
-    finish_cache co
+    finish_cache co;
+    finish_obs ~co oo
   in
   let wl_term =
     let doc = "Sleep transistor W/L." in
@@ -708,21 +820,22 @@ let search_cmd =
        ~doc:"Stochastic worst-vector hunt for unenumerable spaces")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ restarts_term
           $ objective_term $ engine_term $ spice_term $ jobs_term
-          $ cache_term)
+          $ cache_term $ obs_term)
 
 let dot_cmd =
-  let run tech_name circuit_name out =
+  let run tech_name circuit_name out oo =
     let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let dot = Netlist.Circuit.to_dot bc.circuit in
-    match out with
-    | "-" -> print_string dot
-    | path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc dot);
-      Format.printf "wrote %s (depth %d)@." path
-        (Netlist.Circuit.logic_depth bc.circuit)
+    (match out with
+     | "-" -> print_string dot
+     | path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc dot);
+       Format.printf "wrote %s (depth %d)@." path
+         (Netlist.Circuit.logic_depth bc.circuit));
+    finish_obs oo
   in
   let out_term =
     let doc = "Output file, or - for stdout." in
@@ -730,10 +843,10 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export the gate graph as Graphviz")
-    Term.(const run $ tech_term $ circuit_term $ out_term)
+    Term.(const run $ tech_term $ circuit_term $ out_term $ obs_term)
 
 let workload_cmd =
-  let run tech_name circuit_name wl period_ps cycles seed =
+  let run tech_name circuit_name wl period_ps cycles seed oo =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let config =
       if wl > 0.0 then Mtcmos.Breakpoint_sim.mtcmos_config tech ~wl
@@ -757,6 +870,7 @@ let workload_cmd =
          (Phys.Units.to_eng_string ~unit:"V" r.Mtcmos.Sequence.worst_vx)
          r.Mtcmos.Sequence.violations
      | None -> Format.printf "no output ever switched@.");
+    finish_obs oo;
     if r.Mtcmos.Sequence.violations > 0 then exit 1
   in
   let wl_term =
@@ -780,7 +894,33 @@ let workload_cmd =
        ~doc:"Run a random multi-cycle workload (exit 1 on period \
              violations)")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ period_term
-          $ cycles_term $ seed_term)
+          $ cycles_term $ seed_term $ obs_term)
+
+let trace_check_cmd =
+  let run file =
+    match Obs.Trace.validate_file file with
+    | Ok chk ->
+      Format.printf "%s: OK — %d event(s) on %d thread(s)@." file
+        chk.Obs.Trace.events_checked chk.Obs.Trace.tids;
+      List.iter
+        (fun (what, spans, counter) ->
+          Format.printf "  %-28s spans %-6d counter %d@." what spans counter)
+        chk.Obs.Trace.reconciled
+    | Error msgs ->
+      List.iter (fun m -> Format.eprintf "%s: %s@." file m) msgs;
+      exit 1
+  in
+  let file_term =
+    let doc = "Chrome trace file written by $(b,--trace)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a --trace file: well-formed trace_event JSON, proper \
+          span nesting per thread, and span totals reconciling (±1) \
+          with the embedded registry counters.  Exit 1 on any failure.")
+    Term.(const run $ file_term)
 
 let () =
   let info =
@@ -792,4 +932,4 @@ let () =
        (Cmd.group info
           [ sweep_cmd; size_cmd; worst_cmd; simulate_cmd; compare_cmd;
             estimate_cmd; sta_cmd; energy_cmd; wakeup_cmd; deck_cmd;
-            lint_cmd; search_cmd; workload_cmd; dot_cmd ]))
+            lint_cmd; search_cmd; workload_cmd; dot_cmd; trace_check_cmd ]))

@@ -97,7 +97,7 @@ let validate_inputs c levels name =
       | S.L0 | S.L1 -> ())
     levels
 
-let simulate ?(config = default_config) c ~before ~after =
+let simulate_core ?(config = default_config) c ~before ~after =
   validate_inputs c before "before";
   validate_inputs c after "after";
   let tech =
@@ -540,7 +540,16 @@ let simulate ?(config = default_config) c ~before ~after =
   res.i_points <- (res.t_last, 0.0) :: res.i_points;
   res
 
-let simulate_ints ?config c ~before ~after =
+let simulate ?config ?(obs = Obs.disabled) c ~before ~after =
+  Obs.Span.with_ obs "bp.simulate" @@ fun () ->
+  let r = simulate_core ?config c ~before ~after in
+  if Obs.metrics_on obs then begin
+    Obs.incr obs "bp.simulations";
+    Obs.incr obs ~by:r.n_events "bp.events"
+  end;
+  r
+
+let simulate_ints ?config ?obs c ~before ~after =
   let pack groups =
     let bits =
       List.concat_map
@@ -549,7 +558,7 @@ let simulate_ints ?config c ~before ~after =
     in
     Array.of_list bits
   in
-  simulate ?config c ~before:(pack before) ~after:(pack after)
+  simulate ?config ?obs c ~before:(pack before) ~after:(pack after)
 
 let waveform res n =
   match res.wave_points.(n) with

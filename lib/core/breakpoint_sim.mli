@@ -84,16 +84,20 @@ exception Starved of float
 
 val simulate :
   ?config:config ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   before:Netlist.Signal.level array ->
   after:Netlist.Signal.level array ->
   result
 (** Simulate the input transition [before -> after] (primary-input
-    assignments in [Circuit.inputs] order, no [X] allowed).
+    assignments in [Circuit.inputs] order, no [X] allowed).  [obs]
+    (default [Obs.disabled]) records a ["bp.simulate"] span and the
+    [bp.simulations] / [bp.events] counters.
     @raise Invalid_argument on [X] inputs or length mismatches. *)
 
 val simulate_ints :
   ?config:config ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   before:(int * int) list ->
   after:(int * int) list ->

@@ -76,9 +76,9 @@ let bp_key ~config c ~before ~after =
   | Some ck ->
     Some (digest ~tag:"bp1" [ circuit_key c; ck; vector_key ~before ~after ])
 
-let bp_metrics ?cache ~config c ~before ~after =
+let bp_metrics ?cache ?obs ~config c ~before ~after =
   let compute _stats =
-    let r = BP.simulate_ints ~config c ~before ~after in
+    let r = BP.simulate_ints ~config ?obs c ~before ~after in
     let d = Option.map snd (BP.critical_delay r) in
     (d, BP.vx_peak r, BP.peak_discharge_current r)
   in

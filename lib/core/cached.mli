@@ -44,6 +44,7 @@ val bp_key :
 
 val bp_metrics :
   ?cache:Eval.Cache.t ->
+  ?obs:Obs.t ->
   config:Breakpoint_sim.config ->
   Netlist.Circuit.t ->
   before:(int * int) list ->

@@ -54,7 +54,7 @@ let edge ~t0 ~ramp ~rising ~vdd =
   if rising then Phys.Pwl.create [ (0.0, 0.0); (t0, 0.0); (t0 +. ramp, vdd) ]
   else Phys.Pwl.create [ (0.0, vdd); (t0, vdd); (t0 +. ramp, 0.0) ]
 
-let measure_uncached ~policy ?stats tech kind ~cl ~ramp =
+let measure_uncached ~policy ?obs ?stats tech kind ~cl ~ramp =
   let vdd = tech.Device.Tech.vdd in
   let circuit, drive_in, out = fixture tech kind ~cl in
   let t0 = 200e-12 in
@@ -65,7 +65,7 @@ let measure_uncached ~policy ?stats tech kind ~cl ~ramp =
     in
     let engine = Spice.Engine.prepare inst.Netlist.Expand.netlist in
     match
-      Spice.Engine.transient_r engine ~t_stop:4e-9 ~dt:2e-12 ~policy
+      Spice.Engine.transient_r engine ~t_stop:4e-9 ~dt:2e-12 ~policy ?obs
         ~record:
           (Spice.Engine.Nodes [ inst.Netlist.Expand.node_of_net.(out) ])
     with
@@ -132,7 +132,9 @@ let measure_uncached ~policy ?stats tech kind ~cl ~ramp =
 let measure ?ctx ?stats tech kind ~cl ~ramp =
   let ctx = resolve ?ctx ?stats () in
   let policy = ctx.Eval.Ctx.policy in
-  let compute stats = measure_uncached ~policy ?stats tech kind ~cl ~ramp in
+  let compute stats =
+    measure_uncached ~policy ~obs:ctx.Eval.Ctx.obs ?stats tech kind ~cl ~ramp
+  in
   match ctx.Eval.Ctx.cache with
   | None -> compute ctx.Eval.Ctx.stats
   | Some _ ->
@@ -162,6 +164,7 @@ let measure ?ctx ?stats tech kind ~cl ~ramp =
 let gate ?ctx ?stats ?jobs ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
     ?(ramps = [ 20e-12; 100e-12 ]) tech kind =
   let ctx = resolve ?ctx ?stats ?jobs () in
+  Obs.Span.with_ ctx.Eval.Ctx.obs "characterize.gate" @@ fun () ->
   (* the grid is materialised in loads-major order (same order the old
      sequential concat_map produced) and each operating point is an
      independent fixture run, so parallelising over the flat grid keeps
@@ -173,18 +176,13 @@ let gate ?ctx ?stats ?jobs ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
          loads)
   in
   let points =
-    Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~chunk:1
-      ~create:Resilience.create
-      ~merge:(fun w ->
-        match ctx.Eval.Ctx.stats with
-        | Some s -> Resilience.merge_into ~into:s w
-        | None -> ())
+    Par.Pool.map_stateful ~obs:ctx.Eval.Ctx.obs ~jobs:ctx.Eval.Ctx.jobs
+      ~chunk:1
+      ~create:(fun () -> Eval.Ctx.worker ctx)
+      ~merge:(fun w -> Eval.Ctx.merge_worker ~into:ctx w)
       (Array.length grid)
-      (fun wstats i ->
+      (fun wctx i ->
         let cl, ramp = grid.(i) in
-        let wctx =
-          { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
-        in
         measure ~ctx:wctx tech kind ~cl ~ramp)
   in
   Array.to_list points

@@ -22,9 +22,11 @@ let vector_label (before, after) =
   in
   Printf.sprintf "(%s)->(%s)" (fmt before) (fmt after)
 
-let score_bp ?cache ~body_effect c ~sleep objective (before, after) =
+let score_bp ?cache ?obs ~body_effect c ~sleep objective (before, after) =
   let config = { BP.default_config with BP.sleep; body_effect } in
-  let d_mt, vx, i_peak = Cached.bp_metrics ?cache ~config c ~before ~after in
+  let d_mt, vx, i_peak =
+    Cached.bp_metrics ?cache ?obs ~config c ~before ~after
+  in
   match objective with
   | Max_vx -> vx
   | Max_current -> i_peak
@@ -34,7 +36,9 @@ let score_bp ?cache ~body_effect c ~sleep objective (before, after) =
      | None -> 0.0
      | Some d_mt ->
        let cmos = { BP.default_config with BP.body_effect } in
-       let d0, _, _ = Cached.bp_metrics ?cache ~config:cmos c ~before ~after in
+       let d0, _, _ =
+         Cached.bp_metrics ?cache ?obs ~config:cmos c ~before ~after
+       in
        (match d0 with
         | Some d0 when d0 > 0.0 -> (d_mt -. d0) /. d0
         | Some _ | None -> 0.0))
@@ -44,9 +48,9 @@ let score_bp ?cache ~body_effect c ~sleep objective (before, after) =
    vx peak, peak sleep current).  A failing transient is part of the
    cacheable outcome — the entry carries the Scored_zero skip for
    replay, so warm stats match cold ones. *)
-let sp_scored ?cache ?stats ~config ~label c (before, after) =
+let sp_scored ?cache ?obs ?stats ~config ~label c (before, after) =
   let compute stats =
-    match Spice_ref.run_ints_r ~config c ~before ~after with
+    match Spice_ref.run_ints_r ~config ?obs c ~before ~after with
     | Error f ->
       Resilience.record_skip ?stats ~kind:Resilience.Scored_zero ~label f;
       (false, None, 0.0, 0.0)
@@ -87,13 +91,14 @@ let sp_scored ?cache ?stats ~config ~label c (before, after) =
    an honest nothing-switches zero, which records a plain success — so
    a hunt over thousands of vectors survives individual failures
    without silently conflating the two cases *)
-let score_spice ?cache ?stats ~policy ~jobs c ~sleep objective pair =
+let score_spice ?cache ?(obs = Obs.disabled) ?stats ~policy ~jobs c ~sleep
+    objective pair =
   let label = vector_label pair in
-  let run_one ?cache wstats sl =
+  let run_one ?cache obs wstats sl =
     let config =
       { Spice_ref.default_config with Spice_ref.sleep = sl; policy }
     in
-    sp_scored ?cache ?stats:wstats ~config ~label c pair
+    sp_scored ?cache ~obs ?stats:wstats ~config ~label c pair
   in
   match objective with
   | Max_degradation ->
@@ -103,14 +108,16 @@ let score_spice ?cache ?stats ~policy ~jobs c ~sleep objective pair =
        two transients run on separate domains *)
     let sleeps = [| sleep; BP.Cmos |] in
     let runs =
-      Par.Pool.map_stateful ~jobs:(min jobs 2) ~chunk:1
-        ~create:Resilience.create
-        ~merge:(fun w ->
-          match stats with
-          | Some s -> Resilience.merge_into ~into:s w
-          | None -> ())
+      Par.Pool.map_stateful ~obs ~jobs:(min jobs 2) ~chunk:1
+        ~create:(fun () -> (Resilience.create (), Obs.shard obs))
+        ~merge:(fun (w, o) ->
+          (match stats with
+           | Some s -> Resilience.merge_into ~into:s w
+           | None -> ());
+          Obs.merge_shard ~into:obs o)
         2
-        (fun wstats i -> run_one ?cache (Some wstats) sleeps.(i))
+        (fun (wstats, wobs) i ->
+          run_one ?cache wobs (Some wstats) sleeps.(i))
     in
     (match (runs.(0), runs.(1)) with
      | (true, d_mt, _, _), (true, d0, _, _) ->
@@ -119,7 +126,7 @@ let score_spice ?cache ?stats ~policy ~jobs c ~sleep objective pair =
         | _ -> 0.0)
      | _ -> 0.0)
   | Max_vx | Max_current | Max_delay ->
-    (match run_one ?cache stats sleep with
+    (match run_one ?cache obs stats sleep with
      | false, _, _, _ -> 0.0
      | true, d, vx, i_sleep ->
        (match objective with
@@ -129,13 +136,15 @@ let score_spice ?cache ?stats ~policy ~jobs c ~sleep objective pair =
 
 let score_ctx (ctx : Eval.Ctx.t) c ~sleep objective pair =
   let cache = ctx.Eval.Ctx.cache in
+  let obs = ctx.Eval.Ctx.obs in
   match ctx.Eval.Ctx.engine with
   | Eval.Breakpoint ->
-    score_bp ?cache ~body_effect:ctx.Eval.Ctx.body_effect c ~sleep objective
-      pair
+    score_bp ?cache ~obs ~body_effect:ctx.Eval.Ctx.body_effect c ~sleep
+      objective pair
   | Eval.Spice_level ->
-    score_spice ?cache ?stats:ctx.Eval.Ctx.stats ~policy:ctx.Eval.Ctx.policy
-      ~jobs:ctx.Eval.Ctx.jobs c ~sleep objective pair
+    score_spice ?cache ~obs ?stats:ctx.Eval.Ctx.stats
+      ~policy:ctx.Eval.Ctx.policy ~jobs:ctx.Eval.Ctx.jobs c ~sleep objective
+      pair
 
 let score ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep objective
     pair =
@@ -145,18 +154,13 @@ let score ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep objective
 let score_all ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep
     objective pairs =
   let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  Obs.Span.with_ ctx.Eval.Ctx.obs "search.score_all" @@ fun () ->
   let arr = Array.of_list pairs in
-  Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~create:Resilience.create
-    ~merge:(fun w ->
-      match ctx.Eval.Ctx.stats with
-      | Some s -> Resilience.merge_into ~into:s w
-      | None -> ())
+  Par.Pool.map_stateful ~obs:ctx.Eval.Ctx.obs ~jobs:ctx.Eval.Ctx.jobs
+    ~create:(fun () -> Eval.Ctx.worker ctx)
+    ~merge:(fun w -> Eval.Ctx.merge_worker ~into:ctx w)
     (Array.length arr)
-    (fun wstats i ->
-      let wctx =
-        { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
-      in
-      score_ctx wctx c ~sleep objective arr.(i))
+    (fun wctx i -> score_ctx wctx c ~sleep objective arr.(i))
 
 (* enumerate the single-bit-flip neighbours of a packed assignment *)
 let flip_bit groups ~bit =
@@ -229,6 +233,7 @@ let climb_restart ~seed ~restart ~max_iters ~widths ~bits ~eval =
 let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400) ?ctx
     ?body_effect ?engine ?stats ?policy ?jobs c ~sleep ~widths objective =
   let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  Obs.Span.with_ ctx.Eval.Ctx.obs "search.hill_climb" @@ fun () ->
   let bits = total_bits widths in
   (* restarts are the unit of parallelism: each is an independent climb
      (own RNG stream, own evaluation counter, own resilience
@@ -237,17 +242,12 @@ let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400) ?ctx
      every [jobs].  A shared cache changes which evaluations hit, never
      what they return. *)
   let per_restart =
-    Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~chunk:1
-      ~create:Resilience.create
-      ~merge:(fun w ->
-        match ctx.Eval.Ctx.stats with
-        | Some s -> Resilience.merge_into ~into:s w
-        | None -> ())
+    Par.Pool.map_stateful ~obs:ctx.Eval.Ctx.obs ~jobs:ctx.Eval.Ctx.jobs
+      ~chunk:1
+      ~create:(fun () -> Eval.Ctx.worker ctx)
+      ~merge:(fun w -> Eval.Ctx.merge_worker ~into:ctx w)
       restarts
-      (fun wstats r ->
-        let wctx =
-          { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
-        in
+      (fun wctx r ->
         let evals = ref 0 in
         let eval pair =
           incr evals;

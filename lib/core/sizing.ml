@@ -18,10 +18,10 @@ let resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () =
   Eval.Ctx.override ?engine ?body_effect ?policy ?stats ?jobs
     (Option.value ctx ~default:Eval.Ctx.default)
 
-let worst_delay_bp ?cache ~config c vectors =
+let worst_delay_bp ?cache ?obs ~config c vectors =
   List.fold_left
     (fun (dmax, vxmax) (before, after) ->
-      let d, vx, _ = Cached.bp_metrics ?cache ~config c ~before ~after in
+      let d, vx, _ = Cached.bp_metrics ?cache ?obs ~config c ~before ~after in
       let d = Option.value d ~default:0.0 in
       (Float.max dmax d, Float.max vxmax vx))
     (0.0, 0.0) vectors
@@ -39,9 +39,9 @@ let vector_label (before, after) =
    config, vector): the entry stores the post-fallback (delay, vx)
    together with the resilience deltas the computation recorded, so a
    hit replays the exact counters of the miss that filled it. *)
-let spice_vector ?cache ~config ~bp_config ?stats c (before, after) =
+let spice_vector ?cache ?obs ~config ~bp_config ?stats c (before, after) =
   let compute stats =
-    match Spice_ref.run_ints_r ~config c ~before ~after with
+    match Spice_ref.run_ints_r ~config ?obs c ~before ~after with
     | Ok r ->
       Resilience.record_success ?stats (Spice_ref.telemetry r);
       let d =
@@ -54,7 +54,7 @@ let spice_vector ?cache ~config ~bp_config ?stats c (before, after) =
       Resilience.record_skip ?stats ~kind:Resilience.Estimated
         ~label:(vector_label (before, after))
         f;
-      let r = BP.simulate_ints ~config:bp_config c ~before ~after in
+      let r = BP.simulate_ints ~config:bp_config ?obs c ~before ~after in
       let d =
         match BP.critical_delay r with
         | Some (_, d) -> d
@@ -85,17 +85,21 @@ let spice_vector ?cache ~config ~bp_config ?stats c (before, after) =
    the workers (it is mutex-guarded): a hit replays the same counters
    the computation would have recorded, so the totals stay independent
    of [jobs] and of the cache state. *)
-let worst_delay_spice ?cache ~config ~bp_config ?stats ~jobs c vectors =
+let worst_delay_spice ?cache ?(obs = Obs.disabled) ~config ~bp_config ?stats
+    ~jobs c vectors =
   let vecs = Array.of_list vectors in
   let per_vector =
-    Par.Pool.map_stateful ~jobs ~chunk:1 ~create:Resilience.create
-      ~merge:(fun w ->
-        match stats with
-        | Some s -> Resilience.merge_into ~into:s w
-        | None -> ())
+    Par.Pool.map_stateful ~obs ~jobs ~chunk:1
+      ~create:(fun () -> (Resilience.create (), Obs.shard obs))
+      ~merge:(fun (w, o) ->
+        (match stats with
+         | Some s -> Resilience.merge_into ~into:s w
+         | None -> ());
+        Obs.merge_shard ~into:obs o)
       (Array.length vecs)
-      (fun wstats i ->
-        spice_vector ?cache ~config ~bp_config ~stats:wstats c vecs.(i))
+      (fun (wstats, wobs) i ->
+        spice_vector ?cache ~obs:wobs ~config ~bp_config ~stats:wstats c
+          vecs.(i))
   in
   Array.fold_left
     (fun (dmax, vxmax) (d, vx) -> (Float.max dmax d, Float.max vxmax vx))
@@ -110,15 +114,18 @@ let sleep_of c ~body_effect ~wl =
 let worst_delay_ctx (ctx : Eval.Ctx.t) c ~sleep vectors =
   let body_effect = ctx.Eval.Ctx.body_effect in
   let cache = ctx.Eval.Ctx.cache in
+  let obs = ctx.Eval.Ctx.obs in
   match ctx.Eval.Ctx.engine with
   | Eval.Breakpoint ->
     let config = { BP.default_config with BP.sleep; body_effect } in
-    worst_delay_bp ?cache ~config c vectors
+    worst_delay_bp ?cache ~obs ~config c vectors
   | Eval.Spice_level ->
     (* size the transient horizon from the fast estimate so slow (small
        sleep device) cases are not cut off *)
     let bp_config = { BP.default_config with BP.sleep; body_effect } in
-    let estimate, _ = worst_delay_bp ?cache ~config:bp_config c vectors in
+    let estimate, _ =
+      worst_delay_bp ?cache ~obs ~config:bp_config c vectors
+    in
     let t_stop =
       Float.max Spice_ref.default_config.Spice_ref.t_stop
         (Spice_ref.default_config.Spice_ref.t_start +. (3.0 *. estimate))
@@ -129,8 +136,8 @@ let worst_delay_ctx (ctx : Eval.Ctx.t) c ~sleep vectors =
         t_stop;
         policy = ctx.Eval.Ctx.policy }
     in
-    worst_delay_spice ?cache ~config ~bp_config ?stats:ctx.Eval.Ctx.stats
-      ~jobs:ctx.Eval.Ctx.jobs c vectors
+    worst_delay_spice ?cache ~obs ~config ~bp_config
+      ?stats:ctx.Eval.Ctx.stats ~jobs:ctx.Eval.Ctx.jobs c vectors
 
 let cmos_delay ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
@@ -157,6 +164,7 @@ let delay_at ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wl =
 let sweep ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wls =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
   let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  Obs.Span.with_ ctx.Eval.Ctx.obs "sizing.sweep" @@ fun () ->
   (* the shared CMOS baseline is measured once, sequentially *)
   let base =
     fst
@@ -170,18 +178,12 @@ let sweep ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wls =
      the list is identical whatever [jobs] is. *)
   let wl_arr = Array.of_list wls in
   let ms =
-    Par.Pool.map_stateful ~jobs:ctx.Eval.Ctx.jobs ~chunk:1
-      ~create:Resilience.create
-      ~merge:(fun w ->
-        match ctx.Eval.Ctx.stats with
-        | Some s -> Resilience.merge_into ~into:s w
-        | None -> ())
+    Par.Pool.map_stateful ~obs:ctx.Eval.Ctx.obs ~jobs:ctx.Eval.Ctx.jobs
+      ~chunk:1
+      ~create:(fun () -> Eval.Ctx.worker ctx)
+      ~merge:(fun w -> Eval.Ctx.merge_worker ~into:ctx w)
       (Array.length wl_arr)
-      (fun wstats i ->
-        let wctx =
-          { ctx with Eval.Ctx.stats = Some wstats; Eval.Ctx.jobs = 1 }
-        in
-        measurement_at wctx c ~base ~wl:wl_arr.(i) vectors)
+      (fun wctx i -> measurement_at wctx c ~base ~wl:wl_arr.(i) vectors)
   in
   Array.to_list ms
 

@@ -58,7 +58,7 @@ let stimulus cfg ~vdd before after =
     Phys.Pwl.create
       [ (0.0, v0); (cfg.t_start, v0); (cfg.t_start +. cfg.ramp, v1) ]
 
-let run_r ?(config = default_config) circuit ~before ~after =
+let run_r ?(config = default_config) ?obs circuit ~before ~after =
   let primary = C.inputs circuit in
   if Array.length before <> Array.length primary
      || Array.length after <> Array.length primary then
@@ -130,13 +130,13 @@ let run_r ?(config = default_config) circuit ~before ~after =
   let uic = C.num_gates circuit > 60 in
   match
     Spice.Engine.transient_r engine ~t_stop:config.t_stop ~dt ~record ~x0
-      ~uic ~policy:config.policy
+      ~uic ~policy:config.policy ?obs
   with
   | Ok result -> Ok { circuit; cfg = config; instance; result; vdd }
   | Error f -> Error f
 
-let run ?config circuit ~before ~after =
-  match run_r ?config circuit ~before ~after with
+let run ?config ?obs circuit ~before ~after =
+  match run_r ?config ?obs circuit ~before ~after with
   | Ok r -> r
   | Error f ->
     raise (Spice.Engine.No_convergence (Spice.Diag.failure_to_string f))
@@ -147,11 +147,11 @@ let pack groups =
        (fun (w, v) -> Array.to_list (S.bits_of_int ~width:w v))
        groups)
 
-let run_ints_r ?config circuit ~before ~after =
-  run_r ?config circuit ~before:(pack before) ~after:(pack after)
+let run_ints_r ?config ?obs circuit ~before ~after =
+  run_r ?config ?obs circuit ~before:(pack before) ~after:(pack after)
 
-let run_ints ?config circuit ~before ~after =
-  run ?config circuit ~before:(pack before) ~after:(pack after)
+let run_ints ?config ?obs circuit ~before ~after =
+  run ?config ?obs circuit ~before:(pack before) ~after:(pack after)
 
 let net_waveform r net =
   Spice.Engine.waveform r.result r.instance.Netlist.Expand.node_of_net.(net)

@@ -25,6 +25,7 @@ type run
 
 val run_r :
   ?config:config ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   before:Netlist.Signal.level array ->
   after:Netlist.Signal.level array ->
@@ -36,6 +37,7 @@ val run_r :
 
 val run :
   ?config:config ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   before:Netlist.Signal.level array ->
   after:Netlist.Signal.level array ->
@@ -45,6 +47,7 @@ val run :
 
 val run_ints_r :
   ?config:config ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   before:(int * int) list ->
   after:(int * int) list ->
@@ -52,6 +55,7 @@ val run_ints_r :
 
 val run_ints :
   ?config:config ->
+  ?obs:Obs.t ->
   Netlist.Circuit.t ->
   before:(int * int) list ->
   after:(int * int) list ->

@@ -40,6 +40,8 @@ let monte_carlo ?ctx ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
     Eval.Ctx.override ?jobs (Option.value ctx ~default:Eval.Ctx.default)
   in
   let cache = ctx.Eval.Ctx.cache in
+  let obs = ctx.Eval.Ctx.obs in
+  Obs.Span.with_ obs "variation.monte_carlo" @@ fun () ->
   let st = Random.State.make [| seed |] in
   let tech0 = C.tech circuit in
   let before, after = vector in
@@ -65,7 +67,7 @@ let monte_carlo ?ctx ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
         let dkp_rel = sigma_kp_rel *. gaussian st in
         (dvt, dkp_rel))
   in
-  let run_sample (dvt, dkp_rel) =
+  let run_sample wobs (dvt, dkp_rel) =
     let tech = shift_tech tech0 ~dvt ~dkp_rel in
     let sleep =
       Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
@@ -76,11 +78,20 @@ let monte_carlo ?ctx ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
         BP.sleep = BP.Sleep_fet sleep;
         tech_override = Some tech }
     in
-    let d, vx, _ = Cached.bp_metrics ?cache ~config circuit ~before ~after in
+    let d, vx, _ =
+      Cached.bp_metrics ?cache ~obs:wobs ~config circuit ~before ~after
+    in
     { dvt; dkp_rel; delay = Option.value d ~default:0.0; vx_peak = vx }
   in
+  (* per-worker obs shards keep the metric writes lock-free; merged back
+     in worker order after the join, like the resilience accumulators
+     elsewhere *)
   let samples =
-    Par.Pool.map ~jobs:ctx.Eval.Ctx.jobs n (fun i -> run_sample params.(i))
+    Par.Pool.map_stateful ~obs ~jobs:ctx.Eval.Ctx.jobs
+      ~create:(fun () -> Obs.shard obs)
+      ~merge:(fun o -> Obs.merge_shard ~into:obs o)
+      n
+      (fun wobs i -> run_sample wobs params.(i))
   in
   let delays = Array.map (fun s -> s.delay) samples in
   let vxs = Array.map (fun s -> s.vx_peak) samples in

@@ -46,6 +46,7 @@ let rank ?ctx ?body_effect c ~sleep ~pairs =
   in
   let body_effect = ctx.Eval.Ctx.body_effect in
   let cache = ctx.Eval.Ctx.cache in
+  let obs = ctx.Eval.Ctx.obs in
   let mt_config =
     { Breakpoint_sim.default_config with Breakpoint_sim.sleep; body_effect }
   in
@@ -54,13 +55,13 @@ let rank ?ctx ?body_effect c ~sleep ~pairs =
   in
   let evaluate (before, after) =
     let d_mt, vx, _ =
-      Cached.bp_metrics ?cache ~config:mt_config c ~before ~after
+      Cached.bp_metrics ?cache ~obs ~config:mt_config c ~before ~after
     in
     match d_mt with
     | None -> None
     | Some d_mt ->
       let d_cm, _, _ =
-        Cached.bp_metrics ?cache ~config:cmos_config c ~before ~after
+        Cached.bp_metrics ?cache ~obs ~config:cmos_config c ~before ~after
       in
       let d_cm = Option.value d_cm ~default:d_mt in
       Some

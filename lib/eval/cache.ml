@@ -121,6 +121,14 @@ let counters t =
         entries = Hashtbl.length t.table;
         bytes = t.bytes })
 
+let publish t obs =
+  let c = counters t in
+  Obs.set_count obs "eval.cache.hits" c.hits;
+  Obs.set_count obs "eval.cache.misses" c.misses;
+  Obs.set_count obs "eval.cache.evictions" c.evictions;
+  Obs.set_gauge obs "eval.cache.entries" (float_of_int c.entries);
+  Obs.set_gauge obs "eval.cache.bytes" (float_of_int c.bytes)
+
 let report_string t =
   let c = counters t in
   let looked_up = c.hits + c.misses in

@@ -46,6 +46,14 @@ val store : t -> string -> entry -> unit
 
 val counters : t -> counters
 
+val publish : t -> Obs.t -> unit
+(** Copy the current counters into the registry as the
+    [eval.cache.hits] / [misses] / [evictions] counters and
+    [eval.cache.entries] / [bytes] gauges ([set], not [incr], so
+    publishing is idempotent).  The CLI publishes once at the end of a
+    run; [--cache-stats] and the run report then render the registry
+    view ([Obs.Report.cache_summary]). *)
+
 val report_string : t -> string
 (** One-line [Resilience]-style report, e.g.
     ["cache: 1200 entries (~150 KiB), 3400 hits / 1200 misses (73.9% hit rate), 0 evictions"]. *)

@@ -5,6 +5,7 @@ type t = {
   stats : Resilience.t option;
   jobs : int;
   cache : Cache.t option;
+  obs : Obs.t;
 }
 
 let default =
@@ -13,7 +14,8 @@ let default =
     policy = Spice.Recover.default;
     stats = None;
     jobs = 1;
-    cache = None }
+    cache = None;
+    obs = Obs.disabled }
 
 let with_engine engine t = { t with engine }
 let with_body_effect body_effect t = { t with body_effect }
@@ -21,14 +23,29 @@ let with_policy policy t = { t with policy }
 let with_stats s t = { t with stats = Some s }
 let with_jobs jobs t = { t with jobs }
 let with_cache c t = { t with cache = Some c }
+let with_obs obs t = { t with obs }
 let without_cache t = { t with cache = None }
 let without_stats t = { t with stats = None }
 
-let override ?engine ?body_effect ?policy ?stats ?jobs ?cache t =
+(* One worker domain's view of the context: obs shard + fresh
+   resilience accumulator (when the caller tracks stats), jobs pinned
+   to 1 so nested entry points stay sequential inside the worker. *)
+let worker t =
+  let wstats = match t.stats with None -> None | Some _ -> Some (Resilience.create ()) in
+  { t with stats = wstats; jobs = 1; obs = Obs.shard t.obs }
+
+let merge_worker ~into w =
+  (match (into.stats, w.stats) with
+   | Some root, Some shard -> Resilience.merge_into ~into:root shard
+   | _ -> ());
+  Obs.merge_shard ~into:into.obs w.obs
+
+let override ?engine ?body_effect ?policy ?stats ?jobs ?cache ?obs t =
   let keep o field = match o with Some v -> Some v | None -> field in
   { engine = Option.value engine ~default:t.engine;
     body_effect = Option.value body_effect ~default:t.body_effect;
     policy = Option.value policy ~default:t.policy;
     stats = keep stats t.stats;
     jobs = Option.value jobs ~default:t.jobs;
-    cache = keep cache t.cache }
+    cache = keep cache t.cache;
+    obs = Option.value obs ~default:t.obs }

@@ -27,11 +27,37 @@ type t = {
   mutable scored_zero : int; (* Scored_zero skips *)
   mutable strategies : (string * int) list; (* rescue name -> count *)
   mutable skips : (string * skip_kind * Spice.Diag.failure) list;
+  mutable obs : Obs.t;
+      (* registry mirror.  Only the root accumulator of a run carries a
+         live instance (attach_obs); worker shards and the cache's
+         per-computation accumulators stay disabled, so counts enter
+         the registry exactly once — directly on a sequential record,
+         or via merge_into when a shard / cache snapshot is folded into
+         the root.  Totals therefore stay cache- and jobs-invariant,
+         same as the field counters. *)
 }
 
 let create () =
   { attempted = 0; direct = 0; recovered = 0; skipped = 0; fallback = 0;
-    scored_zero = 0; strategies = []; skips = [] }
+    scored_zero = 0; strategies = []; skips = []; obs = Obs.disabled }
+
+let attach_obs t obs = t.obs <- obs
+
+(* mirror a delta batch into the registry (no-op on Obs.disabled) *)
+let obs_record t ~attempted ~direct ~recovered ~skipped ~fallback
+    ~scored_zero ~strategies =
+  if Obs.metrics_on t.obs then begin
+    let c name by = if by <> 0 then Obs.incr t.obs ~by name in
+    c "eval.resilience.attempted" attempted;
+    c "eval.resilience.direct" direct;
+    c "eval.resilience.recovered" recovered;
+    c "eval.resilience.skipped" skipped;
+    c "eval.resilience.fallback" fallback;
+    c "eval.resilience.scored_zero" scored_zero;
+    List.iter
+      (fun (name, k) -> c ("eval.resilience.recovery." ^ name) k)
+      strategies
+  end
 
 let add_strategies t l =
   let rec bump name k = function
@@ -48,9 +74,15 @@ let record_success ?stats (tm : Spice.Diag.telemetry) =
     t.attempted <- t.attempted + 1;
     if Spice.Diag.recovered tm then begin
       t.recovered <- t.recovered + 1;
-      add_strategies t tm.Spice.Diag.recoveries
+      add_strategies t tm.Spice.Diag.recoveries;
+      obs_record t ~attempted:1 ~direct:0 ~recovered:1 ~skipped:0
+        ~fallback:0 ~scored_zero:0 ~strategies:tm.Spice.Diag.recoveries
     end
-    else t.direct <- t.direct + 1
+    else begin
+      t.direct <- t.direct + 1;
+      obs_record t ~attempted:1 ~direct:1 ~recovered:0 ~skipped:0
+        ~fallback:0 ~scored_zero:0 ~strategies:[]
+    end
 
 let record_skip ?stats ?(kind = Dropped) ~label (f : Spice.Diag.failure) =
   match stats with
@@ -62,7 +94,11 @@ let record_skip ?stats ?(kind = Dropped) ~label (f : Spice.Diag.failure) =
      | Dropped -> ()
      | Estimated -> t.fallback <- t.fallback + 1
      | Scored_zero -> t.scored_zero <- t.scored_zero + 1);
-    t.skips <- t.skips @ [ (label, kind, f) ]
+    t.skips <- t.skips @ [ (label, kind, f) ];
+    obs_record t ~attempted:1 ~direct:0 ~recovered:0 ~skipped:1
+      ~fallback:(if kind = Estimated then 1 else 0)
+      ~scored_zero:(if kind = Scored_zero then 1 else 0)
+      ~strategies:[]
 
 let merge_into ~into t =
   into.attempted <- into.attempted + t.attempted;
@@ -72,7 +108,12 @@ let merge_into ~into t =
   into.fallback <- into.fallback + t.fallback;
   into.scored_zero <- into.scored_zero + t.scored_zero;
   add_strategies into t.strategies;
-  into.skips <- into.skips @ t.skips
+  into.skips <- into.skips @ t.skips;
+  (* shards and cache snapshots never carry a live [obs], so the
+     registry sees these counts here, exactly once *)
+  obs_record into ~attempted:t.attempted ~direct:t.direct
+    ~recovered:t.recovered ~skipped:t.skipped ~fallback:t.fallback
+    ~scored_zero:t.scored_zero ~strategies:t.strategies
 
 let kind_label = function
   | Dropped -> "skipped"

@@ -42,9 +42,21 @@ type t = {
   mutable scored_zero : int;  (** {!Scored_zero} skips *)
   mutable strategies : (string * int) list;
   mutable skips : (string * skip_kind * Spice.Diag.failure) list;
+  mutable obs : Obs.t;
+      (** registry mirror, [Obs.disabled] unless {!attach_obs} was
+          called (only ever on a run's root accumulator) *)
 }
 
 val create : unit -> t
+
+val attach_obs : t -> Obs.t -> unit
+(** Mirror every count this accumulator receives — directly or via
+    {!merge_into} — into the [eval.resilience.*] registry metrics.
+    Attach only to the {e root} accumulator of a run: worker shards and
+    the cache's per-computation accumulators must stay unattached so a
+    count reaches the registry exactly once (when it is folded into the
+    root).  With that discipline the registry totals are cache- and
+    jobs-invariant, exactly like the record's own counters. *)
 
 val record_success : ?stats:t -> Spice.Diag.telemetry -> unit
 (** Classify a finished analysis as direct or recovered from its

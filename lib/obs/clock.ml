@@ -1,0 +1,18 @@
+(* Wall clock with a cross-domain monotonicity clamp: gettimeofday can
+   step backwards (NTP); never hand out a timestamp smaller than one
+   already handed out. *)
+
+let last = Atomic.make 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get last in
+  if t >= prev then begin
+    (* a racing domain may publish a larger value first; that's fine,
+       both observed values are legal non-decreasing timestamps *)
+    ignore (Atomic.compare_and_set last prev t);
+    t
+  end
+  else prev
+
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)

@@ -1,0 +1,15 @@
+(** Monotonic wall-clock helper.
+
+    Span timing and {!Spice.Diag} telemetry need elapsed {e wall} time
+    (CPU seconds under-report parallel regions and stall during I/O).
+    The only wall clock available without extra dependencies is
+    [Unix.gettimeofday], which can step backwards under NTP slew; [now]
+    clamps it against the largest timestamp handed out so far (shared
+    across domains), so timestamps are non-decreasing and span
+    durations are never negative. *)
+
+val now : unit -> float
+(** Non-decreasing wall-clock seconds since the epoch. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0], clamped at [0.]. *)

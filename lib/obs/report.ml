@@ -1,0 +1,174 @@
+(* Summary-table rendering.  Everything is keyed off the metric names
+   the instrumentation sites use (see DESIGN.md "Observability" for the
+   taxonomy); a section prints only when at least one of its metrics
+   exists, so a bp-only run shows no SPICE table and vice versa. *)
+
+let count = Metrics.count
+let valuef = Metrics.valuef
+
+let have m names = List.exists (fun n -> Metrics.get m n <> None) names
+
+(* metrics under a prefix, name-sorted (dump order) *)
+let with_prefix m prefix =
+  List.filter_map
+    (fun (name, v) ->
+      if String.starts_with ~prefix name then
+        Some (String.sub name (String.length prefix)
+                (String.length name - String.length prefix), v)
+      else None)
+    (Metrics.dump m)
+
+let cache_summary m =
+  if not (have m [ "eval.cache.hits"; "eval.cache.misses"; "eval.cache.entries" ])
+  then None
+  else begin
+    let hits = count m "eval.cache.hits"
+    and misses = count m "eval.cache.misses" in
+    let looked_up = hits + misses in
+    let rate =
+      if looked_up = 0 then 0.0
+      else 100.0 *. float_of_int hits /. float_of_int looked_up
+    in
+    Some
+      (Printf.sprintf
+         "cache: %d entries (~%d KiB), %d hits / %d misses (%.1f%% hit \
+          rate), %d evictions"
+         (int_of_float (valuef m "eval.cache.entries"))
+         ((int_of_float (valuef m "eval.cache.bytes") + 1023) / 1024)
+         hits misses rate
+         (count m "eval.cache.evictions"))
+  end
+
+let pp fmt ((m : Metrics.t), (trace : Trace.t option)) =
+  let line fmt_str = Format.fprintf fmt fmt_str in
+  line "== run report ==@.";
+  (* solver effort *)
+  if
+    have m
+      [ "spice.dc.analyses"; "spice.transient.analyses";
+        "spice.newton_iterations" ]
+  then begin
+    line "solver effort:@.";
+    let analyses what =
+      let a = count m (what ^ ".analyses")
+      and f = count m (what ^ ".failures") in
+      let label =
+        match String.rindex_opt what '.' with
+        | Some i ->
+          String.sub what (i + 1) (String.length what - i - 1) ^ " analyses"
+        | None -> what ^ " analyses"
+      in
+      if a > 0 || f > 0 then
+        line "  %-22s %d%s@." label a
+          (if f > 0 then Printf.sprintf " (%d failed)" f else "")
+    in
+    analyses "spice.dc";
+    analyses "spice.transient";
+    line "  %-22s %d@." "newton iterations" (count m "spice.newton_iterations");
+    line "  %-22s %d@." "factorizations" (count m "spice.factorizations");
+    let opt name label =
+      let v = count m name in
+      if v > 0 then line "  %-22s %d@." label v
+    in
+    opt "spice.step_rejections" "step rejections";
+    opt "spice.gmin_rounds" "gmin rounds";
+    opt "spice.source_steps" "source steps"
+  end;
+  (* breakpoint simulator *)
+  if have m [ "bp.simulations" ] then begin
+    line "breakpoint simulator:@.";
+    line "  %-22s %d@." "simulations" (count m "bp.simulations");
+    line "  %-22s %d@." "events" (count m "bp.events")
+  end;
+  (* resilience + recovery ladder *)
+  if have m [ "eval.resilience.attempted" ] then begin
+    line "resilience:@.";
+    line "  %-22s %d@." "attempted" (count m "eval.resilience.attempted");
+    line "  %-22s %d@." "direct" (count m "eval.resilience.direct");
+    line "  %-22s %d@." "recovered" (count m "eval.resilience.recovered");
+    line "  %-22s %d@." "skipped" (count m "eval.resilience.skipped");
+    let opt name label =
+      let v = count m name in
+      if v > 0 then line "  %-22s %d@." label v
+    in
+    opt "eval.resilience.fallback" "estimated instead";
+    opt "eval.resilience.scored_zero" "scored zero"
+  end;
+  (match with_prefix m "eval.resilience.recovery." with
+   | [] -> ()
+   | ladder ->
+     line "recovery ladder:@.";
+     List.iter
+       (fun (name, v) ->
+         match v with
+         | Metrics.Count k -> line "  %-22s x%d@." name k
+         | _ -> ())
+       ladder);
+  (* cache *)
+  (match cache_summary m with
+   | Some s -> line "%s@." s
+   | None -> ());
+  (* pool utilization *)
+  if have m [ "par.pool.calls" ] then begin
+    line "pool:@.";
+    line "  %-22s %d@." "calls" (count m "par.pool.calls");
+    line "  %-22s %g@." "max jobs" (valuef m "par.jobs");
+    let workers = with_prefix m "par.worker." in
+    let tasks_of w =
+      List.assoc_opt (w ^ ".tasks") workers
+      |> Option.map (function Metrics.Count k -> k | _ -> 0)
+    in
+    let busy_of w =
+      List.assoc_opt (w ^ ".busy_s") workers
+      |> Option.map (function Metrics.Value v -> v | _ -> 0.0)
+    in
+    let ids =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (k, _) ->
+             match String.index_opt k '.' with
+             | Some i -> int_of_string_opt (String.sub k 0 i)
+             | None -> None)
+           workers)
+    in
+    List.iter
+      (fun w ->
+        let key = string_of_int w in
+        line "  worker %-15s %d tasks, %.3f s busy@." key
+          (Option.value ~default:0 (tasks_of key))
+          (Option.value ~default:0.0 (busy_of key)))
+      ids
+  end;
+  (* hottest spans *)
+  (match trace with
+   | None -> ()
+   | Some tr ->
+     let agg = Hashtbl.create 16 in
+     List.iter
+       (fun (e : Trace.event) ->
+         let calls, total, mx =
+           match Hashtbl.find_opt agg e.Trace.name with
+           | Some v -> v
+           | None -> (0, 0.0, 0.0)
+         in
+         Hashtbl.replace agg e.Trace.name
+           (calls + 1, total +. e.Trace.dur, Float.max mx e.Trace.dur))
+       (Trace.events tr);
+     let ranked =
+       Hashtbl.fold (fun name v acc -> (name, v) :: acc) agg []
+       |> List.sort (fun (n1, (_, t1, _)) (n2, (_, t2, _)) ->
+              match Float.compare t2 t1 with
+              | 0 -> compare n1 n2
+              | c -> c)
+     in
+     if ranked <> [] then begin
+       line "hottest spans:@.";
+       List.iteri
+         (fun i (name, (calls, total, mx)) ->
+           if i < 8 then
+             line "  %-22s %6d calls  %10.4f s total  %8.4f s max@." name
+               calls total mx)
+         ranked
+     end)
+
+let render m trace = Format.asprintf "%a" pp (m, trace)

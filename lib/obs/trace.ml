@@ -1,0 +1,492 @@
+(* Span sink + Chrome trace_event export + the trace-check validator.
+
+   Events are appended under a mutex (worker domains share one sink);
+   per-domain nesting depth lives in domain-local storage, so spans in
+   one domain always close LIFO and — with the non-decreasing Clock —
+   nest properly by construction.  The validator re-derives that
+   property from a written file, so a trace stands on its own. *)
+
+type event = {
+  name : string;
+  tid : int;
+  ts : float;
+  dur : float;
+  depth : int;
+  args : (string * float) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable evs : event list; (* newest first *)
+  mutable n : int;
+}
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let create () = { lock = Mutex.create (); evs = []; n = 0 }
+
+let push t e =
+  Mutex.protect t.lock (fun () ->
+      t.evs <- e :: t.evs;
+      t.n <- t.n + 1)
+
+let record t ~name ~ts ~dur ?(args = []) () =
+  push t
+    { name;
+      tid = (Domain.self () :> int);
+      ts;
+      dur;
+      depth = !(Domain.DLS.get depth_key);
+      args }
+
+let with_span t ?args name f =
+  let d = Domain.DLS.get depth_key in
+  let my_depth = !d in
+  d := my_depth + 1;
+  let ts = Clock.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur = Clock.elapsed_since ts in
+      d := my_depth;
+      push t
+        { name;
+          tid = (Domain.self () :> int);
+          ts;
+          dur;
+          depth = my_depth;
+          args = (match args with None -> [] | Some g -> g ()) })
+    f
+
+let events t =
+  let l = Mutex.protect t.lock (fun () -> t.evs) in
+  List.sort
+    (fun a b ->
+      match Float.compare a.ts b.ts with
+      | 0 -> (
+        match compare a.tid b.tid with
+        | 0 -> compare a.depth b.depth
+        | c -> c)
+      | c -> c)
+    l
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      t.evs <- [];
+      t.n <- 0)
+
+(* ---- export ------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num v =
+  if Float.is_finite v then
+    let short = Printf.sprintf "%g" v in
+    if float_of_string short = v then short else Printf.sprintf "%.17g" v
+  else "null"
+
+let args_json args =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf {|"%s":%s|} (json_escape k) (json_num v))
+       args)
+
+let to_chrome_json ?metrics t =
+  let evs = events t in
+  let t0 = match evs with [] -> 0.0 | e :: _ -> e.ts in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"traceEvents":[|};
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        {|{"name":"%s","cat":"mtsize","ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s|}
+        (json_escape e.name) e.tid
+        (json_num ((e.ts -. t0) *. 1e6))
+        (json_num (e.dur *. 1e6));
+      if e.args <> [] then Printf.bprintf buf {|,"args":{%s}|} (args_json e.args);
+      Buffer.add_char buf '}')
+    evs;
+  Buffer.add_string buf {|],"displayTimeUnit":"ms","otherData":{|};
+  (match metrics with
+   | None -> ()
+   | Some m ->
+     let counters =
+       List.filter_map
+         (function
+           | name, Metrics.Count n ->
+             Some (Printf.sprintf {|"%s":%d|} (json_escape name) n)
+           | _ -> None)
+         (Metrics.dump m)
+     in
+     Printf.bprintf buf {|"counters":{%s}|} (String.concat "," counters));
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let write_chrome ?metrics t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json ?metrics t))
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Printf.bprintf buf
+        {|{"name":"%s","tid":%d,"ts_us":%s,"dur_us":%s,"depth":%d|}
+        (json_escape e.name) e.tid
+        (json_num (e.ts *. 1e6))
+        (json_num (e.dur *. 1e6))
+        e.depth;
+      if e.args <> [] then Printf.bprintf buf {|,"args":{%s}|} (args_json e.args);
+      Buffer.add_string buf "}\n")
+    (events t);
+  Buffer.contents buf
+
+(* ---- minimal JSON reader (for the validator; no external deps) ---- *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+  | J_bool of bool
+  | J_null
+
+exception Parse of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 > n then fail "bad \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+             | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+             | Some _ -> Buffer.add_char b '?' (* non-ASCII: placeholder *)
+             | None -> fail "bad \\u escape")
+          | _ -> fail "bad escape"));
+        go ()
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); J_obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); J_obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); J_arr [])
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elems (v :: acc)
+          | Some ']' -> advance (); J_arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elems []
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---- validation --------------------------------------------------- *)
+
+type check = {
+  events_checked : int;
+  tids : int;
+  reconciled : (string * int * int) list;
+}
+
+let field k = function J_obj l -> List.assoc_opt k l | _ -> None
+
+let num_field k j =
+  match field k j with Some (J_num v) -> Some v | _ -> None
+
+let str_field k j =
+  match field k j with Some (J_str v) -> Some v | _ -> None
+
+(* microsecond slop for float-rounded nesting comparisons *)
+let eps = 0.5
+
+let spice_names = [ "spice.dc"; "spice.transient" ]
+
+let validate_string text =
+  match parse_json text with
+  | exception Parse msg -> Error [ "not valid JSON: " ^ msg ]
+  | json ->
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+    (match field "traceEvents" json with
+     | Some (J_arr raw) ->
+       (* decode the complete ("X") events; tolerate other phases *)
+       let xs =
+         List.filteri
+           (fun _ e -> str_field "ph" e = Some "X")
+           (List.filter (function J_obj _ -> true | _ -> false) raw)
+       in
+       if List.length raw > 0 && xs = [] then err "no complete (ph=X) events";
+       let decoded =
+         List.filter_map
+           (fun e ->
+             match
+               ( str_field "name" e,
+                 num_field "ts" e,
+                 num_field "dur" e,
+                 num_field "tid" e,
+                 num_field "pid" e )
+             with
+             | Some name, Some ts, Some dur, Some tid, Some _ ->
+               if dur < 0.0 then begin
+                 err "event %s: negative dur" name;
+                 None
+               end
+               else if ts < -.eps then begin
+                 err "event %s: negative ts" name;
+                 None
+               end
+               else
+                 let args =
+                   match field "args" e with
+                   | Some (J_obj l) ->
+                     List.filter_map
+                       (function k, J_num v -> Some (k, v) | _ -> None)
+                       l
+                   | _ -> []
+                 in
+                 Some (name, int_of_float tid, ts, dur, args)
+             | _ ->
+               err "event missing name/ts/dur/tid/pid";
+               None)
+           xs
+       in
+       (* group by tid and check proper nesting with a span stack;
+          count spans that have no enclosing spice-analysis span and
+          sum their newton/factorization args for reconciliation *)
+       let by_tid = Hashtbl.create 8 in
+       List.iter
+         (fun ((_, tid, _, _, _) as e) ->
+           let l =
+             match Hashtbl.find_opt by_tid tid with Some l -> l | None -> []
+           in
+           Hashtbl.replace by_tid tid (e :: l))
+         decoded;
+       let top_counts = Hashtbl.create 8 in
+       let top_sums = Hashtbl.create 8 in
+       let bump tbl k v =
+         let cur =
+           match Hashtbl.find_opt tbl k with Some c -> c | None -> 0
+         in
+         Hashtbl.replace tbl k (cur + v)
+       in
+       let bumpf tbl k v =
+         let cur =
+           match Hashtbl.find_opt tbl k with Some c -> c | None -> 0.0
+         in
+         Hashtbl.replace tbl k (cur +. v)
+       in
+       Hashtbl.iter
+         (fun tid evs ->
+           let sorted =
+             List.sort
+               (fun (_, _, ts1, d1, _) (_, _, ts2, d2, _) ->
+                 match Float.compare ts1 ts2 with
+                 | 0 -> Float.compare d2 d1 (* longer first: parents *)
+                 | c -> c)
+               evs
+           in
+           (* stack of (name, end time, is-spice) *)
+           let stack = ref [] in
+           List.iter
+             (fun (name, _, ts, dur, args) ->
+               let rec unwind = function
+                 | (_, e_end, _) :: rest when ts >= e_end -. eps ->
+                   unwind rest
+                 | st -> st
+               in
+               stack := unwind !stack;
+               (match !stack with
+                | (pname, p_end, _) :: _ when ts +. dur > p_end +. eps ->
+                  err
+                    "tid %d: span %s [%g..%g] overlaps end of enclosing %s \
+                     (%g)"
+                    tid name ts (ts +. dur) pname p_end
+                | _ -> ());
+               let in_spice =
+                 List.exists (fun (_, _, sp) -> sp) !stack
+               in
+               if not in_spice then begin
+                 bump top_counts name 1;
+                 List.iter
+                   (fun (k, v) ->
+                     if k = "newton" || k = "factorizations" then
+                       bumpf top_sums (name ^ "." ^ k) v)
+                   args
+               end;
+               stack :=
+                 (name, ts +. dur, List.mem name spice_names) :: !stack)
+             sorted)
+         by_tid;
+       let reconciled = ref [] in
+       (match field "otherData" json with
+        | Some od ->
+          let counter name =
+            match field "counters" od with
+            | Some c -> (
+              match field name c with
+              | Some (J_num v) -> Some (int_of_float v)
+              | _ -> None)
+            | None -> None
+          in
+          let pair desc spans counter_name =
+            match counter counter_name with
+            | None -> ()
+            | Some expected ->
+              reconciled := (desc, spans, expected) :: !reconciled;
+              if abs (spans - expected) > 1 then
+                err "%s: span total %d vs counter %s = %d" desc spans
+                  counter_name expected
+          in
+          let top name =
+            match Hashtbl.find_opt top_counts name with
+            | Some c -> c
+            | None -> 0
+          in
+          let topf key =
+            match Hashtbl.find_opt top_sums key with
+            | Some v -> int_of_float (Float.round v)
+            | None -> 0
+          in
+          pair "dc analyses" (top "spice.dc") "spice.dc.analyses";
+          pair "transient analyses"
+            (top "spice.transient")
+            "spice.transient.analyses";
+          pair "breakpoint simulations" (top "bp.simulate") "bp.simulations";
+          pair "newton iterations"
+            (topf "spice.dc.newton" + topf "spice.transient.newton")
+            "spice.newton_iterations";
+          pair "factorizations"
+            (topf "spice.dc.factorizations"
+             + topf "spice.transient.factorizations")
+            "spice.factorizations"
+        | None -> ());
+       if !errors = [] then
+         Ok
+           { events_checked = List.length decoded;
+             tids = Hashtbl.length by_tid;
+             reconciled = List.rev !reconciled }
+       else Error (List.rev !errors)
+     | _ -> Error [ "missing traceEvents array" ])
+
+let validate_file file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error [ "cannot read file: " ^ msg ]
+  | text -> validate_string text

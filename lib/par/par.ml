@@ -37,7 +37,8 @@ module Pool = struct
       dst
     end
 
-  let map_stateful ?(jobs = 1) ?chunk ~create ~merge n f =
+  let map_stateful ?(obs = Obs.disabled) ?(jobs = 1) ?chunk ~create ~merge n
+      f =
     if n < 0 then invalid_arg "Par.Pool: negative range";
     if jobs < 1 then invalid_arg (Printf.sprintf "Par.Pool: jobs = %d" jobs);
     let jobs = max 1 (min jobs n) in
@@ -48,11 +49,37 @@ module Pool = struct
       | None -> max 1 ((n + (4 * jobs) - 1) / (4 * jobs))
     in
     let num_chunks = if n = 0 then 0 else (n + chunk - 1) / chunk in
+    (* pool self-metrics: per-worker task counts and busy seconds,
+       written at disjoint indices inside each worker (published by the
+       join) and recorded into the registry in worker order.  These
+       [par.*] metrics describe the pool itself, so — unlike everything
+       else recorded through [obs] — they legitimately vary with
+       [jobs]. *)
+    let active = Obs.metrics_on obs in
+    let wtasks = Array.make jobs 0 and wbusy = Array.make jobs 0.0 in
+    let record_pool () =
+      if active then begin
+        Obs.incr obs "par.pool.calls";
+        Obs.max_gauge obs "par.jobs" (float_of_int jobs);
+        for w = 0 to jobs - 1 do
+          let key = Printf.sprintf "par.worker.%d" w in
+          Obs.incr obs ~by:wtasks.(w) (key ^ ".tasks");
+          Obs.addf obs (key ^ ".busy_s") wbusy.(w)
+        done
+      end
+    in
+    Obs.Span.with_ obs "par.pool" @@ fun () ->
     if jobs = 1 then begin
       (* single-domain fallback: same chunk walk, no spawn *)
       let state = create () in
+      let t0 = if active then Obs.Clock.now () else 0.0 in
       let parts = Array.init num_chunks (eval_chunk ~chunk ~n f state) in
+      if active then begin
+        wtasks.(0) <- n;
+        wbusy.(0) <- Obs.Clock.elapsed_since t0
+      end;
       merge state;
+      record_pool ();
       Array.concat (Array.to_list parts)
     end
     else begin
@@ -60,11 +87,15 @@ module Pool = struct
       let worker w () =
         match
           let state = create () in
+          let t0 = if active then Obs.Clock.now () else 0.0 in
           let c = ref w in
           while !c < num_chunks do
+            let lo, hi = chunk_bounds ~chunk ~n !c in
             parts.(!c) <- eval_chunk ~chunk ~n f state !c;
+            if active then wtasks.(w) <- wtasks.(w) + (hi - lo);
             c := !c + jobs
           done;
+          if active then wbusy.(w) <- Obs.Clock.elapsed_since t0;
           state
         with
         | state -> Finished state
@@ -86,18 +117,22 @@ module Pool = struct
       Array.iter
         (function Finished s -> merge s | Aborted _ -> assert false)
         outcomes;
+      record_pool ();
       Array.concat (Array.to_list parts)
     end
 
-  let map ?jobs ?chunk n f =
-    map_stateful ?jobs ?chunk ~create:ignore ~merge:ignore n
+  let map ?obs ?jobs ?chunk n f =
+    map_stateful ?obs ?jobs ?chunk ~create:ignore ~merge:ignore n
       (fun () i -> f i)
 
-  let map_list ?jobs ?chunk f xs =
+  let map_list ?obs ?jobs ?chunk f xs =
     let src = Array.of_list xs in
     Array.to_list
-      (map ?jobs ?chunk (Array.length src) (fun i -> f src.(i)))
+      (map ?obs ?jobs ?chunk (Array.length src) (fun i -> f src.(i)))
 
+  (* no [?obs] here: with every argument labelled, an unsupplied
+     trailing optional would never be erased at the call site — callers
+     that want pool metrics use [map]/[map_stateful] *)
   let map_reduce ?jobs ?chunk ~n ~map:m ~reduce ~init =
     Array.fold_left reduce init (map ?jobs ?chunk n m)
 end

@@ -37,14 +37,16 @@ module Pool : sig
       degrades to the sequential path); [resolve_jobs (Some j)] is [j].
       @raise Invalid_argument when [j < 1]. *)
 
-  val map : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+  val map :
+    ?obs:Obs.t -> ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
   (** [map n f] is [[| f 0; ...; f (n-1) |]], computed on [jobs]
       domains (default 1 — parallelism is strictly opt-in for library
       callers).  [chunk] is the fixed chunk length (default: [n]
       divided over 4 chunks per worker, at least 1).  Deterministic:
       the result is identical for every [jobs]/[chunk] choice. *)
 
-  val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+  val map_list :
+    ?obs:Obs.t -> ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
   (** [map_list f xs] = [List.map f xs], parallelised like {!map} and
       equally deterministic. *)
 
@@ -60,6 +62,7 @@ module Pool : sig
       commutative; it always sees [f 0, f 1, ...] left to right. *)
 
   val map_stateful :
+    ?obs:Obs.t ->
     ?jobs:int ->
     ?chunk:int ->
     create:(unit -> 'w) ->
@@ -74,5 +77,15 @@ module Pool : sig
       caller's domain.  This is how sweeps thread
       [Mtcmos.Resilience] / [Spice.Diag] accumulators through a
       parallel region without locks: worker-local recording, exact
-      merged totals. *)
+      merged totals.
+
+      [obs] (default [Obs.disabled], on every function above too)
+      records the pool's self-metrics — [par.pool.calls], the
+      [par.jobs] high-water gauge, and per-worker
+      [par.worker.<w>.tasks] / [par.worker.<w>.busy_s] — plus a
+      ["par.pool"] span when tracing.  Workers time and count their
+      own chunks at disjoint indices; the counters are folded into the
+      registry in worker order after the join.  These [par.*] metrics
+      describe the schedule itself and are the one metric family that
+      legitimately varies with [jobs]. *)
 end

@@ -33,7 +33,9 @@ type telemetry = {
   mutable source_steps : int;        (* source-stepping ramp solves *)
   mutable recoveries : (string * int) list;
       (* strategy name -> times it rescued an analysis or a step *)
-  mutable wall_time : float;         (* CPU seconds inside the engine *)
+  mutable wall_s : float;
+      (* monotonic wall-clock seconds inside the engine (Obs.Clock);
+         used to be CPU seconds under the name [wall_time] *)
 }
 
 let create_telemetry () =
@@ -43,7 +45,9 @@ let create_telemetry () =
     gmin_rounds = 0;
     source_steps = 0;
     recoveries = [];
-    wall_time = 0.0 }
+    wall_s = 0.0 }
+
+let wall_time tm = tm.wall_s
 
 let record_recovery tm name =
   let rec bump = function
@@ -70,7 +74,7 @@ let merge_telemetry ~into tm =
     List.fold_left
       (fun acc (n, k) -> bump n k acc)
       into.recoveries tm.recoveries;
-  into.wall_time <- into.wall_time +. tm.wall_time
+  into.wall_s <- into.wall_s +. tm.wall_s
 
 let analysis_name = function Dc -> "dc" | Transient -> "transient"
 
@@ -104,7 +108,7 @@ let pp_telemetry fmt tm =
     "%d Newton iterations, %d factorizations, %d step rejections, \
      %d gmin rounds, %d source steps, %.3f s"
     tm.newton_iterations tm.factorizations tm.step_rejections
-    tm.gmin_rounds tm.source_steps tm.wall_time;
+    tm.gmin_rounds tm.source_steps tm.wall_s;
   match tm.recoveries with
   | [] -> ()
   | l ->

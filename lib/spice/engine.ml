@@ -227,11 +227,36 @@ let worst_residual t ~x ~gmin ~time ~cap =
     (!name, !worst)
   end
 
-let dc_r ?(time = 0.0) ?x0 ?(policy = Recover.default) ?telemetry t =
+let dc_r ?(time = 0.0) ?x0 ?(policy = Recover.default) ?telemetry
+    ?(obs = Obs.disabled) t =
   let tm =
     match telemetry with Some v -> v | None -> Diag.create_telemetry ()
   in
-  let wall0 = Sys.time () in
+  (* counter deltas are attributed to this analysis: snapshot at entry,
+     flush once at exit.  A transient's nested operating-point solve is
+     called with [Obs.spans_only], so its effort is flushed exactly
+     once — by the enclosing transient (see transient_r). *)
+  let nw0 = tm.Diag.newton_iterations and fc0 = tm.Diag.factorizations in
+  let gm0 = tm.Diag.gmin_rounds and ss0 = tm.Diag.source_steps in
+  let flush ~failed =
+    if Obs.metrics_on obs then begin
+      Obs.incr obs "spice.dc.analyses";
+      if failed then Obs.incr obs "spice.dc.failures";
+      Obs.incr obs ~by:(tm.Diag.newton_iterations - nw0)
+        "spice.newton_iterations";
+      Obs.incr obs ~by:(tm.Diag.factorizations - fc0) "spice.factorizations";
+      Obs.incr obs ~by:(tm.Diag.gmin_rounds - gm0) "spice.gmin_rounds";
+      Obs.incr obs ~by:(tm.Diag.source_steps - ss0) "spice.source_steps";
+      Obs.observe obs "spice.newton_per_analysis"
+        (float_of_int (tm.Diag.newton_iterations - nw0))
+    end
+  in
+  Obs.Span.with_ obs "spice.dc"
+    ~args:(fun () ->
+      [ ("newton", float_of_int (tm.Diag.newton_iterations - nw0));
+        ("factorizations", float_of_int (tm.Diag.factorizations - fc0)) ])
+  @@ fun () ->
+  let wall0 = Obs.Clock.now () in
   let n = t.sys.Mna.n_unknowns in
   let start =
     match x0 with
@@ -249,7 +274,8 @@ let dc_r ?(time = 0.0) ?x0 ?(policy = Recover.default) ?telemetry t =
       None
   in
   let finish x =
-    tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+    tm.Diag.wall_s <- tm.Diag.wall_s +. Obs.Clock.elapsed_since wall0;
+    flush ~failed:false;
     Ok x
   in
   match
@@ -329,7 +355,8 @@ let dc_r ?(time = 0.0) ?x0 ?(policy = Recover.default) ?telemetry t =
         let node, res =
           worst_residual t ~x:start ~gmin:1e-12 ~time ~cap:None
         in
-        tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+        tm.Diag.wall_s <- tm.Diag.wall_s +. Obs.Clock.elapsed_since wall0;
+        flush ~failed:true;
         Error
           { Diag.analysis = Diag.Dc;
             kind = kind_of_outcome !last;
@@ -381,7 +408,7 @@ exception Abort of Diag.failure
 
 let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
     ?(max_newton = 40) ?x0 ?(uic = false) ?(adaptive = false)
-    ?(policy = Recover.default) ?telemetry t ~t_stop =
+    ?(policy = Recover.default) ?telemetry ?(obs = Obs.disabled) t ~t_stop =
   if t_stop <= 0.0 then invalid_arg "Engine.transient: t_stop <= 0";
   let dt = match dt with Some d -> d | None -> t_stop /. 2000.0 in
   if dt <= 0.0 then invalid_arg "Engine.transient: dt <= 0";
@@ -389,8 +416,34 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
   let tm =
     match telemetry with Some v -> v | None -> Diag.create_telemetry ()
   in
-  let wall0 = Sys.time () in
+  let wall0 = Obs.Clock.now () in
   let iters0 = tm.Diag.newton_iterations in
+  (* nested operating-point solves trace their own spans but must not
+     flush counters a second time: the whole-transient deltas below
+     already include them *)
+  let obs_nested = Obs.spans_only obs in
+  let fc0 = tm.Diag.factorizations and sr0 = tm.Diag.step_rejections in
+  let gm0 = tm.Diag.gmin_rounds and ss0 = tm.Diag.source_steps in
+  let flush ~failed =
+    if Obs.metrics_on obs then begin
+      Obs.incr obs "spice.transient.analyses";
+      if failed then Obs.incr obs "spice.transient.failures";
+      Obs.incr obs ~by:(tm.Diag.newton_iterations - iters0)
+        "spice.newton_iterations";
+      Obs.incr obs ~by:(tm.Diag.factorizations - fc0) "spice.factorizations";
+      Obs.incr obs ~by:(tm.Diag.step_rejections - sr0)
+        "spice.step_rejections";
+      Obs.incr obs ~by:(tm.Diag.gmin_rounds - gm0) "spice.gmin_rounds";
+      Obs.incr obs ~by:(tm.Diag.source_steps - ss0) "spice.source_steps";
+      Obs.observe obs "spice.newton_per_analysis"
+        (float_of_int (tm.Diag.newton_iterations - iters0))
+    end
+  in
+  Obs.Span.with_ obs "spice.transient"
+    ~args:(fun () ->
+      [ ("newton", float_of_int (tm.Diag.newton_iterations - iters0));
+        ("factorizations", float_of_int (tm.Diag.factorizations - fc0)) ])
+  @@ fun () ->
   let sys = t.sys in
   try
     (* [uic]: trust the caller's initial condition (SPICE's .tran UIC) and
@@ -403,7 +456,7 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
            Array.copy v
          | true, (Some _ | None) -> Array.make sys.Mna.n_unknowns 0.0
          | false, _ ->
-           (match dc_r ~time:0.0 ?x0 ~policy ~telemetry:tm t with
+           (match dc_r ~time:0.0 ?x0 ~policy ~telemetry:tm ~obs:obs_nested t with
             | Ok x -> x
             | Error f ->
               raise
@@ -514,7 +567,7 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
             (match
                dc_r
                  ~time:(Float.min (!time +. !dt_now) t_stop)
-                 ~x0:!x ~policy ~telemetry:tm t
+                 ~x0:!x ~policy ~telemetry:tm ~obs:obs_nested t
              with
              | Ok xdc ->
                solve ~integ:integration ~h:!dt_now ~x0:xdc ~gmin:1e-12
@@ -586,10 +639,12 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
     done;
     res.final_x <- !x;
     res.n_newton <- tm.Diag.newton_iterations - iters0;
-    tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+    tm.Diag.wall_s <- tm.Diag.wall_s +. Obs.Clock.elapsed_since wall0;
+    flush ~failed:false;
     Ok res
   with Abort f ->
-    tm.Diag.wall_time <- tm.Diag.wall_time +. (Sys.time () -. wall0);
+    tm.Diag.wall_s <- tm.Diag.wall_s +. Obs.Clock.elapsed_since wall0;
+    flush ~failed:true;
     Error f
 
 let transient ?integration ?dt ?record ?max_newton ?x0 ?uic ?adaptive t

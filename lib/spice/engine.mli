@@ -28,6 +28,7 @@ val dc_r :
   ?x0:float array ->
   ?policy:Recover.policy ->
   ?telemetry:Diag.telemetry ->
+  ?obs:Obs.t ->
   t ->
   (float array, Diag.failure) result
 (** Operating point with the sources evaluated at [time] (default 0).
@@ -36,7 +37,11 @@ val dc_r :
     solve the [policy]'s DC strategies (default: gmin ramp, then source
     stepping) are tried in order, each bounded by the policy budgets.
     [telemetry] (optional, caller-owned) accumulates effort counters
-    across calls. *)
+    across calls.  [obs] (default [Obs.disabled]) records a
+    ["spice.dc"] span carrying the analysis's Newton/factorization
+    deltas as args, and flushes the telemetry deltas once per analysis
+    into the registry ([spice.dc.analyses], [spice.newton_iterations],
+    ... and the [spice.newton_per_analysis] histogram). *)
 
 val dc : ?time:float -> ?x0:float array -> t -> float array
 (** {!dc_r} with the default policy.
@@ -63,6 +68,7 @@ val transient_r :
   ?adaptive:bool ->
   ?policy:Recover.policy ->
   ?telemetry:Diag.telemetry ->
+  ?obs:Obs.t ->
   t ->
   t_stop:float ->
   (result, Diag.failure) Stdlib.result
@@ -81,6 +87,11 @@ val transient_r :
     ramping, DC re-seeding), each bounded, so every run terminates with
     either [Ok] — whose waveforms contain only finite samples — or a
     structured [Error].
+
+    [obs] records a ["spice.transient"] span (the nested
+    operating-point solve appears as a ["spice.dc"] child span, with
+    counter flushing suppressed so solver effort is attributed exactly
+    once, to the enclosing transient).
     @raise Invalid_argument on [t_stop <= 0], [dt <= 0] or
     [dt > t_stop]. *)
 

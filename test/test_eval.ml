@@ -177,7 +177,7 @@ let test_memo_replays_stats () =
       gmin_rounds = 0;
       source_steps = 0;
       recoveries = [];
-      wall_time = 0.1 }
+      wall_s = 0.1 }
   in
   let failure =
     { Spice.Diag.analysis = Spice.Diag.Transient;

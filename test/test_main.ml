@@ -12,5 +12,6 @@ let () =
       ("properties", Test_properties.suite);
       ("eval", Test_eval.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
       ("differential", Test_differential.suite);
       ("integration", Test_integration.suite) ]

@@ -1,0 +1,260 @@
+(* Observability suite: the registry's bucket and merge semantics, the
+   jobs-invariance of instrumented totals, the zero-event guarantee of
+   the disabled path, and the well-formedness of emitted Chrome traces
+   under parallel recording. *)
+
+let tech = Device.Tech.mtcmos_07um
+
+(* --- Metrics: histogram bucket edges ------------------------------- *)
+
+let test_histogram_bucket_edges () =
+  let m = Obs.Metrics.create () in
+  let buckets = [| 1.0; 2.0; 4.0 |] in
+  List.iter
+    (Obs.Metrics.observe ~buckets m "h")
+    [ 0.5; 1.0; 1.5; 4.0; 5.0 ];
+  match Obs.Metrics.get m "h" with
+  | Some (Obs.Metrics.Dist d) ->
+    Alcotest.(check (array (float 0.0))) "edges kept" buckets d.bounds;
+    (* a sample lands in the first bucket with v <= edge: 1.0 is in the
+       first bucket, 4.0 in the last real bucket, 5.0 overflows *)
+    Alcotest.(check (array int))
+      "per-bucket counts" [| 2; 1; 1; 1 |] d.counts;
+    Alcotest.(check int) "total" 5 d.total;
+    Alcotest.(check (float 1e-9)) "sum" 12.0 d.sum
+  | _ -> Alcotest.fail "expected a Dist"
+
+let test_kind_clash_rejected () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "x";
+  Alcotest.(check bool)
+    "recording a counter as a sum raises" true
+    (try
+       Obs.Metrics.addf m "x" 1.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_merge_semantics () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr ~by:3 a "c";
+  Obs.Metrics.incr ~by:4 b "c";
+  Obs.Metrics.set_gauge a "g" 2.0;
+  Obs.Metrics.set_gauge b "g" 7.0;
+  Obs.Metrics.addf a "s" 0.25;
+  Obs.Metrics.addf b "s" 0.5;
+  Obs.Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Obs.Metrics.count a "c");
+  Alcotest.(check (float 0.0)) "gauges take max" 7.0 (Obs.Metrics.valuef a "g");
+  Alcotest.(check (float 1e-12)) "sums add" 0.75 (Obs.Metrics.valuef a "s")
+
+(* --- Jobs-invariance of instrumented totals ------------------------ *)
+
+(* everything except the pool's own par.* self-metrics must be
+   identical whatever the worker count *)
+let non_pool_dump m =
+  List.filter
+    (fun (name, _) -> not (String.length name >= 4 && String.sub name 0 4 = "par."))
+    (Obs.Metrics.dump m)
+
+let sweep_workload ~obs ~jobs =
+  let ch = Circuits.Chain.inverter_chain tech ~length:5 in
+  let ctx =
+    Eval.Ctx.default |> Eval.Ctx.with_obs obs |> Eval.Ctx.with_jobs jobs
+  in
+  Mtcmos.Sizing.sweep ~ctx ch.Circuits.Chain.circuit
+    ~vectors:[ ([ (1, 0) ], [ (1, 1) ]); ([ (1, 1) ], [ (1, 0) ]) ]
+    ~wls:[ 2.0; 5.0; 10.0; 20.0 ]
+
+let test_registry_merge_deterministic () =
+  let runs =
+    List.map
+      (fun jobs ->
+        let obs = Obs.create () in
+        let ms = sweep_workload ~obs ~jobs in
+        (jobs, ms, non_pool_dump (Obs.metrics obs)))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | (_, ms1, d1) :: rest ->
+    Alcotest.(check bool)
+      "sequential run recorded something" true
+      (d1 <> []);
+    List.iter
+      (fun (jobs, ms, d) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "measurements identical at jobs=%d" jobs)
+          true (ms = ms1);
+        Alcotest.(check bool)
+          (Printf.sprintf "non-pool registry identical at jobs=%d" jobs)
+          true (d = d1))
+      rest
+  | [] -> assert false
+
+(* --- Disabled path: zero events, identical numbers ----------------- *)
+
+let test_disabled_records_nothing () =
+  Obs.incr Obs.disabled "phantom";
+  Obs.addf Obs.disabled "phantom.f" 1.0;
+  Obs.observe Obs.disabled "phantom.h" 1.0;
+  Obs.max_gauge Obs.disabled "phantom.g" 9.0;
+  Alcotest.(check bool)
+    "registry stays empty" true
+    (Obs.Metrics.dump (Obs.metrics Obs.disabled) = []);
+  Alcotest.(check bool) "no trace sink" true (Obs.trace Obs.disabled = None);
+  Alcotest.(check bool) "not enabled" false (Obs.enabled Obs.disabled);
+  (* sharding the disabled instance must not allocate a live one *)
+  let s = Obs.shard Obs.disabled in
+  Alcotest.(check bool) "shard of disabled is disabled" false (Obs.enabled s);
+  (* spans degrade to plain calls *)
+  Alcotest.(check int) "span runs the thunk" 41
+    (Obs.Span.with_ Obs.disabled "nop" (fun () -> 41))
+
+let test_disabled_results_identical () =
+  let off = sweep_workload ~obs:Obs.disabled ~jobs:2 in
+  let on_ = sweep_workload ~obs:(Obs.create ~trace:true ()) ~jobs:2 in
+  Alcotest.(check bool)
+    "observability never changes the numbers" true
+    (compare off on_ = 0)
+
+(* --- Tracing: nesting, ordering, Chrome export --------------------- *)
+
+(* within one tid, closed spans must be properly nested: any two either
+   are disjoint in time or one contains the other *)
+let check_nesting events =
+  let tol = 1e-9 in
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      let prev = try Hashtbl.find by_tid e.tid with Not_found -> [] in
+      Hashtbl.replace by_tid e.tid (e :: prev))
+    events;
+  Hashtbl.iter
+    (fun _ es ->
+      List.iteri
+        (fun i (a : Obs.Trace.event) ->
+          List.iteri
+            (fun j (b : Obs.Trace.event) ->
+              if i < j then begin
+                let a0 = a.ts and a1 = a.ts +. a.dur in
+                let b0 = b.ts and b1 = b.ts +. b.dur in
+                let disjoint = a1 <= b0 +. tol || b1 <= a0 +. tol in
+                let a_in_b = b0 <= a0 +. tol && a1 <= b1 +. tol in
+                let b_in_a = a0 <= b0 +. tol && b1 <= a1 +. tol in
+                if not (disjoint || a_in_b || b_in_a) then
+                  Alcotest.failf "spans %s and %s overlap without nesting"
+                    a.name b.name
+              end)
+            es)
+        es)
+    by_tid
+
+let test_span_nesting_parallel () =
+  let obs = Obs.create ~trace:true () in
+  ignore (sweep_workload ~obs ~jobs:2);
+  match Obs.trace obs with
+  | None -> Alcotest.fail "trace sink expected"
+  | Some tr ->
+    let events = Obs.Trace.events tr in
+    Alcotest.(check bool) "events recorded" true (events <> []);
+    (* the sweep itself must appear, wrapping the run on its tid *)
+    Alcotest.(check bool)
+      "sizing.sweep span present" true
+      (List.exists (fun (e : Obs.Trace.event) -> e.name = "sizing.sweep")
+         events);
+    check_nesting events;
+    (* events come back sorted by start time *)
+    let rec sorted = function
+      | (a : Obs.Trace.event) :: (b :: _ as rest) ->
+        a.ts <= b.ts && sorted rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "events sorted by ts" true (sorted events)
+
+let test_chrome_trace_validates () =
+  let obs = Obs.create ~trace:true () in
+  ignore (sweep_workload ~obs ~jobs:2);
+  let file = Filename.temp_file "obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Obs.write_trace obs file;
+      match Obs.Trace.validate_file file with
+      | Error msgs ->
+        Alcotest.failf "trace invalid: %s" (String.concat "; " msgs)
+      | Ok check ->
+        Alcotest.(check bool)
+          "events checked" true
+          (check.Obs.Trace.events_checked > 0);
+        Alcotest.(check bool) "tids seen" true (check.Obs.Trace.tids >= 1);
+        (* the breakpoint-engine sweep must reconcile simulate spans
+           against the bp.simulations counter ("breakpoint simulations"
+           in the validator's own wording) *)
+        Alcotest.(check bool)
+          "bp.simulate reconciled against counter" true
+          (List.exists
+             (fun (what, spans, counter) ->
+               let re = "simulations" in
+               let n = String.length what and m = String.length re in
+               let rec find i =
+                 i + m <= n && (String.sub what i m = re || find (i + 1))
+               in
+               find 0 && abs (spans - counter) <= 1)
+             check.Obs.Trace.reconciled))
+
+(* --- QCheck properties --------------------------------------------- *)
+
+(* sharding invariance: however a stream of counter increments is
+   partitioned over shards, the merged totals equal the sequential
+   registry's *)
+let prop_partition_invariant =
+  QCheck.Test.make ~count:100 ~name:"obs: shard partition never changes totals"
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(int_range 0 60)
+           (pair (int_range 0 4) (int_range 1 9))))
+    (fun (nshards, ops) ->
+      let name i = Printf.sprintf "m%d" i in
+      let seq = Obs.Metrics.create () in
+      List.iter (fun (i, by) -> Obs.Metrics.incr ~by seq (name i)) ops;
+      let shards = Array.init nshards (fun _ -> Obs.Metrics.create ()) in
+      List.iteri
+        (fun k (i, by) ->
+          Obs.Metrics.incr ~by shards.(k mod nshards) (name i))
+        ops;
+      let merged = Obs.Metrics.create () in
+      Array.iter (fun s -> Obs.Metrics.merge ~into:merged s) shards;
+      Obs.Metrics.dump merged = Obs.Metrics.dump seq)
+
+(* histogram conservation: bucket counts partition the samples *)
+let prop_histogram_conserves =
+  QCheck.Test.make ~count:100 ~name:"obs: histogram buckets partition samples"
+    QCheck.(list_of_size Gen.(int_range 0 50) (float_range 0.0 500.0))
+    (fun vs ->
+      let m = Obs.Metrics.create () in
+      List.iter (Obs.Metrics.observe m "h") vs;
+      match Obs.Metrics.get m "h" with
+      | None -> vs = []
+      | Some (Obs.Metrics.Dist d) ->
+        d.total = List.length vs
+        && Array.fold_left ( + ) 0 d.counts = d.total
+      | Some _ -> false)
+
+let suite =
+  [ Alcotest.test_case "histogram bucket edges" `Quick
+      test_histogram_bucket_edges;
+    Alcotest.test_case "metric kind clash rejected" `Quick
+      test_kind_clash_rejected;
+    Alcotest.test_case "merge: counters add, gauges max" `Quick
+      test_merge_semantics;
+    Alcotest.test_case "registry identical at jobs 1/2/4" `Slow
+      test_registry_merge_deterministic;
+    Alcotest.test_case "disabled path records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "disabled vs enabled: identical numbers" `Quick
+      test_disabled_results_identical;
+    Alcotest.test_case "span nesting under jobs=2" `Quick
+      test_span_nesting_parallel;
+    Alcotest.test_case "chrome trace validates + reconciles" `Quick
+      test_chrome_trace_validates;
+    QCheck_alcotest.to_alcotest prop_partition_invariant;
+    QCheck_alcotest.to_alcotest prop_histogram_conserves ]

@@ -221,7 +221,7 @@ let test_merge_telemetry () =
       gmin_rounds = 1;
       source_steps = 0;
       recoveries = [ (name, 1) ];
-      wall_time = 0.5 }
+      wall_s = 0.5 }
   in
   let into = tm "gmin" in
   Spice.Diag.merge_telemetry ~into (tm "gmin");
@@ -233,7 +233,7 @@ let test_merge_telemetry () =
     "recoveries merged"
     [ ("gmin", 2); ("source-step", 1) ]
     into.Spice.Diag.recoveries;
-  Alcotest.(check (float 1e-9)) "wall time" 1.5 into.Spice.Diag.wall_time
+  Alcotest.(check (float 1e-9)) "wall time" 1.5 into.Spice.Diag.wall_s
 
 let suite =
   [ Alcotest.test_case "map = sequential for jobs 1/2/8" `Quick
