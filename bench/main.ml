@@ -1158,6 +1158,104 @@ let cache_exp ~fast () =
     adder8.Circuits.Ripple_adder.circuit ~vectors
     ~wls:[ 2.0; 4.0; 6.0; 10.0; 16.0; 25.0; 40.0; 80.0 ]
 
+(* ---- RUNNER: batch engine, shared-cache warmup, resume identity ---------- *)
+
+let runner_exp ~fast () =
+  header "RUNNER: batch engine, shared-cache warmup, resume identity";
+  Format.printf
+    "a warm re-run of a batch through the shared evaluation cache must \
+     produce a byte-identical manifest at >= 3x the cold speed; the \
+     manifest must not move with --jobs, and an interrupted run resumed \
+     from its journal must match an uninterrupted one byte for byte@.";
+  (* the cache_exp workloads, spelled as a job file: the spice chain-8
+     sweep and the 32-vector bp adder-8 sweep *)
+  let vecs =
+    List.init 32 (fun i ->
+        let a = (i * 37) land 255 and b = (i * 101) land 255 in
+        Printf.sprintf "\"%d,%d->%d,%d\"" a b (255 - a) (b lxor 170))
+  in
+  let src =
+    Printf.sprintf
+      "(batch (tech 07um)\n\
+      \  (circuit ch chain) (circuit a8 adder8)\n\
+      \  (job sweep sp (circuit ch) (engine spice) (wls %s)\n\
+      \    (vectors \"0->1\" \"1->0\"))\n\
+      \  (job sweep bp (circuit a8) (engine bp)\n\
+      \    (wls 2 4 6 10 16 25 40 80) (vectors %s)))"
+      (if fast then "5 20" else "2 5 10 20 50")
+      (String.concat " " vecs)
+  in
+  let spec =
+    match Runner.Spec.parse_string src with
+    | Ok s -> s
+    | Error e ->
+      Format.eprintf "runner: bad spec: %s@." e;
+      exit 1
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let run ?journal ?fresh ?stop_after ctx () =
+    match Runner.run ~ctx ?journal ?fresh ?stop_after spec with
+    | Ok o -> o
+    | Error e ->
+      Format.eprintf "runner: %s@." e;
+      exit 1
+  in
+  let cache = Eval.Cache.create () in
+  let ctx = Eval.Ctx.with_cache cache Eval.Ctx.default in
+  let cold, t_cold = time (run ctx) in
+  let warm, t_warm = time (run ctx) in
+  let speedup = t_cold /. Float.max 1e-9 t_warm in
+  let warm_identical = String.equal cold.Runner.manifest warm.Runner.manifest in
+  (* the manifest is --jobs-invariant (fresh cache so work really runs) *)
+  let j4 =
+    run (Eval.Ctx.with_jobs 4 (Eval.Ctx.with_cache (Eval.Cache.create ())
+           Eval.Ctx.default)) ()
+  in
+  let jobs_invariant = String.equal cold.Runner.manifest j4.Runner.manifest in
+  (* interrupt after the first job, resume from the journal *)
+  let journal = Filename.temp_file "mtsize-bench" ".journal" in
+  let interrupted = run ~journal ~fresh:true ~stop_after:1 ctx () in
+  let resumed = run ~journal ctx () in
+  Sys.remove journal;
+  let resume_identical =
+    String.equal cold.Runner.manifest resumed.Runner.manifest
+  in
+  Format.printf
+    "{\"experiment\": \"runner/batch\", \"t_cold_s\": %.4f, \"t_warm_s\": \
+     %.4f, \"speedup\": %.1f, \"warm_identical\": %b, \"jobs_invariant\": \
+     %b, \"resumed_jobs\": %d, \"resume_identical\": %b}@."
+    t_cold t_warm speedup warm_identical jobs_invariant
+    interrupted.Runner.executed resume_identical;
+  if not warm_identical then begin
+    Format.eprintf "runner: warm manifest differs from cold@.";
+    exit 1
+  end;
+  if not jobs_invariant then begin
+    Format.eprintf "runner: manifest moved with --jobs@.";
+    exit 1
+  end;
+  if not resume_identical then begin
+    Format.eprintf "runner: resumed manifest differs from uninterrupted@.";
+    exit 1
+  end;
+  if interrupted.Runner.executed <> 1 || not interrupted.Runner.interrupted
+  then begin
+    Format.eprintf "runner: stop_after did not interrupt after one job@.";
+    exit 1
+  end;
+  if resumed.Runner.replayed <> 1 then begin
+    Format.eprintf "runner: resume re-ran a journaled job@.";
+    exit 1
+  end;
+  if speedup < 3.0 then begin
+    Format.eprintf "runner: warm batch speedup %.1fx < 3x@." speedup;
+    exit 1
+  end
+
 (* ---- OBS: observability overhead, identical output, trace validity ------------- *)
 
 let obs_exp ~fast () =
@@ -1326,6 +1424,7 @@ let all ~fast () =
   extras ~fast ();
   par ~fast ();
   cache_exp ~fast ();
+  runner_exp ~fast ();
   obs_exp ~fast ();
   bechamel ()
 
@@ -1363,12 +1462,13 @@ let () =
         | "extras" -> extras ~fast ()
         | "par" -> par ~fast ()
         | "cache" -> cache_exp ~fast ()
+        | "runner" -> runner_exp ~fast ()
         | "obs" -> obs_exp ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
-             fig14 cpu ablations extras par cache obs bechamel)@."
+             fig14 cpu ablations extras par cache runner obs bechamel)@."
             other;
           exit 2)
       names

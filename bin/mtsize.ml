@@ -6,89 +6,22 @@
      worst-vectors rank input transitions by MTCMOS susceptibility
      simulate      one transition in detail (waveform summary)
      compare       switch-level vs transistor-level on one transition
-     estimate      the naive baselines (sum-of-widths, peak-current) *)
+     estimate      the naive baselines (sum-of-widths, peak-current)
+     run           a declarative batch of the above through one shared
+                   evaluation context, with journaled resume *)
 
 open Cmdliner
 
 (* ---- shared argument plumbing ------------------------------------------- *)
 
-let tech_of_name = function
-  | "07um" | "0.7um" -> Ok Device.Tech.mtcmos_07um
-  | "03um" | "0.3um" -> Ok Device.Tech.mtcmos_03um
-  | s -> Error (Printf.sprintf "unknown technology %S (07um | 03um)" s)
-
-type bench_circuit = {
+(* Name resolution (tech cards, benchmark circuits, vectors, objectives)
+   lives in Runner.Catalog so the batch job-file language and the CLI
+   flags name things identically. *)
+type bench_circuit = Runner.Catalog.bench_circuit = {
   name : string;
   circuit : Netlist.Circuit.t;
   widths : int list; (* input packing *)
 }
-
-let circuit_of_name tech = function
-  | s when Filename.check_suffix s ".net" ->
-    (* user circuit in the structural netlist language *)
-    (try
-       let circuit = Netlist.Parse.circuit_of_file tech s in
-       Ok { name = Filename.basename s; circuit;
-            widths = [ Array.length (Netlist.Circuit.inputs circuit) ] }
-     with
-     | Netlist.Parse.Parse_error (line, m) ->
-       Error (Printf.sprintf "%s:%d: %s" s line m)
-     | Sys_error m -> Error m)
-  | "tree" ->
-    let t = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
-    Ok { name = "tree"; circuit = t.Circuits.Inverter_tree.circuit;
-         widths = [ 1 ] }
-  | "chain" ->
-    let t = Circuits.Chain.inverter_chain tech ~length:8 in
-    Ok { name = "chain"; circuit = t.Circuits.Chain.circuit; widths = [ 1 ] }
-  | s when String.length s > 5 && String.sub s 0 5 = "adder" ->
-    (match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
-     | Some bits when bits >= 1 && bits <= 10 ->
-       let a = Circuits.Ripple_adder.make tech ~bits in
-       Ok { name = s; circuit = a.Circuits.Ripple_adder.circuit;
-            widths = [ bits; bits ] }
-     | Some _ | None -> Error (Printf.sprintf "bad adder spec %S" s))
-  | s when String.length s > 4 && String.sub s 0 4 = "mult" ->
-    (match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
-     | Some bits when bits >= 2 && bits <= 10 ->
-       let m = Circuits.Csa_multiplier.make tech ~bits in
-       Ok { name = s; circuit = m.Circuits.Csa_multiplier.circuit;
-            widths = [ bits; bits ] }
-     | Some _ | None -> Error (Printf.sprintf "bad multiplier spec %S" s))
-  | s ->
-    Error
-      (Printf.sprintf
-         "unknown circuit %S (tree | chain | adder<N> | mult<N>)" s)
-
-let parse_vector widths s =
-  (* "1,5->6,5" with one integer per input group *)
-  match String.split_on_char '>' s with
-  | [ before; after ] when String.length before > 0
-                           && before.[String.length before - 1] = '-' ->
-    let before = String.sub before 0 (String.length before - 1) in
-    let parse_side side =
-      let parts = String.split_on_char ',' side in
-      if List.length parts <> List.length widths then
-        Error
-          (Printf.sprintf "expected %d comma-separated values in %S"
-             (List.length widths) side)
-      else
-        let rec go ws ps acc =
-          match (ws, ps) with
-          | [], [] -> Ok (List.rev acc)
-          | w :: ws, p :: ps ->
-            (match int_of_string_opt (String.trim p) with
-             | Some v when v >= 0 && v < 1 lsl w -> go ws ps ((w, v) :: acc)
-             | Some _ -> Error (Printf.sprintf "value %s out of range" p)
-             | None -> Error (Printf.sprintf "bad integer %S" p))
-          | _, ([] | _ :: _) -> Error "width mismatch"
-        in
-        go widths parts []
-    in
-    (match (parse_side before, parse_side after) with
-     | Ok b, Ok a -> Ok (b, a)
-     | (Error e, _ | _, Error e) -> Error e)
-  | _ -> Error (Printf.sprintf "bad vector %S (want \"1,5->6,5\")" s)
 
 let tech_term =
   let doc = "Technology card: 07um (1.2 V) or 03um (1.0 V)." in
@@ -110,26 +43,14 @@ let vectors_term =
   Arg.(value & opt_all string [] & info [ "v"; "vector" ] ~docv:"VEC" ~doc)
 
 let setup tech_name circuit_name vector_strs =
-  match tech_of_name tech_name with
+  match Runner.Catalog.tech_of_name tech_name with
   | Error e -> Error e
   | Ok tech ->
-    (match circuit_of_name tech circuit_name with
+    (match Runner.Catalog.circuit_of_name tech circuit_name with
      | Error e -> Error e
      | Ok bc ->
-       let rec parse_all acc = function
-         | [] -> Ok (List.rev acc)
-         | s :: rest ->
-           (match parse_vector bc.widths s with
-            | Ok v -> parse_all (v :: acc) rest
-            | Error e -> Error e)
-       in
-       (match parse_all [] vector_strs with
+       (match Runner.Catalog.parse_vectors ~widths:bc.widths vector_strs with
         | Error e -> Error e
-        | Ok [] ->
-          (* default: everything low -> everything high *)
-          let hi = List.map (fun w -> (w, (1 lsl w) - 1)) bc.widths in
-          let lo = List.map (fun w -> (w, 0)) bc.widths in
-          Ok (tech, bc, [ (lo, hi) ])
         | Ok vs -> Ok (tech, bc, vs)))
 
 let or_die = function
@@ -408,6 +329,7 @@ let size_cmd =
       ctx_of ?policy:(policy_of_budget budget) ~stats ~obs:oo.obs
         ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
     in
+    let infeasible = ref false in
     (try
        if repair then begin
          let r =
@@ -434,11 +356,14 @@ let size_cmd =
          Format.printf "%a@." Mtcmos.Sizing.pp_measurement m
        end
      with Not_found ->
+       (* fall through: the work done bisecting is still worth saving —
+          --cache-file must persist even on the failure path *)
        prerr_endline "mtsize: no feasible size in [0.5, 4096]";
-       exit 1);
+       infeasible := true);
     print_resilience stats;
     finish_cache co;
-    finish_obs ~co oo
+    finish_obs ~co oo;
+    if !infeasible then exit 1
   in
   let target_term =
     let doc = "Degradation budget as a fraction (0.05 = 5%)." in
@@ -766,15 +691,7 @@ let search_cmd =
         (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
            ~vdd:tech.Device.Tech.vdd)
     in
-    let objective =
-      match objective with
-      | "degradation" -> Ok Mtcmos.Search.Max_degradation
-      | "delay" -> Ok Mtcmos.Search.Max_delay
-      | "vx" -> Ok Mtcmos.Search.Max_vx
-      | "current" -> Ok Mtcmos.Search.Max_current
-      | s -> Error (Printf.sprintf "unknown objective %S" s)
-    in
-    let objective = or_die objective in
+    let objective = or_die (Runner.Catalog.objective_of_name objective) in
     let stats = Mtcmos.Resilience.create () in
     let ctx =
       ctx_of ~stats ~obs:oo.obs ~engine:(resolve_engine ~spice engine)
@@ -896,6 +813,75 @@ let workload_cmd =
     Term.(const run $ tech_term $ circuit_term $ wl_term $ period_term
           $ cycles_term $ seed_term $ obs_term)
 
+let run_cmd =
+  let run jobfile out journal fresh stop_after engine jobs budget co oo =
+    let spec = or_die (Runner.Spec.parse_file jobfile) in
+    (* The CLI flags are the outermost defaults: a job file's (defaults
+       ...) form overrides them, and a per-job override wins over both. *)
+    let ctx =
+      ctx_of ?policy:(policy_of_budget budget) ~obs:oo.obs
+        ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
+    in
+    let stop_after = if stop_after > 0 then Some stop_after else None in
+    let outcome =
+      or_die (Runner.run ~ctx ?journal ~fresh ?stop_after spec)
+    in
+    (match out with
+     | "-" -> print_string outcome.Runner.manifest
+     | path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc outcome.Runner.manifest));
+    Format.eprintf
+      "run: %d job(s) — %d executed, %d replayed; %d ok, %d degraded, %d \
+       failed%s@."
+      outcome.Runner.total outcome.Runner.executed outcome.Runner.replayed
+      outcome.Runner.ok outcome.Runner.degraded outcome.Runner.failed
+      (if outcome.Runner.interrupted then " (interrupted)" else "");
+    finish_cache co;
+    finish_obs ~co oo;
+    if outcome.Runner.failed > 0 then exit 1
+  in
+  let jobfile_term =
+    let doc = "The batch job file (S-expressions; see the README)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBFILE" ~doc)
+  in
+  let out_term =
+    let doc = "Where to write the JSON manifest ($(b,-) = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let journal_term =
+    let doc =
+      "Checkpoint each completed job to $(docv); re-running with the \
+       same job file resumes after the last completed job and produces \
+       a manifest byte-identical to an uninterrupted run."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let fresh_term =
+    let doc = "Ignore (and truncate) an existing journal." in
+    Arg.(value & flag & info [ "fresh" ] ~doc)
+  in
+  let stop_after_term =
+    let doc =
+      "Stop after executing $(docv) fresh jobs (0 = run to completion). \
+       A testing hook: simulates an interrupt so the journal-resume \
+       path can be exercised deterministically."
+    in
+    Arg.(value & opt int 0 & info [ "stop-after" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a batch job file through one shared evaluation \
+          context (single cache, one worker pool, per-job failure \
+          isolation); exit 1 if any job failed.")
+    Term.(const run $ jobfile_term $ out_term $ journal_term $ fresh_term
+          $ stop_after_term $ engine_term $ jobs_term $ newton_budget_term
+          $ cache_term $ obs_term)
+
 let trace_check_cmd =
   let run file =
     match Obs.Trace.validate_file file with
@@ -932,4 +918,5 @@ let () =
        (Cmd.group info
           [ sweep_cmd; size_cmd; worst_cmd; simulate_cmd; compare_cmd;
             estimate_cmd; sta_cmd; energy_cmd; wakeup_cmd; deck_cmd;
-            lint_cmd; search_cmd; workload_cmd; dot_cmd; trace_check_cmd ]))
+            lint_cmd; search_cmd; workload_cmd; dot_cmd; trace_check_cmd;
+            run_cmd ]))

@@ -40,6 +40,15 @@ let merge_worker ~into w =
    | _ -> ());
   Obs.merge_shard ~into:into.obs w.obs
 
+(* One batch job's view of the context: a fresh resilience accumulator
+   (mirrored into the shared registry, like the CLI's --resilience
+   path) so per-job solver health is reported independently, while the
+   cache, obs handle and worker budget stay shared. *)
+let for_job t =
+  let stats = Resilience.create () in
+  Resilience.attach_obs stats t.obs;
+  ({ t with stats = Some stats }, stats)
+
 let override ?engine ?body_effect ?policy ?stats ?jobs ?cache ?obs t =
   let keep o field = match o with Some v -> Some v | None -> field in
   { engine = Option.value engine ~default:t.engine;

@@ -48,6 +48,13 @@ val merge_worker : into:t -> t -> unit
     shard back into the parent context (call in worker order — this is
     the [~merge] body of every [Par.Pool.map_stateful] call site). *)
 
+val for_job : t -> t * Resilience.t
+(** One batch job's view of this context: a fresh resilience
+    accumulator (mirrored into the context's observability registry)
+    replaces [stats], everything else — cache, obs, worker budget — is
+    shared.  Returns the accumulator so the caller can report per-job
+    solver health.  The hook {!Runner} uses to isolate jobs. *)
+
 val override :
   ?engine:Engine.t ->
   ?body_effect:bool ->

@@ -80,6 +80,19 @@ let pp fmt ((m : Metrics.t), (trace : Trace.t option)) =
     line "  %-22s %d@." "simulations" (count m "bp.simulations");
     line "  %-22s %d@." "events" (count m "bp.events")
   end;
+  (* batch runner *)
+  if have m [ "runner.jobs.total" ] then begin
+    line "runner:@.";
+    line "  %-22s %d@." "jobs" (count m "runner.jobs.total");
+    line "  %-22s %d@." "executed" (count m "runner.jobs.executed");
+    let opt name label =
+      let v = count m name in
+      if v > 0 then line "  %-22s %d@." label v
+    in
+    opt "runner.jobs.replayed" "replayed";
+    opt "runner.jobs.degraded" "degraded";
+    opt "runner.jobs.failed" "failed"
+  end;
   (* resilience + recovery ladder *)
   if have m [ "eval.resilience.attempted" ] then begin
     line "resilience:@.";

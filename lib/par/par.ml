@@ -130,9 +130,13 @@ module Pool = struct
     Array.to_list
       (map ?obs ?jobs ?chunk (Array.length src) (fun i -> f src.(i)))
 
-  (* no [?obs] here: with every argument labelled, an unsupplied
-     trailing optional would never be erased at the call site — callers
-     that want pool metrics use [map]/[map_stateful] *)
+  (* no [?obs] on [map_reduce] itself: with every argument labelled, an
+     unsupplied trailing optional would never be erased at the call
+     site.  The observability path is [map_reduce_obs], where [obs] is
+     a *required* label — always supplied, so nothing can dangle. *)
   let map_reduce ?jobs ?chunk ~n ~map:m ~reduce ~init =
     Array.fold_left reduce init (map ?jobs ?chunk n m)
+
+  let map_reduce_obs ~obs ?jobs ?chunk ~n ~map:m ~reduce ~init =
+    Array.fold_left reduce init (map ~obs ?jobs ?chunk n m)
 end

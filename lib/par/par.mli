@@ -61,6 +61,23 @@ module Pool : sig
   (** Fold the {!map} results in index order — [reduce] need not be
       commutative; it always sees [f 0, f 1, ...] left to right. *)
 
+  val map_reduce_obs :
+    obs:Obs.t ->
+    ?jobs:int ->
+    ?chunk:int ->
+    n:int ->
+    map:(int -> 'a) ->
+    reduce:('acc -> 'a -> 'acc) ->
+    init:'acc ->
+    'acc
+  (** {!map_reduce} with pool self-metrics recorded into [obs] (see
+      {!map_stateful}).  A separate function with a {e required} [obs]
+      label rather than an optional on {!map_reduce}: with every
+      argument labelled, an unsupplied trailing [?obs] would never be
+      erased at the call site — partial application would silently
+      yield a closure instead of running.  This is the observability
+      path PR 4 dropped, restored without that trap. *)
+
   val map_stateful :
     ?obs:Obs.t ->
     ?jobs:int ->

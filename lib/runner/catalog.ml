@@ -1,0 +1,151 @@
+(* Name -> object resolution shared by the mtsize CLI and the batch
+   runner: technology cards, benchmark circuits, packed input vectors,
+   gate kinds and search objectives.  Moved out of bin/mtsize.ml so a
+   job file and a command line name things identically. *)
+
+type bench_circuit = {
+  name : string;
+  circuit : Netlist.Circuit.t;
+  widths : int list; (* input packing *)
+}
+
+let tech_of_name = function
+  | "07um" | "0.7um" -> Ok Device.Tech.mtcmos_07um
+  | "03um" | "0.3um" -> Ok Device.Tech.mtcmos_03um
+  | s -> Error (Printf.sprintf "unknown technology %S (07um | 03um)" s)
+
+let circuit_of_name tech = function
+  | s when Filename.check_suffix s ".net" ->
+    (* user circuit in the structural netlist language *)
+    (try
+       let circuit = Netlist.Parse.circuit_of_file tech s in
+       Ok { name = Filename.basename s; circuit;
+            widths = [ Array.length (Netlist.Circuit.inputs circuit) ] }
+     with
+     | Netlist.Parse.Parse_error (line, m) ->
+       Error (Printf.sprintf "%s:%d: %s" s line m)
+     | Sys_error m -> Error m)
+  | "tree" ->
+    let t = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+    Ok { name = "tree"; circuit = t.Circuits.Inverter_tree.circuit;
+         widths = [ 1 ] }
+  | "chain" ->
+    let t = Circuits.Chain.inverter_chain tech ~length:8 in
+    Ok { name = "chain"; circuit = t.Circuits.Chain.circuit; widths = [ 1 ] }
+  | s when String.length s > 5 && String.sub s 0 5 = "adder" ->
+    (match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+     | Some bits when bits >= 1 && bits <= 10 ->
+       let a = Circuits.Ripple_adder.make tech ~bits in
+       Ok { name = s; circuit = a.Circuits.Ripple_adder.circuit;
+            widths = [ bits; bits ] }
+     | Some _ | None -> Error (Printf.sprintf "bad adder spec %S" s))
+  | s when String.length s > 4 && String.sub s 0 4 = "mult" ->
+    (match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+     | Some bits when bits >= 2 && bits <= 10 ->
+       let m = Circuits.Csa_multiplier.make tech ~bits in
+       Ok { name = s; circuit = m.Circuits.Csa_multiplier.circuit;
+            widths = [ bits; bits ] }
+     | Some _ | None -> Error (Printf.sprintf "bad multiplier spec %S" s))
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown circuit %S (tree | chain | adder<N> | mult<N>)" s)
+
+let parse_vector widths s =
+  (* "1,5->6,5" with one integer per input group *)
+  match String.split_on_char '>' s with
+  | [ before; after ] when String.length before > 0
+                           && before.[String.length before - 1] = '-' ->
+    let before = String.sub before 0 (String.length before - 1) in
+    let parse_side side =
+      let parts = String.split_on_char ',' side in
+      if List.length parts <> List.length widths then
+        Error
+          (Printf.sprintf "expected %d comma-separated values in %S"
+             (List.length widths) side)
+      else
+        let rec go ws ps acc =
+          match (ws, ps) with
+          | [], [] -> Ok (List.rev acc)
+          | w :: ws, p :: ps ->
+            (match int_of_string_opt (String.trim p) with
+             | Some v when v >= 0 && v < 1 lsl w -> go ws ps ((w, v) :: acc)
+             | Some _ -> Error (Printf.sprintf "value %s out of range" p)
+             | None -> Error (Printf.sprintf "bad integer %S" p))
+          | _, ([] | _ :: _) -> Error "width mismatch"
+        in
+        go widths parts []
+    in
+    (match (parse_side before, parse_side after) with
+     | Ok b, Ok a -> Ok (b, a)
+     | (Error e, _ | _, Error e) -> Error e)
+  | _ -> Error (Printf.sprintf "bad vector %S (want \"1,5->6,5\")" s)
+
+let default_vectors widths =
+  (* everything low -> everything high *)
+  let hi = List.map (fun w -> (w, (1 lsl w) - 1)) widths in
+  let lo = List.map (fun w -> (w, 0)) widths in
+  [ (lo, hi) ]
+
+let parse_vectors ~widths = function
+  | [] -> Ok (default_vectors widths)
+  | strs ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest ->
+        (match parse_vector widths s with
+         | Ok v -> go (v :: acc) rest
+         | Error _ as e -> e)
+    in
+    go [] strs
+
+let vector_string (before, after) =
+  let fmt g =
+    String.concat "," (List.map (fun (_, v) -> string_of_int v) g)
+  in
+  fmt before ^ "->" ^ fmt after
+
+let gate_of_name s =
+  let open Netlist.Gate in
+  let arity prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      match int_of_string_opt (String.sub s n (String.length s - n)) with
+      | Some k when k >= 1 -> Some k
+      | _ -> None
+    else None
+  in
+  match s with
+  | "inv" -> Ok Inv
+  | "buf" -> Ok Buf
+  | "xor2" -> Ok Xor2
+  | "xnor2" -> Ok Xnor2
+  | "aoi21" -> Ok Aoi21
+  | "oai21" -> Ok Oai21
+  | "carry_inv" -> Ok Carry_inv
+  | "sum_inv" -> Ok Sum_inv
+  | _ ->
+    (match (arity "nand", arity "nor", arity "and", arity "or") with
+     | Some n, _, _, _ -> Ok (Nand n)
+     | _, Some n, _, _ -> Ok (Nor n)
+     | _, _, Some n, _ -> Ok (And n)
+     | _, _, _, Some n -> Ok (Or n)
+     | None, None, None, None ->
+       Error
+         (Printf.sprintf
+            "unknown gate %S (inv | buf | nand<N> | nor<N> | and<N> | \
+             or<N> | xor2 | xnor2 | aoi21 | oai21 | carry_inv | sum_inv)"
+            s))
+
+let objective_of_name = function
+  | "degradation" -> Ok Mtcmos.Search.Max_degradation
+  | "delay" -> Ok Mtcmos.Search.Max_delay
+  | "vx" -> Ok Mtcmos.Search.Max_vx
+  | "current" -> Ok Mtcmos.Search.Max_current
+  | s -> Error (Printf.sprintf "unknown objective %S" s)
+
+let objective_name = function
+  | Mtcmos.Search.Max_degradation -> "degradation"
+  | Mtcmos.Search.Max_delay -> "delay"
+  | Mtcmos.Search.Max_vx -> "vx"
+  | Mtcmos.Search.Max_current -> "current"

@@ -1,0 +1,39 @@
+(** Name resolution shared by the mtsize CLI and the batch runner:
+    technology cards, benchmark circuits, packed input vectors, gate
+    kinds and search objectives.  A job file and a command line name
+    things identically because both go through this module. *)
+
+type bench_circuit = {
+  name : string;
+  circuit : Netlist.Circuit.t;
+  widths : int list;  (** input packing, one entry per input group *)
+}
+
+val tech_of_name : string -> (Device.Tech.t, string) result
+(** ["07um"]/["0.7um"] or ["03um"]/["0.3um"]. *)
+
+val circuit_of_name : Device.Tech.t -> string -> (bench_circuit, string) result
+(** [tree | chain | adder<N> | mult<N>] or a [.net] netlist file. *)
+
+val parse_vector :
+  int list -> string -> ((int * int) list * (int * int) list, string) result
+(** ["1,5->6,5"], one integer per input group, little-endian. *)
+
+val parse_vectors :
+  widths:int list ->
+  string list ->
+  (((int * int) list * (int * int) list) list, string) result
+(** Parse each string; an empty list yields the default
+    all-low -> all-high transition. *)
+
+val default_vectors :
+  int list -> ((int * int) list * (int * int) list) list
+
+val vector_string : (int * int) list * (int * int) list -> string
+(** Inverse of {!parse_vector} ("1,5->6,5"). *)
+
+val gate_of_name : string -> (Netlist.Gate.kind, string) result
+(** The spellings {!Netlist.Gate.name} produces ("nand2", "aoi21", ...). *)
+
+val objective_of_name : string -> (Mtcmos.Search.objective, string) result
+val objective_name : Mtcmos.Search.objective -> string

@@ -1,0 +1,44 @@
+(** Batch execution over one shared {!Eval.Ctx}.
+
+    Jobs run in file order through a single evaluation context — one
+    cache, one observability registry, one worker-pool budget — so
+    later jobs reuse earlier jobs' solver work.  Per-job failures are
+    isolated: an exception becomes a ["failed"] manifest entry and the
+    batch continues.  With a [?journal] path, each completed job is
+    checkpointed and a re-run replays completed fragments verbatim,
+    producing a manifest byte-identical to an uninterrupted run. *)
+
+type status = Clean | Degraded | Failed
+
+val status_string : status -> string
+(** ["ok"], ["degraded"], ["failed"]. *)
+
+type outcome = {
+  manifest : string;
+      (** machine-readable JSON document; a pure function of the spec
+          (no timestamps, worker counts, or cache statistics), hence
+          suitable for golden comparison across [--jobs] values and
+          cache states *)
+  total : int;
+  executed : int;  (** jobs run in this invocation *)
+  replayed : int;  (** jobs served verbatim from the journal *)
+  ok : int;
+  degraded : int;  (** completed, but the recovery policy skipped work *)
+  failed : int;
+  interrupted : bool;  (** stopped early by [?stop_after] *)
+}
+
+val run :
+  ?ctx:Eval.Ctx.t ->
+  ?journal:string ->
+  ?fresh:bool ->
+  ?stop_after:int ->
+  Spec.t ->
+  (outcome, string) result
+(** [run spec] executes every job.  [?journal] checkpoints each
+    completed job and resumes from an existing compatible journal;
+    [~fresh:true] ignores (and truncates) any existing journal.
+    [?stop_after:k] stops before executing the [k+1]-th {e fresh} job —
+    the test hook that simulates an interrupt.  [Error _] is a
+    spec-level problem (bad tech/circuit declaration, incompatible
+    journal); per-job errors never surface here. *)

@@ -1,0 +1,88 @@
+(* Append-only checkpoint file.  One header line binding the journal to
+   a spec fingerprint, then one line per completed job:
+
+     mtsize-runner-journal 1 <fingerprint>
+     <job-id> <manifest-fragment-json>
+
+   The fragment is the job's manifest entry, verbatim (single-line
+   compact JSON from Json.to_string) — resume does not re-parse or
+   re-serialize it, so a replayed entry is byte-identical to the run
+   that wrote it.  Each append is flushed before the call returns; a
+   process killed mid-write leaves at most one unterminated last line,
+   which load drops (the corresponding job simply re-runs). *)
+
+let magic = "mtsize-runner-journal 1"
+
+let start ~path ~fingerprint =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc ' ';
+      output_string oc fingerprint;
+      output_char oc '\n')
+
+let append ~path ~id ~json =
+  if String.contains json '\n' then
+    invalid_arg "Runner.Journal.append: fragment contains a newline";
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc id;
+      output_char oc ' ';
+      output_string oc json;
+      output_char oc '\n';
+      flush oc)
+
+let load ~path ~fingerprint =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        match String.index_opt src '\n' with
+        | None -> Error (path ^ ": truncated journal header")
+        | Some nl ->
+          let header = String.sub src 0 nl in
+          let expect = magic ^ " " ^ fingerprint in
+          if header <> expect then
+            if String.length header >= String.length magic
+               && String.sub header 0 (String.length magic) = magic
+            then
+              Error
+                (path
+                 ^ ": journal was written for a different job file \
+                    (fingerprint mismatch); delete it or use --fresh")
+            else Error (path ^ ": not a runner journal")
+          else begin
+            (* only lines terminated by '\n' count: a kill mid-append
+               must not replay a half-written fragment *)
+            let entries = ref [] in
+            let pos = ref (nl + 1) in
+            (try
+               while !pos < len do
+                 match String.index_from_opt src !pos '\n' with
+                 | None -> raise Exit (* unterminated tail: drop *)
+                 | Some e ->
+                   let line = String.sub src !pos (e - !pos) in
+                   pos := e + 1;
+                   if line <> "" then begin
+                     match String.index_opt line ' ' with
+                     | None -> raise Exit (* malformed: stop trusting *)
+                     | Some sp ->
+                       let id = String.sub line 0 sp in
+                       let json =
+                         String.sub line (sp + 1)
+                           (String.length line - sp - 1)
+                       in
+                       entries := (id, json) :: !entries
+                   end
+               done
+             with Exit -> ());
+            Ok (List.rev !entries)
+          end)

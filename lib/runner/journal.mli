@@ -1,0 +1,25 @@
+(** Append-only checkpoint file for the batch runner.
+
+    A header line binds the journal to a {!Spec.fingerprint}; each
+    completed job appends one [<id> <manifest-fragment-json>] line,
+    flushed before the call returns.  Resume replays fragments verbatim
+    (no re-parse, no re-serialize), so a resumed manifest is
+    byte-identical to an uninterrupted one.  A process killed
+    mid-append leaves at most one unterminated last line, which
+    {!load} drops — that job simply re-runs. *)
+
+val magic : string
+
+val start : path:string -> fingerprint:string -> unit
+(** Create (or truncate) the journal with a fresh header. *)
+
+val append : path:string -> id:string -> json:string -> unit
+(** Record one completed job.  [json] must be single-line.
+    @raise Invalid_argument if it is not. *)
+
+val load :
+  path:string -> fingerprint:string -> ((string * string) list, string) result
+(** Completed [(id, fragment)] entries in append order.  Errors when
+    the file is not a journal or was written for a different job file
+    (fingerprint mismatch).  Trailing garbage from a mid-write kill is
+    silently dropped. *)

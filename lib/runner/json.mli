@@ -1,0 +1,21 @@
+(** Deterministic JSON emitter for the results manifest.
+
+    The same value always renders to the same bytes (floats use the
+    shortest round-tripping of %.15g/%.16g/%.17g; NaN/infinities become
+    strings), which is what lets the journal replay manifest fragments
+    verbatim and the golden tests compare manifests byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no whitespace), field order preserved. *)
+
+val float_repr : float -> string
+(** The raw token [Float] emits — exposed for tests. *)

@@ -1,0 +1,8 @@
+(* Facade. *)
+
+module Sexp = Sexp
+module Json = Json
+module Catalog = Catalog
+module Spec = Spec
+module Journal = Journal
+include Exec

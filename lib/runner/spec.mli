@@ -1,0 +1,72 @@
+(** The declarative batch job-file: a set of named circuits and a list
+    of jobs ([sweep], [size], [worst-vectors], [search],
+    [characterize], [monte-carlo]) over them, with global and per-job
+    overrides of engine / worker count / Newton budget.
+
+    Surface syntax (S-expressions, [;] comments):
+    {v
+    (batch
+      (tech 07um)
+      (defaults (engine bp) (jobs 2))
+      (circuit a3 adder3)
+      (job sweep s1 (circuit a3) (wls 2 10 50) (vectors "0,0->7,7"))
+      (job size z1 (circuit a3) (target 0.05) (engine spice)))
+    v}
+    Field defaults mirror the corresponding mtsize subcommand flags;
+    jobs execute in file order through one shared evaluation context
+    (see {!Exec}). *)
+
+type overrides = {
+  engine : Eval.Engine.t option;
+  jobs : int option;
+  newton_budget : int option;
+}
+
+val no_overrides : overrides
+
+type kind =
+  | Sweep of { wls : float list; vectors : string list }
+  | Size of { target : float; vectors : string list }
+  | Worst_vectors of { wl : float; top : int; sample : int }
+  | Search of {
+      wl : float;
+      objective : Mtcmos.Search.objective;
+      restarts : int;
+      seed : int;
+      max_iters : int;
+    }
+  | Characterize of {
+      gate : Netlist.Gate.kind;
+      loads : float list option;  (** [None] = library defaults *)
+      ramps : float list option;
+    }
+  | Monte_carlo of { wl : float; n : int; seed : int; vector : string option }
+
+type job = {
+  id : string;          (** unique; [[A-Za-z0-9_.-]+] *)
+  circuit : string option;  (** named circuit reference *)
+  kind : kind;
+  overrides : overrides;
+}
+
+type t = {
+  tech : string;
+  defaults : overrides;
+  circuits : (string * string) list;  (** id -> {!Catalog} circuit spec *)
+  jobs : job list;
+}
+
+val kind_name : kind -> string
+
+val parse_string : string -> (t, string) result
+val parse_file : string -> (t, string) result
+
+val to_canonical : t -> string
+(** Deterministic rendering: comments, whitespace and field order
+    inside a job do not change it, so it identifies {e what the batch
+    computes}. *)
+
+val fingerprint : t -> string
+(** Hex digest of {!to_canonical} — stamped into the journal and the
+    manifest so a stale checkpoint is never replayed against an edited
+    job file. *)

@@ -1,0 +1,60 @@
+(* Shared circuit builders for the test suites.  Every suite used to
+   re-declare its own technology card, inverter chains, ripple adders
+   and the mirror-adder cell; they are defined once here so a fixture
+   tweak (or a new benchmark) lands everywhere at once.
+
+   Nothing here is random or stateful: fixtures are rebuilt on each
+   call so a test that mutates nothing can still not alias another
+   test's circuit. *)
+
+let tech = Device.Tech.mtcmos_07um
+let tech03 = Device.Tech.mtcmos_03um
+
+let chain ?(tech = tech) ?cl n =
+  Circuits.Chain.inverter_chain ?cl tech ~length:n
+
+let chain_circuit ?tech ?cl n = (chain ?tech ?cl n).Circuits.Chain.circuit
+let chain6 () = chain_circuit 6
+
+let tree ?(tech = tech) ~stages ~fanout () =
+  Circuits.Inverter_tree.make tech ~stages ~fanout
+
+let tree_circuit ?tech ~stages ~fanout () =
+  (tree ?tech ~stages ~fanout ()).Circuits.Inverter_tree.circuit
+
+let adder ?(tech = tech) bits = Circuits.Ripple_adder.make tech ~bits
+let adder_circuit ?tech bits = (adder ?tech bits).Circuits.Ripple_adder.circuit
+let adder8 () = adder_circuit 8
+
+let mult ?(tech = tech) bits = Circuits.Csa_multiplier.make tech ~bits
+let mult_circuit ?tech bits = (mult ?tech bits).Circuits.Csa_multiplier.circuit
+
+(* the 28-transistor mirror-adder cell as a 3-input / 2-output circuit *)
+let mirror_cell () =
+  let b = Netlist.Circuit.builder tech in
+  let a = Netlist.Circuit.add_input ~name:"a" b in
+  let bb = Netlist.Circuit.add_input ~name:"b" b in
+  let cin = Netlist.Circuit.add_input ~name:"cin" b in
+  let o = Circuits.Mirror_adder.add_cell b ~a ~b:bb ~cin in
+  Netlist.Circuit.mark_output b o.Circuits.Mirror_adder.sum;
+  Netlist.Circuit.mark_output b o.Circuits.Mirror_adder.cout;
+  Netlist.Circuit.freeze b
+
+(* single 1-bit input, low -> high *)
+let bit_vec = ([ (1, 0) ], [ (1, 1) ])
+
+(* everything low -> everything high for the given input packing *)
+let low_high widths =
+  ( List.map (fun w -> (w, 0)) widths,
+    List.map (fun w -> (w, (1 lsl w) - 1)) widths )
+
+(* Worker-domain count for suites that exercise parallel paths: the CI
+   matrix sets MTSIZE_TEST_JOBS to re-run the whole suite at several
+   values; everything is bit-identical across them by design. *)
+let test_jobs () =
+  match Sys.getenv_opt "MTSIZE_TEST_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> 1)
+  | None -> 1

@@ -4,7 +4,7 @@
 module BP = Mtcmos.Breakpoint_sim
 module S = Netlist.Signal
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let sleep wl =
   BP.Sleep_fet (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl ~vdd:1.2)
@@ -13,7 +13,7 @@ let sleep wl =
 
 let test_search_matches_exhaustive_small () =
   (* on the 2-bit adder the climb must land close to the true worst *)
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   let sl = sleep 8.0 in
   let truth =
@@ -33,7 +33,7 @@ let test_search_matches_exhaustive_small () =
     (found.Mtcmos.Search.evaluations < truth.Mtcmos.Search.evaluations * 4)
 
 let test_search_objectives () =
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   let sl = sleep 8.0 in
   List.iter
@@ -48,7 +48,7 @@ let test_search_objectives () =
       Mtcmos.Search.Max_vx; Mtcmos.Search.Max_current ]
 
 let test_search_deterministic () =
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   let sl = sleep 8.0 in
   let run () =
@@ -65,7 +65,7 @@ let test_search_finds_multiplier_hotspot () =
   (* on the 8x8 multiplier the climb should reach at least vector B's
      degradation level at W/L = 60 (ideally towards vector A's) *)
   let t03 = Device.Tech.mtcmos_03um in
-  let m = Circuits.Csa_multiplier.make t03 ~bits:8 in
+  let m = Fixtures.mult ~tech:t03 8 in
   let c = m.Circuits.Csa_multiplier.circuit in
   let sl =
     BP.Sleep_fet
@@ -84,7 +84,7 @@ let test_search_finds_multiplier_hotspot () =
 (* ---- lint ------------------------------------------------------------------- *)
 
 let test_lint_clean_circuit () =
-  let add = Circuits.Ripple_adder.make tech ~bits:3 in
+  let add = Fixtures.adder 3 in
   let findings = Mtcmos.Lint.check add.Circuits.Ripple_adder.circuit in
   (* the adder is well-formed: no warnings beyond possible hotspot info *)
   List.iter
@@ -123,7 +123,7 @@ let test_lint_dangling_and_unused () =
 
 let test_lint_hotspot () =
   (* the inverter tree IS a discharge hotspot by construction *)
-  let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:3 ~fanout:3 () in
   let findings =
     Mtcmos.Lint.check ~hotspot_fraction:0.4
       tree.Circuits.Inverter_tree.circuit
@@ -136,7 +136,7 @@ let test_lint_hotspot () =
 (* ---- variation ------------------------------------------------------------------ *)
 
 let test_variation_monte_carlo () =
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   let vector = ([ (2, 0); (2, 1) ], [ (2, 3); (2, 2) ]) in
   let stats = Mtcmos.Variation.monte_carlo ~n:40 c ~wl:8.0 ~vector in
@@ -155,7 +155,7 @@ let test_variation_monte_carlo () =
 let test_variation_slow_corner_slower () =
   (* raising vt and cutting kp must slow every sample: check the
      correlation direction on the samples themselves *)
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   let vector = ([ (2, 0); (2, 0) ], [ (2, 3); (2, 3) ]) in
   let stats =
@@ -233,7 +233,7 @@ let prop_random_circuits_monotone_in_wl =
 (* ---- sequence driver -------------------------------------------------------- *)
 
 let test_sequence_basic () =
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   let cfg = BP.mtcmos_config tech ~wl:10.0 in
   let vectors =
@@ -256,7 +256,7 @@ let test_sequence_basic () =
     (r.Mtcmos.Sequence.worst_vx > 0.0)
 
 let test_sequence_violations () =
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   (* a tiny sleep device plus a tight period must violate *)
   let cfg = BP.mtcmos_config tech ~wl:1.0 in
@@ -271,7 +271,7 @@ let test_sequence_random_workload () =
   Alcotest.(check bool) "deterministic" true (w = w2);
   Alcotest.check_raises "too short"
     (Invalid_argument "Sequence.run: need at least two vectors") (fun () ->
-      let add = Circuits.Ripple_adder.make tech ~bits:2 in
+      let add = Fixtures.adder 2 in
       ignore
         (Mtcmos.Sequence.run add.Circuits.Ripple_adder.circuit
            ~period:1e-9 ~vectors:[ [ (2, 0); (2, 0) ] ]))
@@ -348,14 +348,14 @@ let test_resize_fixes_weak_driver () =
   Alcotest.(check bool) "faster after resize" true (d1 < d0)
 
 let test_resize_clean_circuit_untouched () =
-  let add = Circuits.Ripple_adder.make tech ~bits:3 in
+  let add = Fixtures.adder 3 in
   let rep = Mtcmos.Resize.fix_weak_drivers add.Circuits.Ripple_adder.circuit in
   Alcotest.(check int) "nothing to do" 0
     (List.length rep.Mtcmos.Resize.upsized);
   Alcotest.(check int) "zero iterations" 0 rep.Mtcmos.Resize.iterations
 
 let test_with_strengths () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:3 in
+  let ch = Fixtures.chain 3 in
   let c = ch.Circuits.Chain.circuit in
   let c2 = Netlist.Circuit.with_strengths c (fun _ -> 3.0) in
   Array.iter
@@ -403,7 +403,7 @@ let test_nldm_interpolation () =
 
 let test_nldm_sta () =
   let lib = Lazy.force nldm_lib in
-  let ch = Circuits.Chain.inverter_chain tech ~length:4 ~cl:50e-15 in
+  let ch = Fixtures.chain ~cl:50e-15 4 in
   let c = ch.Circuits.Chain.circuit in
   let t = Mtcmos.Nldm.sta lib c in
   let _, arrival = t.Mtcmos.Nldm.critical in

@@ -4,7 +4,7 @@
 module BP = Mtcmos.Breakpoint_sim
 module S = Netlist.Signal
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let gate ?(vin = 1.2) beta_wl = { Mtcmos.Vground.beta_wl; vin }
 
@@ -104,7 +104,7 @@ let test_delay_model () =
 
 (* ---- breakpoint simulator ----------------------------------------------- *)
 
-let tree3 = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3
+let tree3 = Fixtures.tree ~stages:3 ~fanout:3 ()
 let tree_c = tree3.Circuits.Inverter_tree.circuit
 
 let run_tree cfg =
@@ -145,7 +145,7 @@ let test_bp_delay_decreases_with_wl () =
   Alcotest.(check bool) "20 < 100" true (d20 > d100)
 
 let test_bp_single_inverter_matches_closed_form () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:1 ~cl:50e-15 in
+  let ch = Fixtures.chain ~cl:50e-15 1 in
   let c = ch.Circuits.Chain.circuit in
   let r = BP.simulate c ~before:[| S.L0 |] ~after:[| S.L1 |] in
   let d =
@@ -293,7 +293,7 @@ let test_vector_enumeration () =
     (Invalid_argument "Vectors.enumerate_pairs: space too large; use all_pairs")
     (fun () -> ignore (Mtcmos.Vectors.enumerate_pairs ~widths:[ 12 ]))
 
-let adder3 = Circuits.Ripple_adder.make tech ~bits:3
+let adder3 = Fixtures.adder 3
 let adder_c = adder3.Circuits.Ripple_adder.circuit
 
 let test_vector_ranking () =
@@ -395,7 +395,7 @@ let prop_bp_delay_monotone_in_wl =
 
 let prop_bp_waveforms_in_rails =
   let pairs = Mtcmos.Vectors.enumerate_pairs ~widths:[ 2; 2 ] in
-  let add2 = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add2 = Fixtures.adder 2 in
   let c2 = add2.Circuits.Ripple_adder.circuit in
   let n_pairs = List.length pairs in
   QCheck.Test.make ~count:120 ~name:"breakpoint: 2-bit adder stays in rails"
@@ -414,7 +414,7 @@ let prop_bp_waveforms_in_rails =
 
 let prop_bp_final_state_matches_logic =
   let pairs = Mtcmos.Vectors.enumerate_pairs ~widths:[ 2; 2 ] in
-  let add2 = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add2 = Fixtures.adder 2 in
   let c2 = add2.Circuits.Ripple_adder.circuit in
   let n_pairs = List.length pairs in
   QCheck.Test.make ~count:120

@@ -1,7 +1,7 @@
 (* Device model tests: Level-1 MOSFET, alpha-power law, leakage, sleep
    transistor. *)
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 let nmos = tech.Device.Tech.nmos
 let pmos = tech.Device.Tech.pmos
 let high_vt = tech.Device.Tech.sleep_nmos

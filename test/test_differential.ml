@@ -16,26 +16,16 @@
      (measured worst case 1.82x, at the smallest sleep device);
    - both engines agree the delay and degradation fall as W/L grows. *)
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let wls = [ 4.0; 10.0; 25.0 ]
 
-let mirror_cell () =
-  let b = Netlist.Circuit.builder tech in
-  let a = Netlist.Circuit.add_input ~name:"a" b in
-  let bb = Netlist.Circuit.add_input ~name:"b" b in
-  let cin = Netlist.Circuit.add_input ~name:"cin" b in
-  let o = Circuits.Mirror_adder.add_cell b ~a ~b:bb ~cin in
-  Netlist.Circuit.mark_output b o.Circuits.Mirror_adder.sum;
-  Netlist.Circuit.mark_output b o.Circuits.Mirror_adder.cout;
-  Netlist.Circuit.freeze b
-
 let fixtures () =
   [ ( "chain6",
-      (Circuits.Chain.inverter_chain tech ~length:6).Circuits.Chain.circuit,
-      ([ (1, 0) ], [ (1, 1) ]) );
+      Fixtures.chain6 (),
+      Fixtures.bit_vec );
     ( "mirror-cell",
-      mirror_cell (),
+      Fixtures.mirror_cell (),
       (* 0+0+0 -> 1+1+0: fires both the carry and the sum stage *)
       ([ (1, 0); (1, 0); (1, 0) ], [ (1, 1); (1, 1); (1, 0) ]) ) ]
 

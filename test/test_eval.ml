@@ -7,7 +7,7 @@ module E = Eval
 module K = Eval.Key
 module C = Eval.Cache
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let bits f = Int64.bits_of_float f
 
@@ -52,13 +52,13 @@ let test_key_float_exact () =
    two keys collide *)
 let test_digest_corpus_distinct () =
   let circuits =
-    [ (Circuits.Chain.inverter_chain tech ~length:4).Circuits.Chain.circuit;
-      (Circuits.Chain.inverter_chain tech ~length:5).Circuits.Chain.circuit;
-      (Circuits.Chain.inverter_chain Device.Tech.mtcmos_03um ~length:4)
+    [ Fixtures.chain_circuit 4;
+      Fixtures.chain_circuit 5;
+      (Fixtures.chain ~tech:Fixtures.tech03 4)
         .Circuits.Chain.circuit;
-      (Circuits.Inverter_tree.make tech ~stages:2 ~fanout:2)
+      (Fixtures.tree ~stages:2 ~fanout:2 ())
         .Circuits.Inverter_tree.circuit;
-      (Circuits.Ripple_adder.make tech ~bits:2).Circuits.Ripple_adder.circuit
+      (Fixtures.adder 2).Circuits.Ripple_adder.circuit
     ]
   in
   let sleeps =
@@ -335,7 +335,7 @@ let test_engine_names () =
 
 (* ---- caching is invisible ------------------------------------------------- *)
 
-let chain n = (Circuits.Chain.inverter_chain tech ~length:n).Circuits.Chain.circuit
+let chain n = (Fixtures.chain n).Circuits.Chain.circuit
 
 let resilience_totals (s : Mtcmos.Resilience.t) =
   ( s.Mtcmos.Resilience.attempted,
@@ -381,7 +381,7 @@ let test_spice_sweep_cold_warm_off () =
 (* hill_climb threads the cache through Par.Pool workers: the winning
    vector must not depend on cache or jobs *)
 let test_search_cache_and_jobs_invariant () =
-  let c = (Circuits.Ripple_adder.make tech ~bits:2).Circuits.Ripple_adder.circuit in
+  let c = (Fixtures.adder 2).Circuits.Ripple_adder.circuit in
   let sleep =
     Mtcmos.Breakpoint_sim.Sleep_fet
       (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl:8.0 ~vdd:1.2)
@@ -417,7 +417,7 @@ let prop_cache_invisible =
   QCheck.Test.make ~count:30 ~name:"eval: cache-on = cache-off (bp sweep)"
     QCheck.(triple (int_bound 1000) (int_range 1 3) (int_range 1 4))
     (fun (seed, jobs, nvec) ->
-      let c = (Circuits.Ripple_adder.make tech ~bits:2).Circuits.Ripple_adder.circuit in
+      let c = (Fixtures.adder 2).Circuits.Ripple_adder.circuit in
       let st = Random.State.make [| 3571; seed |] in
       let vec () =
         let draw () = [ (2, Random.State.int st 4); (2, Random.State.int st 4) ] in

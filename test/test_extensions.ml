@@ -5,12 +5,12 @@
 module BP = Mtcmos.Breakpoint_sim
 module S = Netlist.Signal
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 (* ---- STA ---------------------------------------------------------------- *)
 
 let test_sta_chain () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:5 in
+  let ch = Fixtures.chain 5 in
   let c = ch.Circuits.Chain.circuit in
   let t = Mtcmos.Sta.analyze c in
   let path = Mtcmos.Sta.critical_path t in
@@ -30,7 +30,7 @@ let test_sta_chain () =
     (Mtcmos.Sta.arrival t ch.Circuits.Chain.input)
 
 let test_sta_adder_monotone () =
-  let add = Circuits.Ripple_adder.make tech ~bits:3 in
+  let add = Fixtures.adder 3 in
   let t = Mtcmos.Sta.analyze add.Circuits.Ripple_adder.circuit in
   (* higher sum bits arrive later along the carry chain *)
   let a0 = Mtcmos.Sta.arrival t add.Circuits.Ripple_adder.sums.(0) in
@@ -43,7 +43,7 @@ let test_sta_adder_monotone () =
 let test_sta_underestimates_mtcmos () =
   (* the paper's point: static analysis misses the virtual-ground
      slowdown entirely *)
-  let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:3 ~fanout:3 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   let t = Mtcmos.Sta.analyze c in
   let sleep =
@@ -59,7 +59,7 @@ let test_sta_underestimates_mtcmos () =
 
 (* ---- energy -------------------------------------------------------------- *)
 
-let adder = Circuits.Ripple_adder.make tech ~bits:3
+let adder = Fixtures.adder 3
 let adder_c = adder.Circuits.Ripple_adder.circuit
 
 let test_energy_switching () =
@@ -144,7 +144,7 @@ let test_wakeup_estimate () =
     (e40.Mtcmos.Wakeup.analytic < e10.Mtcmos.Wakeup.analytic)
 
 let test_wakeup_simulated () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:3 in
+  let ch = Fixtures.chain 3 in
   let c = ch.Circuits.Chain.circuit in
   let t_wake = Mtcmos.Wakeup.simulate c ~wl:10.0 in
   Alcotest.(check bool)
@@ -160,7 +160,7 @@ let test_wakeup_simulated () =
 
 (* ---- hierarchy -------------------------------------------------------------- *)
 
-let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3
+let tree = Fixtures.tree ~stages:3 ~fanout:3 ()
 let tree_c = tree.Circuits.Inverter_tree.circuit
 let tree_vec = ([ (1, 0) ], [ (1, 1) ])
 
@@ -333,7 +333,7 @@ let test_parse_ties_and_strength () =
 (* ---- deck export -------------------------------------------------------------- *)
 
 let test_deck_export () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:2 in
+  let ch = Fixtures.chain 2 in
   let c = ch.Circuits.Chain.circuit in
   let inst =
     Netlist.Expand.expand ~config:(Netlist.Expand.mtcmos ~wl:5.0) c
@@ -464,7 +464,7 @@ let test_input_slope_penalty () =
     (d r1 < 2.0 *. d r0);
   (* a step input on a single gate gets no hold: first-stage delay
      unaffected *)
-  let ch = Circuits.Chain.inverter_chain tech ~length:1 in
+  let ch = Fixtures.chain 1 in
   let cc = ch.Circuits.Chain.circuit in
   let dd cfg =
     let r = BP.simulate ~config:cfg cc ~before:[| S.L0 |] ~after:[| S.L1 |] in

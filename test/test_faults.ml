@@ -10,7 +10,7 @@ module D = Spice.Diag
 module F = Spice.Faults
 module R = Spice.Recover
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let finite_waveform w =
   List.for_all

@@ -5,14 +5,14 @@ module BP = Mtcmos.Breakpoint_sim
 module SR = Mtcmos.Spice_ref
 module S = Netlist.Signal
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let sleep wl =
   BP.Sleep_fet (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl ~vdd:1.2)
 
 let test_chain_cmos_agreement () =
   (* both engines within 40 % on a plain CMOS chain *)
-  let ch = Circuits.Chain.inverter_chain tech ~length:3 ~cl:50e-15 in
+  let ch = Fixtures.chain ~cl:50e-15 3 in
   let c = ch.Circuits.Chain.circuit in
   let bp = BP.simulate c ~before:[| S.L0 |] ~after:[| S.L1 |] in
   let sp = SR.run c ~before:[| S.L0 |] ~after:[| S.L1 |] in
@@ -26,7 +26,7 @@ let test_chain_cmos_agreement () =
     (ratio > 0.6 && ratio < 1.4)
 
 let test_tree_mtcmos_agreement () =
-  let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:3 ~fanout:3 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   let cfg_bp = { BP.default_config with BP.sleep = sleep 14.0 } in
   let cfg_sp = { SR.default_config with SR.sleep = sleep 14.0; t_stop = 8e-9 } in
@@ -48,7 +48,7 @@ let test_tree_mtcmos_agreement () =
 
 let test_tree_wl_trend_agreement () =
   (* Fig. 10: both engines must agree on the ordering across W/L *)
-  let tree = Circuits.Inverter_tree.make tech ~stages:2 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:2 ~fanout:3 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   let delays engine =
     List.map
@@ -76,7 +76,7 @@ let test_tree_wl_trend_agreement () =
 let test_adder_vector_ordering () =
   (* Fig. 14's claim: the fast tool orders vectors like the detailed
      simulator.  Check rank correlation over a vector sample. *)
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   let pairs =
     [ ([ (2, 0); (2, 0) ], [ (2, 3); (2, 3) ]);
@@ -145,7 +145,7 @@ let test_spice_reverse_conduction_effect () =
 
 let test_cx_capacitance_helps () =
   (* §2.2: a big virtual-ground capacitor absorbs the transient *)
-  let tree = Circuits.Inverter_tree.make tech ~stages:2 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:2 ~fanout:3 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   let run cx =
     let cfg =
@@ -160,7 +160,7 @@ let test_cx_capacitance_helps () =
     (SR.vx_peak big < SR.vx_peak small)
 
 let test_spice_ref_validation () =
-  let tree = Circuits.Inverter_tree.make tech ~stages:2 ~fanout:2 in
+  let tree = Fixtures.tree ~stages:2 ~fanout:2 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   Alcotest.check_raises "x input" (Invalid_argument "Spice_ref.run: X input")
     (fun () -> ignore (SR.run c ~before:[| S.X |] ~after:[| S.L1 |]));
@@ -217,7 +217,7 @@ let test_dc_matches_logic_random () =
 
 let test_sleep_current_cross_engine () =
   (* §4's peak current, measured both ways *)
-  let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:3 ~fanout:3 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   let sl = sleep 20.0 in
   let sp_cfg = { SR.default_config with SR.sleep = sl; t_stop = 8e-9 } in

@@ -3,10 +3,10 @@
 module S = Netlist.Signal
 module L = Netlist.Logic_sim
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let test_adder_exhaustive () =
-  let add = Circuits.Ripple_adder.make tech ~bits:3 in
+  let add = Fixtures.adder 3 in
   let c = add.Circuits.Ripple_adder.circuit in
   for a = 0 to 7 do
     for b = 0 to 7 do
@@ -19,7 +19,7 @@ let test_adder_exhaustive () =
   done
 
 let test_multiplier_exhaustive_4bit () =
-  let m = Circuits.Csa_multiplier.make tech ~bits:4 in
+  let m = Fixtures.mult 4 in
   let c = m.Circuits.Csa_multiplier.circuit in
   for x = 0 to 15 do
     for y = 0 to 15 do
@@ -32,7 +32,7 @@ let test_multiplier_exhaustive_4bit () =
   done
 
 let test_multiplier_8bit_spot () =
-  let m = Circuits.Csa_multiplier.make tech ~bits:8 in
+  let m = Fixtures.mult 8 in
   let c = m.Circuits.Csa_multiplier.circuit in
   List.iter
     (fun (x, y) ->
@@ -44,7 +44,7 @@ let test_multiplier_8bit_spot () =
     [ (0, 0); (255, 255); (255, 129); (127, 129); (1, 255); (200, 3) ]
 
 let test_inverter_tree_eval () =
-  let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:3 ~fanout:3 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   let st0 = L.eval c [| S.L0 |] in
   let st1 = L.eval c [| S.L1 |] in
@@ -74,14 +74,14 @@ let test_x_propagation () =
   Alcotest.(check (option int)) "output_int poisoned" None (L.output_int c st)
 
 let test_eval_ints_errors () =
-  let add = Circuits.Ripple_adder.make tech ~bits:2 in
+  let add = Fixtures.adder 2 in
   let c = add.Circuits.Ripple_adder.circuit in
   Alcotest.check_raises "width mismatch"
     (Invalid_argument "Logic_sim.eval_ints: widths do not cover the inputs")
     (fun () -> ignore (L.eval_ints c [ (2, 1) ]))
 
 let test_chain_fixtures () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:4 in
+  let ch = Fixtures.chain 4 in
   let c = ch.Circuits.Chain.circuit in
   let st = L.eval c [| S.L0 |] in
   Alcotest.(check char) "even chain buffers" '0'
@@ -114,7 +114,7 @@ let test_kogge_stone_exhaustive () =
   (* depth is logarithmic: the 8-bit version must be much shallower than
      the ripple structure *)
   let ks8 = Circuits.Kogge_stone.make tech ~bits:8 in
-  let rp8 = Circuits.Ripple_adder.make tech ~bits:8 in
+  let rp8 = Fixtures.adder 8 in
   let d_ks =
     (Mtcmos.Sta.critical_path
        (Mtcmos.Sta.analyze ks8.Circuits.Kogge_stone.circuit))
@@ -141,7 +141,7 @@ let prop_kogge_stone_matches_reference =
       L.output_int c st = Some (a + b))
 
 let prop_adder_matches_reference =
-  let add = Circuits.Ripple_adder.make tech ~bits:6 in
+  let add = Fixtures.adder 6 in
   let c = add.Circuits.Ripple_adder.circuit in
   QCheck.Test.make ~count:300 ~name:"6-bit adder matches integers"
     QCheck.(pair (int_bound 63) (int_bound 63))
@@ -150,7 +150,7 @@ let prop_adder_matches_reference =
       L.output_int c st = Some (a + b))
 
 let prop_multiplier_matches_reference =
-  let m = Circuits.Csa_multiplier.make tech ~bits:6 in
+  let m = Fixtures.mult 6 in
   let c = m.Circuits.Csa_multiplier.circuit in
   QCheck.Test.make ~count:300 ~name:"6-bit multiplier matches integers"
     QCheck.(pair (int_bound 63) (int_bound 63))
@@ -159,7 +159,7 @@ let prop_multiplier_matches_reference =
       L.output_int c st = Some (x * y))
 
 let prop_activity_symmetric =
-  let add = Circuits.Ripple_adder.make tech ~bits:3 in
+  let add = Fixtures.adder 3 in
   let c = add.Circuits.Ripple_adder.circuit in
   QCheck.Test.make ~count:200 ~name:"switching activity is symmetric"
     QCheck.(pair (int_bound 63) (int_bound 63))

@@ -13,5 +13,6 @@ let () =
       ("eval", Test_eval.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
+      ("runner", Test_runner.suite);
       ("differential", Test_differential.suite);
       ("integration", Test_integration.suite) ]

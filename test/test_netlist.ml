@@ -5,7 +5,7 @@ module S = Netlist.Signal
 module G = Netlist.Gate
 module C = Netlist.Circuit
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let test_signal_ops () =
   Alcotest.(check char) "not 0" '1' (S.to_char (S.lnot S.L0));
@@ -188,7 +188,7 @@ let test_transistor_builder () =
         (Netlist.Transistor.Cap { pos = 0; neg = 0; c = 0.0 }))
 
 let expand_tree config =
-  let tree = Circuits.Inverter_tree.make tech ~stages:2 ~fanout:3 in
+  let tree = Fixtures.tree ~stages:2 ~fanout:3 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   let stim = Phys.Pwl.constant 0.0 in
   Netlist.Expand.expand ~config c
@@ -242,7 +242,7 @@ let test_expand_mirror_adder () =
     (Netlist.Transistor.count inst.Netlist.Expand.netlist `Mos)
 
 let test_expand_missing_stimulus () =
-  let tree = Circuits.Inverter_tree.make tech ~stages:2 ~fanout:2 in
+  let tree = Fixtures.tree ~stages:2 ~fanout:2 () in
   Alcotest.check_raises "missing stimulus"
     (Invalid_argument "Expand: primary input in has no stimulus") (fun () ->
       ignore
@@ -250,7 +250,7 @@ let test_expand_missing_stimulus () =
            ~stimuli:[]))
 
 let test_depth_and_dot () =
-  let tree = Circuits.Inverter_tree.make tech ~stages:3 ~fanout:2 in
+  let tree = Fixtures.tree ~stages:3 ~fanout:2 () in
   let c = tree.Circuits.Inverter_tree.circuit in
   Alcotest.(check int) "tree depth" 3 (C.logic_depth c);
   let dot = C.to_dot c in

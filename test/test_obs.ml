@@ -3,7 +3,7 @@
    the disabled path, and the well-formedness of emitted Chrome traces
    under parallel recording. *)
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 (* --- Metrics: histogram bucket edges ------------------------------- *)
 
@@ -57,7 +57,7 @@ let non_pool_dump m =
     (Obs.Metrics.dump m)
 
 let sweep_workload ~obs ~jobs =
-  let ch = Circuits.Chain.inverter_chain tech ~length:5 in
+  let ch = Fixtures.chain 5 in
   let ctx =
     Eval.Ctx.default |> Eval.Ctx.with_obs obs |> Eval.Ctx.with_jobs jobs
   in
@@ -239,9 +239,34 @@ let prop_histogram_conserves =
         && Array.fold_left ( + ) 0 d.counts = d.total
       | Some _ -> false)
 
+(* --- map_reduce_obs: the restored Pool observability path ---------- *)
+
+let test_map_reduce_obs () =
+  (* the labeled wrapper must agree with the plain map_reduce bit for
+     bit (string concat is non-commutative, so order errors scramble
+     it) and actually record the pool's self-metrics *)
+  let n = 13 in
+  let plain =
+    Par.Pool.map_reduce ~jobs:3 ~chunk:2 ~n ~map:string_of_int
+      ~reduce:( ^ ) ~init:""
+  in
+  let obs = Obs.create () in
+  let with_obs =
+    Par.Pool.map_reduce_obs ~obs ~jobs:3 ~chunk:2 ~n ~map:string_of_int
+      ~reduce:( ^ ) ~init:""
+  in
+  Alcotest.(check string) "same reduction" plain with_obs;
+  let m = Obs.metrics obs in
+  Alcotest.(check bool)
+    "pool call recorded" true
+    (Obs.Metrics.count m "par.pool.calls" >= 1);
+  Alcotest.(check (float 0.0)) "jobs gauge" 3.0 (Obs.Metrics.valuef m "par.jobs")
+
 let suite =
   [ Alcotest.test_case "histogram bucket edges" `Quick
       test_histogram_bucket_edges;
+    Alcotest.test_case "map_reduce_obs records pool metrics" `Quick
+      test_map_reduce_obs;
     Alcotest.test_case "metric kind clash rejected" `Quick
       test_kind_clash_rejected;
     Alcotest.test_case "merge: counters add, gauges max" `Quick

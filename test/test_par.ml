@@ -3,7 +3,7 @@
    propagate (not hang), and the per-worker accumulator merge must see
    states in worker order with exact counter totals. *)
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let check_float_array = Alcotest.(check (array (float 0.0)))
 
@@ -117,7 +117,7 @@ let test_resolve_jobs () =
    whose recovery budget is deliberately strangled must report the same
    counters (and the same measurements) at jobs = 1 and jobs = 2 *)
 let test_resilience_counters_match_sequential () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:4 in
+  let ch = Fixtures.chain 4 in
   let c = ch.Circuits.Chain.circuit in
   let vec = ([ (1, 0) ], [ (1, 1) ]) in
   let policy =
@@ -165,7 +165,7 @@ let test_resilience_counters_match_sequential () =
    honest nothing-switches transition scores 0 with successful analyses
    and no skip — the accumulator can now tell them apart *)
 let test_scored_zero_distinct_from_quiet_zero () =
-  let ch = Circuits.Chain.inverter_chain tech ~length:3 in
+  let ch = Fixtures.chain 3 in
   let c = ch.Circuits.Chain.circuit in
   let sleep =
     Mtcmos.Breakpoint_sim.Sleep_fet

@@ -3,7 +3,7 @@
 module BP = Mtcmos.Breakpoint_sim
 module S = Netlist.Signal
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let prop_pwl_crossings_alternate =
   QCheck.Test.make ~count:200
@@ -63,7 +63,7 @@ let prop_search_flipbit_involution =
   QCheck.Test.make ~count:20 ~name:"search: scores never regress vs start"
     QCheck.(int_bound 500)
     (fun seed ->
-      let add = Circuits.Ripple_adder.make tech ~bits:2 in
+      let add = Fixtures.adder 2 in
       let c = add.Circuits.Ripple_adder.circuit in
       let sleep =
         BP.Sleep_fet
@@ -94,7 +94,7 @@ let prop_sequence_vx_bounded =
   QCheck.Test.make ~count:25 ~name:"sequence: workload rails stay in [0,vdd]"
     QCheck.(int_bound 500)
     (fun seed ->
-      let add = Circuits.Ripple_adder.make tech ~bits:2 in
+      let add = Fixtures.adder 2 in
       let c = add.Circuits.Ripple_adder.circuit in
       let vectors =
         Mtcmos.Sequence.random_workload ~seed ~widths:[ 2; 2 ] 6
@@ -221,7 +221,7 @@ let prop_hierarchy_blocks_cover =
 let prop_score_jobs_invariant =
   (* the parallel transistor-level score is the sequential one, bit for
      bit, and so are the resilience counters it records *)
-  let ch = Circuits.Chain.inverter_chain tech ~length:3 in
+  let ch = Fixtures.chain 3 in
   let c = ch.Circuits.Chain.circuit in
   let sleep =
     BP.Sleep_fet
@@ -252,7 +252,7 @@ let prop_hunt_reproducible =
     ~name:"search: hunt outcome is reproducible and jobs-invariant"
     QCheck.(int_bound 1000)
     (fun seed ->
-      let add = Circuits.Ripple_adder.make tech ~bits:2 in
+      let add = Fixtures.adder 2 in
       let c = add.Circuits.Ripple_adder.circuit in
       let sleep =
         BP.Sleep_fet

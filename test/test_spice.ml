@@ -2,7 +2,7 @@
 
 module T = Netlist.Transistor
 
-let tech = Device.Tech.mtcmos_07um
+let tech = Fixtures.tech
 
 let test_resistor_divider_dc () =
   let b = T.builder () in
