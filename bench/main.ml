@@ -1336,6 +1336,104 @@ let obs_exp ~fast () =
     ~wls:[ 2.0; 4.0; 6.0; 10.0; 16.0; 25.0; 40.0; 80.0 ];
   Format.printf "metrics registry after the adder8 run:@.%s" !dump_last
 
+(* ---- SERVE: sharded-cache contention under concurrent clients ------------------ *)
+
+let serve_exp ~fast () =
+  header "SERVE: sharded evaluation cache under concurrent clients";
+  Format.printf
+    "the daemon funnels every request through one shared evaluation \
+     cache; eight concurrent clients hammering it must reach >= 2x the \
+     aggregate throughput on the 16-shard lock-striped table versus \
+     the single-mutex table, and every hit must return exactly the \
+     floats its miss stored@.";
+  let clients = 8 in
+  let keyspace = 1024 in
+  let ops = if fast then 30_000 else 150_000 in
+  (* precomputed keys and values: the per-op work is the cache call
+     itself, so the timing compares lock contention, not sprintf; the
+     leading byte varies so keys stripe across shards like real
+     digests *)
+  let keys =
+    Array.init keyspace (fun i ->
+        Printf.sprintf "%c/serve-bench/%04d"
+          (Char.chr ((i * 131) land 255))
+          i)
+  in
+  let vals =
+    Array.init keyspace (fun i ->
+        [| (float_of_int i *. 1.5) +. 0.25; float_of_int (i land 7) |])
+  in
+  let workload cache c () =
+    (* each client walks the shared keyspace from its own offset so the
+       fleet is never in lock step on one shard *)
+    let bad = ref 0 in
+    for n = 0 to ops - 1 do
+      let i = (n + (c * 131)) mod keyspace in
+      match Eval.Cache.find cache keys.(i) with
+      | Some e ->
+        if
+          Array.length e.Eval.Cache.floats <> 2
+          || e.Eval.Cache.floats.(0) <> vals.(i).(0)
+        then incr bad
+      | None ->
+        Eval.Cache.store cache keys.(i)
+          { Eval.Cache.floats = vals.(i); stats = None }
+    done;
+    !bad
+  in
+  let fleet cache =
+    let t0 = Unix.gettimeofday () in
+    let ds = List.init clients (fun c -> Domain.spawn (workload cache c)) in
+    let bad = List.fold_left (fun a d -> a + Domain.join d) 0 ds in
+    (bad, Unix.gettimeofday () -. t0)
+  in
+  (* best-of-3 so one scheduler hiccup does not fail the gate; the
+     cache persists across repeats, so repeats run all-hits — the
+     daemon's steady state *)
+  let best shards =
+    let cache = Eval.Cache.create ~shards () in
+    let rec go best bad_total k =
+      if k = 0 then (cache, bad_total, best)
+      else
+        let bad, t = fleet cache in
+        go (Float.min best t) (bad_total + bad) (k - 1)
+    in
+    go infinity 0 3
+  in
+  let c1, bad1, t1 = best 1 in
+  let c16, bad16, t16 = best 16 in
+  let total_ops = 3 * clients * ops in
+  let accounted c =
+    let k = Eval.Cache.counters c in
+    k.Eval.Cache.hits + k.Eval.Cache.misses = total_ops
+  in
+  let speedup = t1 /. Float.max 1e-9 t16 in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf
+    "{\"experiment\": \"serve/cache-contention\", \"clients\": %d, \
+     \"ops_per_client\": %d, \"t_single_s\": %.4f, \"t_sharded_s\": \
+     %.4f, \"speedup\": %.2f, \"lookups_ok\": %b, \"cores\": %d}@."
+    clients ops t1 t16 speedup
+    (bad1 = 0 && bad16 = 0)
+    cores;
+  if bad1 > 0 || bad16 > 0 then begin
+    Format.eprintf "serve: %d lookups returned foreign floats@."
+      (bad1 + bad16);
+    exit 1
+  end;
+  if not (accounted c1 && accounted c16) then begin
+    Format.eprintf "serve: merged hit+miss counters do not sum to %d@."
+      total_ops;
+    exit 1
+  end;
+  if cores >= 4 && speedup < 2.0 then begin
+    Format.eprintf
+      "serve: sharded cache only %.2fx the single lock at %d clients \
+       (gate: 2x)@."
+      speedup clients;
+    exit 1
+  end
+
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -1426,6 +1524,7 @@ let all ~fast () =
   cache_exp ~fast ();
   runner_exp ~fast ();
   obs_exp ~fast ();
+  serve_exp ~fast ();
   bechamel ()
 
 let () =
@@ -1464,11 +1563,13 @@ let () =
         | "cache" -> cache_exp ~fast ()
         | "runner" -> runner_exp ~fast ()
         | "obs" -> obs_exp ~fast ()
+        | "serve" -> serve_exp ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
-             fig14 cpu ablations extras par cache runner obs bechamel)@."
+             fig14 cpu ablations extras par cache runner obs serve \
+             bechamel)@."
             other;
           exit 2)
       names

@@ -882,6 +882,204 @@ let run_cmd =
           $ stop_after_term $ engine_term $ jobs_term $ newton_budget_term
           $ cache_term $ obs_term)
 
+(* ---- serve / submit: the sizing daemon ----------------------------------- *)
+
+let endpoint_of socket port =
+  match (socket, port) with
+  | Some path, None -> Serve.Daemon.Unix_socket path
+  | None, Some p when p > 0 && p < 65536 -> Serve.Daemon.Tcp p
+  | None, Some p -> or_die (Error (Printf.sprintf "--port %d: out of range" p))
+  | _ -> or_die (Error "exactly one of --socket PATH or --port N is required")
+
+let socket_term =
+  let doc = "Listen on (or connect to) a Unix domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_term =
+  let doc = "Listen on (or connect to) TCP loopback port $(docv)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let run socket port spool depth workers shards max_requests recover_only
+      engine jobs budget co oo =
+    let endpoint = endpoint_of socket port in
+    if depth < 1 then or_die (Error "--queue-depth must be >= 1");
+    if workers < 1 then or_die (Error "--workers must be >= 1");
+    if shards < 1 then or_die (Error "--cache-shards must be >= 1");
+    (* the daemon shares one cache across worker threads: stripe it so
+       concurrent batches do not serialize on a single lock *)
+    let co =
+      { co with
+        cache =
+          (match co.cache with
+           | None -> None
+           | Some _ ->
+             Some
+               (match co.cache_file with
+                | Some f when Sys.file_exists f ->
+                  (try Eval.Cache.load ~shards f
+                   with Failure m | Sys_error m ->
+                     prerr_endline ("mtsize: ignoring cache file: " ^ m);
+                     Eval.Cache.create ~shards ())
+                | _ -> Eval.Cache.create ~shards ())) }
+    in
+    (* /metrics needs a live registry even when no --metrics flag was
+       given locally *)
+    let obs = if Obs.enabled oo.obs then oo.obs else Obs.create () in
+    let ctx =
+      ctx_of ?policy:(policy_of_budget budget) ~obs
+        ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
+    in
+    let cfg =
+      { Serve.Daemon.endpoint;
+        spool;
+        queue_depth = depth;
+        workers;
+        max_requests = (if max_requests > 0 then Some max_requests else None);
+        recover_only;
+        read_timeout_s = 10.0 }
+    in
+    (match Serve.Daemon.run ~ctx cfg with
+     | Ok recovered ->
+       Format.eprintf "serve: drained cleanly (%d request(s) recovered)@."
+         recovered
+     | Error e -> or_die (Error e));
+    finish_cache co;
+    finish_obs ~co oo
+  in
+  let spool_term =
+    let doc =
+      "Spool directory for request specs, journals and manifests \
+       (created if missing).  This is the daemon's crash-recovery \
+       state: restarting with the same spool finishes interrupted \
+       requests with byte-identical manifests."
+    in
+    Arg.(required & opt (some string) None & info [ "spool" ] ~docv:"DIR" ~doc)
+  in
+  let depth_term =
+    let doc =
+      "Waiting-queue capacity.  A submit that finds the queue full is \
+       answered with an explicit $(b,rejected) event, never blocked."
+    in
+    Arg.(value & opt int 16 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let workers_term =
+    let doc = "Concurrent batch executors." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let shards_term =
+    let doc =
+      "Lock stripes in the shared evaluation cache.  More stripes, \
+       less contention between concurrent batches; counters and cached \
+       values are shard-count-invariant."
+    in
+    Arg.(value & opt int 16 & info [ "cache-shards" ] ~docv:"N" ~doc)
+  in
+  let max_requests_term =
+    let doc =
+      "Drain and exit after $(docv) finished requests (0 = serve \
+       forever).  A testing hook."
+    in
+    Arg.(value & opt int 0 & info [ "max-requests" ] ~docv:"N" ~doc)
+  in
+  let recover_only_term =
+    let doc =
+      "Replay interrupted requests from the spool, write their \
+       manifests, and exit without listening.  A recovery/testing hook."
+    in
+    Arg.(value & flag & info [ "recover-only" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived sizing daemon: accepts batch job files over a \
+          Unix/TCP socket, runs them concurrently through one shared \
+          evaluation context (sharded cache), streams per-job manifest \
+          fragments, and recovers interrupted requests from its spool \
+          after a crash.  GET /metrics and /healthz are served on the \
+          same socket.  SIGTERM/SIGINT drain gracefully.")
+    Term.(const run $ socket_term $ port_term $ spool_term $ depth_term
+          $ workers_term $ shards_term $ max_requests_term
+          $ recover_only_term $ engine_term $ jobs_term $ newton_budget_term
+          $ cache_term $ obs_term)
+
+let submit_cmd =
+  let run jobfile socket port rid deadline out quiet =
+    let endpoint = endpoint_of socket port in
+    let spec =
+      match
+        In_channel.with_open_bin jobfile In_channel.input_all
+      with
+      | s -> s
+      | exception Sys_error m -> or_die (Error m)
+    in
+    if not (Serve.Protocol.valid_id rid) then
+      or_die
+        (Error
+           (Printf.sprintf "--id %S: use 1-64 chars from [A-Za-z0-9_-]" rid));
+    let on_event line = if not quiet then Format.eprintf "%s@." line in
+    match
+      Serve.Client.submit ~on_event endpoint ~rid
+        ?deadline_s:(if deadline > 0.0 then Some deadline else None)
+        ~spec ()
+    with
+    | Error e -> or_die (Error e)
+    | Ok (Serve.Client.Manifest { manifest; failed }) ->
+      (match out with
+       | "-" -> print_string manifest
+       | path ->
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () -> output_string oc manifest));
+      if failed then exit 1
+    | Ok (Serve.Client.Rejected reason) ->
+      Format.eprintf "submit: rejected: %s@." reason;
+      exit 3
+    | Ok Serve.Client.Deadline ->
+      Format.eprintf
+        "submit: deadline expired; resubmit the same id to resume@.";
+      exit 4
+    | Ok (Serve.Client.Remote_error m) ->
+      Format.eprintf "submit: %s@." m;
+      exit 2
+  in
+  let jobfile_term =
+    let doc = "The batch job file to submit." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBFILE" ~doc)
+  in
+  let id_term =
+    let doc =
+      "Request id (spool file name on the daemon).  Resubmitting the \
+       same id resumes or replays instead of recomputing."
+    in
+    Arg.(required & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+  in
+  let deadline_term =
+    let doc =
+      "Per-request deadline in seconds; the daemon stops the batch at \
+       the next job boundary once it expires."
+    in
+    Arg.(value & opt float 0.0 & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let out_term =
+    let doc = "Where to write the manifest ($(b,-) = stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let quiet_term =
+    let doc = "Suppress the event stream on stderr." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a batch job file to a running $(b,mtsize serve) daemon \
+          and stream its events; exit 0 with the manifest on stdout (or \
+          $(b,-o) FILE), 1 if any job failed, 2 on a request error, 3 \
+          if rejected (queue full), 4 on deadline expiry.")
+    Term.(const run $ jobfile_term $ socket_term $ port_term $ id_term
+          $ deadline_term $ out_term $ quiet_term)
+
 let trace_check_cmd =
   let run file =
     match Obs.Trace.validate_file file with
@@ -919,4 +1117,4 @@ let () =
           [ sweep_cmd; size_cmd; worst_cmd; simulate_cmd; compare_cmd;
             estimate_cmd; sta_cmd; energy_cmd; wakeup_cmd; deck_cmd;
             lint_cmd; search_cmd; workload_cmd; dot_cmd; trace_check_cmd;
-            run_cmd ]))
+            run_cmd; serve_cmd; submit_cmd ]))

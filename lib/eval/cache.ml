@@ -1,9 +1,19 @@
-(* Mutex-guarded hash table + intrusive doubly-linked recency list.
-   [head] is most recently used, [tail] least; find bumps to head,
-   store evicts from tail.  OCaml 5 [Mutex] is domain-safe, so one
-   cache may be shared by Par.Pool worker domains: hit/miss counts can
-   then vary with scheduling, but values cannot — a hit returns the
-   exact floats a miss stored. *)
+(* Lock-striped LRU: the table is split into N independent shards, each
+   a mutex-guarded hash table + intrusive doubly-linked recency list
+   ([head] most recently used, [tail] least; find bumps to head, store
+   evicts from tail).  A key is routed to a shard by its first digest
+   byte, so the mapping is a pure function of the key — which shard
+   holds an entry never depends on timing, shard count aside.  OCaml 5
+   [Mutex] is domain-safe, so one cache may be shared by Par.Pool
+   worker domains and by the concurrent request threads of the serve
+   daemon: with one shard every client serializes on a single lock;
+   with N shards clients contend only when their keys collide on a
+   shard.  Hit/miss counts can vary with scheduling under true
+   concurrency, but values cannot — a hit returns the exact floats a
+   miss stored.  Under a deterministic (single-threaded) schedule the
+   merged hit/miss counters are also shard-count-invariant as long as
+   nothing is evicted: a lookup hits iff the key was stored, wherever
+   it lives. *)
 
 type entry = { floats : float array; stats : Resilience.t option }
 
@@ -23,7 +33,7 @@ type counters = {
   bytes : int;
 }
 
-type t = {
+type shard = {
   table : (string, node) Hashtbl.t;
   cap : int;
   lock : Mutex.t;
@@ -35,10 +45,11 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(max_entries = 65536) () =
-  if max_entries <= 0 then invalid_arg "Eval.Cache.create: max_entries <= 0";
+type t = { shards : shard array; total_cap : int }
+
+let make_shard cap =
   { table = Hashtbl.create 1024;
-    cap = max_entries;
+    cap;
     lock = Mutex.create ();
     head = None;
     tail = None;
@@ -47,7 +58,25 @@ let create ?(max_entries = 65536) () =
     misses = 0;
     evictions = 0 }
 
-let max_entries t = t.cap
+let create ?(max_entries = 65536) ?(shards = 1) () =
+  if max_entries <= 0 then invalid_arg "Eval.Cache.create: max_entries <= 0";
+  if shards <= 0 || shards > 256 then
+    invalid_arg "Eval.Cache.create: shards must be in [1, 256]";
+  (* per-shard capacity: ceiling split, so the bound never rounds to 0
+     and the total capacity is at least max_entries *)
+  let cap = (max_entries + shards - 1) / shards in
+  { shards = Array.init shards (fun _ -> make_shard cap);
+    total_cap = max_entries }
+
+let max_entries t = t.total_cap
+let shards t = Array.length t.shards
+
+(* digest-prefix routing: a pure function of the key *)
+let shard_of t key =
+  let n = Array.length t.shards in
+  if n = 1 then t.shards.(0)
+  else if key = "" then t.shards.(0)
+  else t.shards.(Char.code key.[0] mod n)
 
 (* rough heap footprint of one entry, for the bytes counter *)
 let stats_bytes = function
@@ -60,66 +89,72 @@ let stats_bytes = function
 let entry_bytes key e =
   96 + String.length key + (8 * Array.length e.floats) + stats_bytes e.stats
 
-(* recency-list surgery; caller holds the lock *)
+(* recency-list surgery; caller holds the shard lock *)
 
-let unlink t n =
-  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
-  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+let unlink s n =
+  (match n.prev with Some p -> p.next <- n.next | None -> s.head <- n.next);
+  (match n.next with Some x -> x.prev <- n.prev | None -> s.tail <- n.prev);
   n.prev <- None;
   n.next <- None
 
-let push_front t n =
-  n.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
+let push_front s n =
+  n.next <- s.head;
+  (match s.head with Some h -> h.prev <- Some n | None -> s.tail <- Some n);
+  s.head <- Some n
 
-let evict_tail t =
-  match t.tail with
+let evict_tail s =
+  match s.tail with
   | None -> ()
   | Some n ->
-    unlink t n;
-    Hashtbl.remove t.table n.nkey;
-    t.bytes <- t.bytes - n.nbytes;
-    t.evictions <- t.evictions + 1
+    unlink s n;
+    Hashtbl.remove s.table n.nkey;
+    s.bytes <- s.bytes - n.nbytes;
+    s.evictions <- s.evictions + 1
 
 let find t key =
-  Mutex.protect t.lock (fun () ->
-      match Hashtbl.find_opt t.table key with
+  let s = shard_of t key in
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.table key with
       | Some n ->
-        t.hits <- t.hits + 1;
-        unlink t n;
-        push_front t n;
+        s.hits <- s.hits + 1;
+        unlink s n;
+        push_front s n;
         Some n.value
       | None ->
-        t.misses <- t.misses + 1;
+        s.misses <- s.misses + 1;
         None)
 
 let store t key e =
-  Mutex.protect t.lock (fun () ->
+  let s = shard_of t key in
+  Mutex.protect s.lock (fun () ->
       let nb = entry_bytes key e in
-      (match Hashtbl.find_opt t.table key with
+      (match Hashtbl.find_opt s.table key with
        | Some n ->
-         t.bytes <- t.bytes - n.nbytes + nb;
+         s.bytes <- s.bytes - n.nbytes + nb;
          n.value <- e;
          n.nbytes <- nb;
-         unlink t n;
-         push_front t n
+         unlink s n;
+         push_front s n
        | None ->
-         while Hashtbl.length t.table >= t.cap do
-           evict_tail t
+         while Hashtbl.length s.table >= s.cap do
+           evict_tail s
          done;
          let n = { nkey = key; value = e; nbytes = nb; prev = None; next = None } in
-         Hashtbl.replace t.table key n;
-         push_front t n;
-         t.bytes <- t.bytes + nb))
+         Hashtbl.replace s.table key n;
+         push_front s n;
+         s.bytes <- s.bytes + nb))
 
 let counters t =
-  Mutex.protect t.lock (fun () ->
-      { hits = t.hits;
-        misses = t.misses;
-        evictions = t.evictions;
-        entries = Hashtbl.length t.table;
-        bytes = t.bytes })
+  Array.fold_left
+    (fun (acc : counters) s ->
+      Mutex.protect s.lock (fun () ->
+          { hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            entries = acc.entries + Hashtbl.length s.table;
+            bytes = acc.bytes + s.bytes }))
+    { hits = 0; misses = 0; evictions = 0; entries = 0; bytes = 0 }
+    t.shards
 
 let publish t obs =
   let c = counters t in
@@ -181,25 +216,31 @@ let string_of_hex h =
       Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
 
 let save t file =
+  (* shards in index order, each tail (LRU) first, so load re-inserts
+     in recency order; with the same shard count the reloaded cache has
+     identical per-shard recency, and with a different count the
+     entries simply re-route (the key encodes its own shard) *)
   let lines =
-    Mutex.protect t.lock (fun () ->
-        (* walk head (MRU) to tail consing, so the final list is tail
-           (LRU) first and load re-inserts in recency order *)
-        let rec collect acc = function
-          | None -> acc
-          | Some n ->
-            let b = Buffer.create 64 in
-            Buffer.add_string b (hex_of_string n.nkey);
-            Buffer.add_char b ' ';
-            Buffer.add_string b (string_of_int (Array.length n.value.floats));
-            Array.iter
-              (fun f ->
-                Buffer.add_char b ' ';
-                Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float f)))
-              n.value.floats;
-            collect (Buffer.contents b :: acc) n.next
-        in
-        collect [] t.head)
+    Array.to_list t.shards
+    |> List.concat_map (fun s ->
+           Mutex.protect s.lock (fun () ->
+               let rec collect acc = function
+                 | None -> acc
+                 | Some n ->
+                   let b = Buffer.create 64 in
+                   Buffer.add_string b (hex_of_string n.nkey);
+                   Buffer.add_char b ' ';
+                   Buffer.add_string b
+                     (string_of_int (Array.length n.value.floats));
+                   Array.iter
+                     (fun f ->
+                       Buffer.add_char b ' ';
+                       Buffer.add_string b
+                         (Printf.sprintf "%Lx" (Int64.bits_of_float f)))
+                     n.value.floats;
+                   collect (Buffer.contents b :: acc) n.next
+               in
+               collect [] s.head))
   in
   let oc = open_out file in
   Fun.protect
@@ -213,7 +254,7 @@ let save t file =
           output_char oc '\n')
         lines)
 
-let load ?max_entries file =
+let load ?max_entries ?shards file =
   let ic = open_in file in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -221,7 +262,7 @@ let load ?max_entries file =
       let first = try input_line ic with End_of_file -> "" in
       if first <> magic then
         failwith (Printf.sprintf "Eval.Cache.load %s: bad magic %S" file first);
-      let t = create ?max_entries () in
+      let t = create ?max_entries ?shards () in
       (try
          while true do
            let line = input_line ic in
@@ -250,6 +291,9 @@ let load ?max_entries file =
          done
        with End_of_file -> ());
       (* loaded entries are population, not traffic *)
-      t.misses <- 0;
-      t.hits <- 0;
+      Array.iter
+        (fun s ->
+          s.misses <- 0;
+          s.hits <- 0)
+        t.shards;
       t)

@@ -3,10 +3,15 @@
     Values are flat [float array]s (every cached quantity in the tool is
     a tuple of floats), keyed by a structural digest built with {!Key}.
     The table is bounded by an entry count and evicts least-recently
-    used entries; all operations are guarded by a mutex, so one cache
-    can be shared by the worker domains of [Par.Pool] — hit/miss counts
-    may then depend on scheduling, but the values returned never do,
-    because a hit returns exactly the floats a miss stored.
+    used entries.  Storage is split into [shards] lock-striped LRUs
+    (default 1), a key routing to a shard by its first digest byte —
+    a pure function of the key — so concurrent clients (Par.Pool worker
+    domains, the serve daemon's request threads) contend per shard
+    instead of serializing on one mutex.  Hit/miss counts may depend on
+    scheduling under true concurrency, but the values returned never
+    do, because a hit returns exactly the floats a miss stored; under a
+    deterministic schedule with no evictions the merged counters are
+    also shard-count-invariant.
 
     Each entry may also carry a {!Resilience} snapshot of the counters
     the computation recorded; {!memo} replays the snapshot into the
@@ -31,12 +36,19 @@ type counters = {
   entries : int;  (** current population *)
   bytes : int;    (** estimated heap footprint of the stored entries *)
 }
+(** Merged totals over every shard. *)
 
-val create : ?max_entries:int -> unit -> t
-(** Default bound: 65536 entries.
-    @raise Invalid_argument when [max_entries <= 0]. *)
+val create : ?max_entries:int -> ?shards:int -> unit -> t
+(** Default bound: 65536 entries, 1 shard.  The per-shard capacity is
+    [max_entries / shards] rounded up, so the total bound is at least
+    [max_entries] whatever the stripe count.
+    @raise Invalid_argument when [max_entries <= 0] or [shards] is
+    outside [1, 256]. *)
 
 val max_entries : t -> int
+
+val shards : t -> int
+(** Number of lock stripes this cache was created with. *)
 
 val find : t -> string -> entry option
 (** Look up a key, counting a hit (and bumping recency) or a miss. *)
@@ -84,12 +96,15 @@ val memo :
     stored. *)
 
 val save : t -> string -> unit
-(** Write the entries to [file] in LRU-to-MRU order (so {!load}
-    restores recency).  Resilience snapshots are not persisted: entries
-    served from a loaded cache replay no counters.
+(** Write the entries to [file], shards in index order, each in
+    LRU-to-MRU order (so {!load} restores per-shard recency).
+    Resilience snapshots are not persisted: entries served from a
+    loaded cache replay no counters.
     @raise Sys_error on I/O failure. *)
 
-val load : ?max_entries:int -> string -> t
-(** Read a cache written by {!save}.  Counters start at zero.
+val load : ?max_entries:int -> ?shards:int -> string -> t
+(** Read a cache written by {!save}.  Counters start at zero.  The file
+    carries no shard count: entries re-route by their own digest, so a
+    cache saved at one stripe count loads at any other.
     @raise Sys_error on I/O failure.
     @raise Failure on a malformed file. *)

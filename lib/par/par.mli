@@ -27,6 +27,34 @@
     / [Domain.join], one spawn per worker per call.  Calls are
     independent — there is no persistent pool to shut down. *)
 
+(** Cooperative cancellation tokens.
+
+    A token is an atomic flag plus an optional absolute wall-clock
+    deadline ([Unix.gettimeofday] seconds).  Holders poll it only at
+    safe points — {!Pool} between chunks, the batch runner between
+    jobs, the serve daemon between requests — so cancellation never
+    tears a result: a cancelled region either completes bit-identically
+    to an uncancelled run or raises {!Cancel.Cancelled} having
+    published nothing. *)
+module Cancel : sig
+  type t
+
+  exception Cancelled
+
+  val create : ?deadline:float -> unit -> t
+  (** A fresh token; with [?deadline] it auto-cancels once
+      [Unix.gettimeofday () > deadline]. *)
+
+  val cancel : t -> unit
+  (** Set the flag.  Idempotent, safe from any domain or thread. *)
+
+  val cancelled : t -> bool
+  (** Flag set, or deadline passed (which latches the flag). *)
+
+  val check : t -> unit
+  (** @raise Cancelled when {!cancelled}. *)
+end
+
 module Pool : sig
   val default_jobs : unit -> int
   (** [Domain.recommended_domain_count ()] — what [?jobs] defaults to
@@ -38,15 +66,28 @@ module Pool : sig
       @raise Invalid_argument when [j < 1]. *)
 
   val map :
-    ?obs:Obs.t -> ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+    ?obs:Obs.t ->
+    ?jobs:int ->
+    ?chunk:int ->
+    ?cancel:Cancel.t ->
+    int ->
+    (int -> 'a) ->
+    'a array
   (** [map n f] is [[| f 0; ...; f (n-1) |]], computed on [jobs]
       domains (default 1 — parallelism is strictly opt-in for library
       callers).  [chunk] is the fixed chunk length (default: [n]
       divided over 4 chunks per worker, at least 1).  Deterministic:
-      the result is identical for every [jobs]/[chunk] choice. *)
+      the result is identical for every [jobs]/[chunk] choice.
+      [cancel] is polled between chunks; see {!map_stateful}. *)
 
   val map_list :
-    ?obs:Obs.t -> ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+    ?obs:Obs.t ->
+    ?jobs:int ->
+    ?chunk:int ->
+    ?cancel:Cancel.t ->
+    ('a -> 'b) ->
+    'a list ->
+    'b list
   (** [map_list f xs] = [List.map f xs], parallelised like {!map} and
       equally deterministic. *)
 
@@ -82,6 +123,7 @@ module Pool : sig
     ?obs:Obs.t ->
     ?jobs:int ->
     ?chunk:int ->
+    ?cancel:Cancel.t ->
     create:(unit -> 'w) ->
     merge:('w -> unit) ->
     int ->
@@ -105,4 +147,16 @@ module Pool : sig
       registry in worker order after the join.  These [par.*] metrics
       describe the schedule itself and are the one metric family that
       legitimately varies with [jobs]. *)
+
+  (** {2 Cancellation semantics}
+
+      [?cancel] (default: never) is polled {e between} chunks: a chunk
+      in flight always runs to completion, workers launch no further
+      chunks once the token trips, and after every domain has joined
+      the call raises {!Cancel.Cancelled}.  No partial result array
+      escapes, worker states are still merged (so observability shards
+      are not lost), and a call that finished all chunks before the
+      token tripped still raises — the caller asked for the region to
+      be abandoned.  A worker exception takes precedence over
+      cancellation, under the usual lowest-worker rule. *)
 end

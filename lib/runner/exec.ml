@@ -197,7 +197,7 @@ let job_ctx base (defaults : Spec.overrides) (job : Spec.job) =
 let ( let* ) = Result.bind
 
 let run ?(ctx = Eval.Ctx.default) ?journal ?(fresh = false) ?stop_after
-    (spec : Spec.t) =
+    ?cancel ?on_fragment (spec : Spec.t) =
   let* tech = C.tech_of_name spec.Spec.tech in
   (* resolve every named circuit up front; a bad declaration is a
      spec-level error, not a per-job one *)
@@ -251,6 +251,16 @@ let run ?(ctx = Eval.Ctx.default) ?journal ?(fresh = false) ?stop_after
     else if contains frag "\"status\":\"degraded\"" then Degraded
     else Clean
   in
+  (* streaming hook: every fragment that enters the manifest — replayed
+     or freshly executed — is announced in manifest order, after it has
+     been journaled (so a consumer never sees a fragment the journal
+     could lose) *)
+  let emit ~id ~status frag =
+    fragments := frag :: !fragments;
+    match on_fragment with
+    | Some f -> f ~id ~status frag
+    | None -> ()
+  in
   (try
      List.iter
        (fun (job : Spec.job) ->
@@ -258,11 +268,21 @@ let run ?(ctx = Eval.Ctx.default) ?journal ?(fresh = false) ?stop_after
          | Some frag ->
            incr replayed;
            Obs.incr obs "runner.jobs.replayed";
-           bump_status (status_of_fragment frag);
-           fragments := frag :: !fragments
+           let status = status_of_fragment frag in
+           bump_status status;
+           emit ~id:job.Spec.id ~status frag
          | None ->
            (match stop_after with
             | Some k when !executed >= k ->
+              interrupted := true;
+              raise Exit
+            | _ -> ());
+           (* cancellation (deadline or explicit) is observed only at
+              job boundaries: a job in flight always completes and is
+              journaled, so a cancelled batch is indistinguishable from
+              one interrupted by a crash — resume replays it *)
+           (match cancel with
+            | Some c when Par.Cancel.cancelled c ->
               interrupted := true;
               raise Exit
             | _ -> ());
@@ -309,7 +329,7 @@ let run ?(ctx = Eval.Ctx.default) ?journal ?(fresh = false) ?stop_after
            (match journal with
             | None -> ()
             | Some path -> Journal.append ~path ~id:job.Spec.id ~json:frag);
-           fragments := frag :: !fragments)
+           emit ~id:job.Spec.id ~status frag)
        spec.Spec.jobs
    with Exit -> ());
   let b = Buffer.create 4096 in

@@ -33,12 +33,27 @@ val run :
   ?journal:string ->
   ?fresh:bool ->
   ?stop_after:int ->
+  ?cancel:Par.Cancel.t ->
+  ?on_fragment:(id:string -> status:status -> string -> unit) ->
   Spec.t ->
   (outcome, string) result
 (** [run spec] executes every job.  [?journal] checkpoints each
     completed job and resumes from an existing compatible journal;
     [~fresh:true] ignores (and truncates) any existing journal.
     [?stop_after:k] stops before executing the [k+1]-th {e fresh} job —
-    the test hook that simulates an interrupt.  [Error _] is a
-    spec-level problem (bad tech/circuit declaration, incompatible
-    journal); per-job errors never surface here. *)
+    the test hook that simulates an interrupt.
+
+    [?cancel] is polled at job boundaries only: a job in flight always
+    completes, is journaled, and counts; the run then stops with
+    [interrupted = true] (it does not raise).  Combined with
+    [?journal], a cancelled batch is indistinguishable from a crashed
+    one — a later run resumes it.  This is how the serve daemon
+    enforces per-request deadlines without ever tearing a manifest.
+
+    [?on_fragment] streams each fragment as it enters the manifest, in
+    manifest order — replayed entries too, so a consumer reconstructs
+    the full document.  For fresh jobs it fires {e after} the journal
+    append: anything a consumer has seen is durably checkpointed.
+
+    [Error _] is a spec-level problem (bad tech/circuit declaration,
+    incompatible journal); per-job errors never surface here. *)

@@ -11,11 +11,17 @@ type t =
 
 type state = {
   src : string;
+  file : string option;
   mutable pos : int;
   mutable line : int;
 }
 
-let error st msg = Error (Printf.sprintf "line %d: %s" st.line msg)
+(* compiler-style positions: "file:3: msg" when the source has a name,
+   "line 3: msg" for anonymous strings *)
+let error st msg =
+  match st.file with
+  | Some f -> Error (Printf.sprintf "%s:%d: %s" f st.line msg)
+  | None -> Error (Printf.sprintf "line %d: %s" st.line msg)
 
 let peek st = if st.pos >= String.length st.src then None else Some st.src.[st.pos]
 
@@ -113,8 +119,8 @@ let rec read_form st =
      | Ok s -> Ok (Atom s)
      | Error _ as e -> e)
 
-let parse_string src =
-  let st = { src; pos = 0; line = 1 } in
+let parse ?file src =
+  let st = { src; file; pos = 0; line = 1 } in
   let rec forms acc =
     skip_ws st;
     match peek st with
@@ -126,6 +132,8 @@ let parse_string src =
   in
   forms []
 
+let parse_string ?file src = parse ?file src
+
 let parse_file path =
   match
     let ic = open_in_bin path in
@@ -133,10 +141,7 @@ let parse_file path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | src ->
-    (match parse_string src with
-     | Ok _ as ok -> ok
-     | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | src -> parse ~file:path src
   | exception Sys_error m -> Error m
 
 (* canonical rendering: single spaces, quoted only when necessary *)

@@ -1,0 +1,161 @@
+(* Client side of the serve protocol: one submit per connection, used
+   by [mtsize submit], the serve tests, and the CI smoke script.  The
+   event stream needs no JSON parser: events are classified by probing
+   for the exact field bytes the daemon emits (the same trick the
+   runner uses on replayed fragments), and the manifest length is read
+   from the one numeric field the client needs. *)
+
+type outcome =
+  | Manifest of { manifest : string; failed : bool }
+  | Rejected of string
+  | Deadline
+  | Remote_error of string
+
+let connect = function
+  | Daemon.Unix_socket path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | Daemon.Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let read_line fd =
+  let b = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | _ ->
+      (match Bytes.get one 0 with
+       | '\n' -> Some (Buffer.contents b)
+       | c ->
+         Buffer.add_char b c;
+         go ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Some (Bytes.to_string b)
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> None
+      | r -> go (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let contains hay probe =
+  let np = String.length probe and nh = String.length hay in
+  let rec find i =
+    i + np <= nh && (String.sub hay i np = probe || find (i + 1))
+  in
+  find 0
+
+(* first integer after ["<field>":] — enough for a protocol we also
+   author *)
+let int_field line field =
+  let probe = "\"" ^ field ^ "\":" in
+  let np = String.length probe and nl = String.length line in
+  let rec find i =
+    if i + np > nl then None
+    else if String.sub line i np = probe then begin
+      let j = ref (i + np) in
+      let v = ref 0 and any = ref false in
+      while
+        !j < nl && match line.[!j] with '0' .. '9' -> true | _ -> false
+      do
+        v := (10 * !v) + (Char.code line.[!j] - Char.code '0');
+        any := true;
+        incr j
+      done;
+      if !any then Some !v else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* crude but sufficient: pull the "reason"/"message" string value off a
+   line we emitted ourselves (no escapes in daemon-authored reasons) *)
+let str_field line field =
+  let probe = "\"" ^ field ^ "\":\"" in
+  let np = String.length probe and nl = String.length line in
+  let rec find i =
+    if i + np > nl then None
+    else if String.sub line i np = probe then begin
+      match String.index_from_opt line (i + np) '"' with
+      | Some e -> Some (String.sub line (i + np) (e - (i + np)))
+      | None -> None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let submit ?(on_event = fun (_ : string) -> ()) endpoint ~rid
+    ?deadline_s ~spec () =
+  match connect endpoint with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("connect: " ^ Unix.error_message e)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        let header =
+          Printf.sprintf "(submit (id %s) (spec-bytes %d)%s)\n" rid
+            (String.length spec)
+            (match deadline_s with
+             | None -> ""
+             | Some s -> Printf.sprintf " (deadline-s %g)" s)
+        in
+        match send_all fd (header ^ spec) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("send: " ^ Unix.error_message e)
+        | () ->
+          let rec events () =
+            match read_line fd with
+            | None -> Error "connection closed before a terminal event"
+            | Some line ->
+              on_event line;
+              if contains line "\"event\":\"manifest\"" then begin
+                match int_field line "bytes" with
+                | None -> Error "manifest event without a byte count"
+                | Some n ->
+                  (match read_exact fd n with
+                   | Some m ->
+                     Ok
+                       (Manifest
+                          { manifest = m;
+                            failed =
+                              (match int_field line "failed" with
+                               | Some k -> k > 0
+                               | None -> false) })
+                   | None -> Error "manifest payload truncated")
+              end
+              else if contains line "\"event\":\"rejected\"" then
+                Ok
+                  (Rejected
+                     (Option.value ~default:"rejected"
+                        (str_field line "reason")))
+              else if contains line "\"event\":\"deadline\"" then Ok Deadline
+              else if contains line "\"event\":\"error\"" then
+                Ok
+                  (Remote_error
+                     (Option.value ~default:"error"
+                        (str_field line "message")))
+              else events () (* accepted / fragment: keep streaming *)
+          in
+          events ())

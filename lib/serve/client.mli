@@ -1,0 +1,22 @@
+(** Client side of the serve protocol (one submit per connection); the
+    engine behind [mtsize submit] and the serve test suite. *)
+
+type outcome =
+  | Manifest of { manifest : string; failed : bool }
+      (** the full manifest bytes; [failed] when any job failed *)
+  | Rejected of string  (** admission refusal (queue full, duplicate…) *)
+  | Deadline  (** the request's deadline expired; resubmit to resume *)
+  | Remote_error of string  (** spec-level failure reported by the daemon *)
+
+val submit :
+  ?on_event:(string -> unit) ->
+  Daemon.endpoint ->
+  rid:string ->
+  ?deadline_s:float ->
+  spec:string ->
+  unit ->
+  (outcome, string) result
+(** Submit a job file (its full text, not a path) as request [rid] and
+    stream events until a terminal one.  [on_event] sees every raw
+    event line (accepted, fragments, terminal).  [Error _] is a
+    transport problem — could not connect, connection died mid-stream. *)

@@ -1,0 +1,143 @@
+(* Wire protocol for the sizing daemon.
+
+   A client connection carries exactly one request:
+
+     (submit (id R) (spec-bytes N) [(deadline-s S)])\n
+     <N raw bytes: a batch job file in the existing S-expression language>
+
+   The request header reuses the job-file S-expression reader — no
+   second parser.  Responses are newline-framed single-line JSON event
+   objects; the one bulk payload (the manifest, which is multi-line) is
+   announced by a ["manifest"] event carrying its byte count and then
+   sent raw, so a client never needs a streaming JSON parser:
+
+     {"event":"accepted","request":"R"}
+     {"event":"fragment","request":"R","job":"s1","status":"ok","fragment":{...}}
+     {"event":"manifest","request":"R","ok":4,"degraded":0,"failed":0,"bytes":N}
+     <N raw manifest bytes>
+
+   Terminal events are ["manifest"], ["rejected"], ["deadline"] and
+   ["error"].  Fragment events splice the runner's manifest fragment
+   verbatim (it is guaranteed single-line JSON), so what streams over
+   the wire is byte-for-byte what lands in the manifest.
+
+   The same listener answers plain [GET /metrics] and [GET /healthz]
+   HTTP requests, so the daemon needs no second port for probes. *)
+
+module Json = Runner.Json
+module Sexp = Runner.Sexp
+
+type submit = {
+  id : string;
+  spec_bytes : int;
+  deadline_s : float option;  (* relative seconds from acceptance *)
+}
+
+(* request ids become spool file names: keep them boring *)
+let valid_id s =
+  let n = String.length s in
+  n > 0 && n <= 64
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true | _ -> false)
+       s
+
+let max_spec_bytes = 4 * 1024 * 1024
+let max_line_bytes = 1024
+
+let parse_submit line =
+  let ( let* ) = Result.bind in
+  let* forms = Sexp.parse_string line in
+  match forms with
+  | [ Sexp.List (Sexp.Atom "submit" :: fields) ] ->
+    let id = ref None and bytes = ref None and deadline = ref None in
+    let* () =
+      List.fold_left
+        (fun acc field ->
+          let* () = acc in
+          match field with
+          | Sexp.List [ Sexp.Atom "id"; Sexp.Atom v ] ->
+            if valid_id v then (id := Some v; Ok ())
+            else Error (Printf.sprintf "bad request id %S" v)
+          | Sexp.List [ Sexp.Atom "spec-bytes"; Sexp.Atom v ] ->
+            (match int_of_string_opt v with
+             | Some n when n > 0 && n <= max_spec_bytes ->
+               bytes := Some n;
+               Ok ()
+             | Some n -> Error (Printf.sprintf "spec-bytes %d out of range" n)
+             | None -> Error "spec-bytes is not an integer")
+          | Sexp.List [ Sexp.Atom "deadline-s"; Sexp.Atom v ] ->
+            (match float_of_string_opt v with
+             | Some s when s > 0.0 -> deadline := Some s; Ok ()
+             | _ -> Error "deadline-s must be a positive number")
+          | f -> Error ("unknown submit field " ^ Sexp.to_string f))
+        (Ok ()) fields
+    in
+    (match (!id, !bytes) with
+     | Some id, Some spec_bytes ->
+       Ok { id; spec_bytes; deadline_s = !deadline }
+     | None, _ -> Error "submit is missing (id ...)"
+     | _, None -> Error "submit is missing (spec-bytes ...)")
+  | _ -> Error "expected a single (submit ...) form"
+
+(* ---- response events --------------------------------------------- *)
+
+let event_line fields =
+  Json.to_string (Json.Obj fields) ^ "\n"
+
+let accepted ~rid =
+  event_line [ ("event", Json.Str "accepted"); ("request", Json.Str rid) ]
+
+let rejected ~rid ~reason =
+  event_line
+    [ ("event", Json.Str "rejected");
+      ("request", Json.Str rid);
+      ("reason", Json.Str reason) ]
+
+let error ~rid ~message =
+  event_line
+    [ ("event", Json.Str "error");
+      ("request", Json.Str rid);
+      ("message", Json.Str message) ]
+
+let deadline ~rid =
+  event_line [ ("event", Json.Str "deadline"); ("request", Json.Str rid) ]
+
+(* the fragment is already single-line JSON (Runner emits it with
+   Json.to_string); splice it verbatim rather than re-encoding *)
+let fragment ~rid ~job ~status ~frag =
+  Printf.sprintf "{\"event\":\"fragment\",\"request\":%s,\"job\":%s,\"status\":%s,\"fragment\":%s}\n"
+    (Json.to_string (Json.Str rid))
+    (Json.to_string (Json.Str job))
+    (Json.to_string (Json.Str status))
+    frag
+
+let manifest ~rid ~ok ~degraded ~failed ~bytes =
+  event_line
+    [ ("event", Json.Str "manifest");
+      ("request", Json.Str rid);
+      ("ok", Json.Int ok);
+      ("degraded", Json.Int degraded);
+      ("failed", Json.Int failed);
+      ("bytes", Json.Int bytes) ]
+
+(* ---- minimal HTTP (GET only: probes and metrics scrapes) --------- *)
+
+let http_request_path line =
+  match String.split_on_char ' ' line with
+  | [ "GET"; path; _version ] -> Some path
+  | [ "GET"; path ] -> Some path
+  | _ -> None
+
+let is_http line =
+  String.length line >= 4 && String.sub line 0 4 = "GET "
+
+let http_response ~status ~body =
+  let reason = match status with
+    | 200 -> "OK"
+    | 404 -> "Not Found"
+    | _ -> "Error"
+  in
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: text/plain; charset=utf-8\r\n\
+     Content-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status reason (String.length body) body

@@ -1,0 +1,50 @@
+(** Wire protocol for the sizing daemon.
+
+    One request per connection:
+    {v
+    (submit (id R) (spec-bytes N) [(deadline-s S)])\n
+    <N raw bytes: a batch job file>
+    v}
+    The header reuses the job-file S-expression reader.  Responses are
+    newline-framed single-line JSON events; the manifest (the only
+    multi-line payload) is announced by a ["manifest"] event carrying
+    its byte count, then sent raw.  Terminal events: ["manifest"],
+    ["rejected"], ["deadline"], ["error"].  The same listener answers
+    [GET /metrics] and [GET /healthz]. *)
+
+type submit = {
+  id : string;  (** spool-safe request id: [[A-Za-z0-9_-]], 1–64 chars *)
+  spec_bytes : int;  (** length of the job-file payload that follows *)
+  deadline_s : float option;  (** relative deadline, seconds *)
+}
+
+val valid_id : string -> bool
+
+val max_spec_bytes : int
+(** Upper bound on [spec_bytes] (4 MiB) — admission control starts at
+    the parser. *)
+
+val max_line_bytes : int
+(** Upper bound on any request line. *)
+
+val parse_submit : string -> (submit, string) result
+
+(** Response event lines, newline-terminated. *)
+
+val accepted : rid:string -> string
+val rejected : rid:string -> reason:string -> string
+val error : rid:string -> message:string -> string
+val deadline : rid:string -> string
+
+val fragment : rid:string -> job:string -> status:string -> frag:string -> string
+(** [frag] is a runner manifest fragment — single-line JSON, spliced
+    verbatim so the wire bytes equal the manifest bytes. *)
+
+val manifest :
+  rid:string -> ok:int -> degraded:int -> failed:int -> bytes:int -> string
+(** The terminal success event; exactly [bytes] raw manifest bytes
+    follow it on the wire. *)
+
+val is_http : string -> bool
+val http_request_path : string -> string option
+val http_response : status:int -> body:string -> string

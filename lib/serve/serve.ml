@@ -1,0 +1,5 @@
+(* Facade. *)
+
+module Protocol = Protocol
+module Daemon = Daemon
+module Client = Client

@@ -1,0 +1,167 @@
+#!/bin/sh
+# Smoke test for `mtsize serve`, driven through the real CLI:
+#
+#   1. compute fresh reference manifests with `mtsize run`;
+#   2. start a daemon, submit two job files concurrently, SIGKILL the
+#      daemon mid-flight (after each batch has journaled at least one
+#      job but before either manifest lands);
+#   3. restart with --recover-only and assert both recovered manifests
+#      are byte-identical to the references;
+#   4. saturate a 1-worker / depth-1 daemon with four concurrent
+#      submits and assert at least one explicit rejection (exit 3) and
+#      at least one manifest (exit 0), with every manifest identical to
+#      the reference.
+#
+# Usage: [MTSIZE=path/to/mtsize.exe] sh test/serve_smoke.sh
+set -eu
+
+MTSIZE=${MTSIZE:-_build/default/bin/mtsize.exe}
+if [ ! -x "$MTSIZE" ]; then
+  echo "serve_smoke: $MTSIZE not found; run 'dune build bin/mtsize.exe' first" >&2
+  exit 2
+fi
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/mtsize-smoke.XXXXXX")
+DPID=
+cleanup() {
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# Slow enough (transistor-level sweeps, ~2 s each) that the SIGKILL
+# reliably lands mid-batch; the two files share no sweep points, so the
+# shared cache cannot shortcut either one.
+cat > "$DIR/a.jobs" <<'EOF'
+(batch
+  (tech 07um)
+  (defaults (engine spice) (jobs 1))
+  (circuit ch chain)
+  (job sweep a1 (circuit ch) (wls 2 5 10 20 50) (vectors "0->1" "1->0"))
+  (job sweep a2 (circuit ch) (wls 3 7 15 30 60) (vectors "0->1" "1->0"))
+  (job sweep a3 (circuit ch) (wls 4 8 17 33 65) (vectors "0->1" "1->0"))
+  (job sweep a4 (circuit ch) (wls 6 12 24 48 90) (vectors "0->1" "1->0")))
+EOF
+cat > "$DIR/b.jobs" <<'EOF'
+(batch
+  (tech 07um)
+  (defaults (engine spice) (jobs 1))
+  (circuit ch chain)
+  (job sweep b1 (circuit ch) (wls 9 18 36 72 96) (vectors "0->1" "1->0"))
+  (job sweep b2 (circuit ch) (wls 11 21 42 84 99) (vectors "0->1" "1->0"))
+  (job sweep b3 (circuit ch) (wls 13 26 52 78 97) (vectors "0->1" "1->0"))
+  (job sweep b4 (circuit ch) (wls 14 28 56 88 95) (vectors "0->1" "1->0")))
+EOF
+
+echo "serve_smoke: computing reference manifests"
+"$MTSIZE" run "$DIR/a.jobs" -j 1 -o "$DIR/ref-a.manifest" >/dev/null 2>&1
+"$MTSIZE" run "$DIR/b.jobs" -j 1 -o "$DIR/ref-b.manifest" >/dev/null 2>&1
+
+# --- 1. crash the daemon mid-flight -----------------------------------
+
+echo "serve_smoke: starting daemon"
+"$MTSIZE" serve --socket "$DIR/d.sock" --spool "$DIR/spool" \
+  --workers 2 -j 1 >"$DIR/daemon1.log" 2>&1 &
+DPID=$!
+
+i=0
+while [ ! -S "$DIR/d.sock" ]; do
+  kill -0 "$DPID" 2>/dev/null \
+    || fail "daemon died before listening: $(cat "$DIR/daemon1.log")"
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "daemon socket never appeared"
+  sleep 0.1
+done
+
+"$MTSIZE" submit "$DIR/a.jobs" --socket "$DIR/d.sock" --id a \
+  -o "$DIR/got-a.manifest" -q >/dev/null 2>&1 &
+APID=$!
+"$MTSIZE" submit "$DIR/b.jobs" --socket "$DIR/d.sock" --id b \
+  -o "$DIR/got-b.manifest" -q >/dev/null 2>&1 &
+BPID=$!
+
+# wait until each batch has journaled at least one job (journal line 1
+# is the header), then kill -9: both requests die mid-flight
+journaled() {
+  [ -f "$1" ] && [ "$(wc -l < "$1")" -ge 2 ]
+}
+i=0
+until journaled "$DIR/spool/a.journal" && journaled "$DIR/spool/b.journal"; do
+  i=$((i + 1))
+  [ "$i" -gt 200 ] && fail "batches never started journaling"
+  sleep 0.05
+done
+
+echo "serve_smoke: SIGKILL mid-flight"
+kill -9 "$DPID"
+DPID=
+wait "$APID" 2>/dev/null || true
+wait "$BPID" 2>/dev/null || true
+
+[ -f "$DIR/spool/a.manifest" ] && fail "kill landed after request a finished"
+[ -f "$DIR/spool/b.manifest" ] && fail "kill landed after request b finished"
+
+# --- 2. recover and compare byte for byte -----------------------------
+
+echo "serve_smoke: recovering spool"
+"$MTSIZE" serve --socket "$DIR/d.sock" --spool "$DIR/spool" \
+  --recover-only -j 1 >"$DIR/recover.log" 2>&1 \
+  || fail "recovery failed: $(cat "$DIR/recover.log")"
+grep -q "2 request(s) recovered" "$DIR/recover.log" \
+  || fail "expected 2 recovered requests: $(cat "$DIR/recover.log")"
+
+cmp "$DIR/spool/a.manifest" "$DIR/ref-a.manifest" \
+  || fail "recovered manifest a differs from a fresh run"
+cmp "$DIR/spool/b.manifest" "$DIR/ref-b.manifest" \
+  || fail "recovered manifest b differs from a fresh run"
+echo "serve_smoke: recovered manifests byte-identical to fresh run"
+
+# --- 3. saturation: explicit rejection, never a hang ------------------
+
+echo "serve_smoke: saturating a 1-worker / depth-1 daemon"
+"$MTSIZE" serve --socket "$DIR/s.sock" --spool "$DIR/spool2" \
+  --workers 1 --queue-depth 1 --max-requests 4 -j 1 \
+  >"$DIR/daemon2.log" 2>&1 &
+DPID=$!
+i=0
+while [ ! -S "$DIR/s.sock" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "saturation daemon socket never appeared"
+  sleep 0.1
+done
+
+for n in 1 2 3 4; do
+  (
+    code=0
+    "$MTSIZE" submit "$DIR/b.jobs" --socket "$DIR/s.sock" --id "s$n" \
+      -o "$DIR/sat-$n.manifest" -q >/dev/null 2>&1 || code=$?
+    echo "$code" > "$DIR/sat-$n.code"
+  ) &
+done
+wait "$DPID" || fail "saturation daemon did not drain cleanly"
+DPID=
+wait
+
+ok=0 rejected=0
+for n in 1 2 3 4; do
+  code=$(cat "$DIR/sat-$n.code" 2>/dev/null || echo none)
+  case "$code" in
+    0)
+      ok=$((ok + 1))
+      cmp "$DIR/sat-$n.manifest" "$DIR/ref-b.manifest" \
+        || fail "saturation manifest s$n differs from reference"
+      ;;
+    3) rejected=$((rejected + 1)) ;;
+    *) fail "submit s$n exited $code (want 0 or 3)" ;;
+  esac
+done
+[ "$ok" -ge 1 ] || fail "no submission produced a manifest"
+[ "$rejected" -ge 1 ] || fail "no submission was rejected under saturation"
+echo "serve_smoke: $ok manifest(s), $rejected rejection(s) — all answered"
+
+echo "serve_smoke: PASS"

@@ -279,6 +279,118 @@ let test_save_load_preserves_recency () =
       Alcotest.(check bool) "MRU kept" true (C.find c' "old" <> None);
       Alcotest.(check bool) "2nd MRU kept" true (C.find c' "new" <> None))
 
+(* ---- Cache: lock-striped shards ------------------------------------------ *)
+
+(* a deterministic op sequence (digest-like keys) replayed at several
+   stripe counts: the values and the merged counters must not move *)
+let shard_workload c =
+  let keys =
+    List.init 64 (fun i -> Digest.string (Printf.sprintf "shard-key-%d" i))
+  in
+  List.iteri (fun i k -> C.store c k (entry [| float_of_int i |])) keys;
+  (* second pass: every lookup hits, wherever the stripe put it *)
+  List.iteri
+    (fun i k ->
+      match C.find c k with
+      | Some e ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "value %d" i)
+          (float_of_int i) e.C.floats.(0)
+      | None -> Alcotest.failf "key %d lost by sharding" i)
+    keys;
+  ignore (C.find c "never-stored");
+  C.counters c
+
+let test_shard_count_invariance () =
+  let reference = shard_workload (C.create ()) in
+  List.iter
+    (fun n ->
+      let c = C.create ~shards:n () in
+      Alcotest.(check int) "shards recorded" n (C.shards c);
+      let k = shard_workload c in
+      Alcotest.(check int)
+        (Printf.sprintf "hits at %d shards" n)
+        reference.C.hits k.C.hits;
+      Alcotest.(check int)
+        (Printf.sprintf "misses at %d shards" n)
+        reference.C.misses k.C.misses;
+      Alcotest.(check int)
+        (Printf.sprintf "evictions at %d shards" n)
+        reference.C.evictions k.C.evictions;
+      Alcotest.(check int)
+        (Printf.sprintf "entries at %d shards" n)
+        reference.C.entries k.C.entries;
+      Alcotest.(check int)
+        (Printf.sprintf "bytes at %d shards" n)
+        reference.C.bytes k.C.bytes)
+    [ 2; 4; 16; 256 ]
+
+let test_shard_save_load_cross_count () =
+  let file = Filename.temp_file "mtsize-cache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let c = C.create ~shards:16 () in
+      ignore (shard_workload c);
+      C.save c file;
+      (* reload at a different stripe count: entries re-route by digest *)
+      let c' = C.load ~shards:4 file in
+      Alcotest.(check int) "population survives re-striping"
+        (C.counters c).C.entries (C.counters c').C.entries;
+      List.iteri
+        (fun i k ->
+          match C.find c' k with
+          | Some e ->
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "re-striped value %d" i)
+              (float_of_int i) e.C.floats.(0)
+          | None -> Alcotest.failf "key %d lost by re-striping" i)
+        (List.init 64 (fun i -> Digest.string (Printf.sprintf "shard-key-%d" i))))
+
+let test_shard_concurrent_domains () =
+  (* 4 domains hammer one 16-shard cache; every value read back must be
+     exactly what some store wrote for that key (values never tear) *)
+  let c = C.create ~shards:16 () in
+  let n = 256 in
+  let key i = Digest.string (Printf.sprintf "conc-%d" (i mod 64)) in
+  let worker _ =
+    for i = 0 to n - 1 do
+      let k = key i in
+      (match C.find c k with
+       | Some e ->
+         let v = e.C.floats.(0) in
+         if Float.rem v 1.0 <> 0.0 then
+           Alcotest.failf "torn value %f" v
+       | None -> ());
+      C.store c k (entry [| float_of_int (i mod 64) |])
+    done;
+    true
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (fun () -> worker d)) in
+  List.iter (fun d -> ignore (Domain.join d)) domains;
+  (* afterwards every key holds its (unique) final value *)
+  for i = 0 to 63 do
+    match C.find c (key i) with
+    | Some e ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "final value %d" i)
+        (float_of_int i) e.C.floats.(0)
+    | None -> Alcotest.failf "key %d missing after concurrent run" i
+  done;
+  let k = C.counters c in
+  Alcotest.(check int) "population is the key set" 64 k.C.entries;
+  Alcotest.(check int)
+    "every lookup counted" ((4 * n) + 64)
+    (k.C.hits + k.C.misses)
+
+let test_shard_bad_args () =
+  (match C.create ~shards:0 () with
+   | _ -> Alcotest.fail "shards=0 accepted"
+   | exception Invalid_argument _ -> ());
+  match C.create ~shards:257 () with
+  | _ -> Alcotest.fail "shards=257 accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_load_rejects_garbage () =
   let file = Filename.temp_file "mtsize-cache" ".txt" in
   Fun.protect
@@ -453,6 +565,13 @@ let suite =
     Alcotest.test_case "save/load preserves recency" `Quick
       test_save_load_preserves_recency;
     Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    Alcotest.test_case "shard counters are stripe-count-invariant" `Quick
+      test_shard_count_invariance;
+    Alcotest.test_case "save/load re-stripes across shard counts" `Quick
+      test_shard_save_load_cross_count;
+    Alcotest.test_case "sharded cache survives concurrent domains" `Quick
+      test_shard_concurrent_domains;
+    Alcotest.test_case "shard bounds rejected" `Quick test_shard_bad_args;
     Alcotest.test_case "ctx builders and override" `Quick test_ctx_builders;
     Alcotest.test_case "engine names" `Quick test_engine_names;
     Alcotest.test_case "spice sweep: cold = warm = cache-off" `Slow

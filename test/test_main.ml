@@ -14,5 +14,6 @@ let () =
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("runner", Test_runner.suite);
+      ("serve", Test_serve.suite);
       ("differential", Test_differential.suite);
       ("integration", Test_integration.suite) ]

@@ -235,6 +235,70 @@ let test_merge_telemetry () =
     into.Spice.Diag.recoveries;
   Alcotest.(check (float 1e-9)) "wall time" 1.5 into.Spice.Diag.wall_s
 
+(* --- Cooperative cancellation ---------------------------------------- *)
+
+let test_cancel_token_basics () =
+  let t = Par.Cancel.create () in
+  Alcotest.(check bool) "fresh token is live" false (Par.Cancel.cancelled t);
+  Par.Cancel.check t (* must not raise *);
+  Par.Cancel.cancel t;
+  Alcotest.(check bool) "cancel latches" true (Par.Cancel.cancelled t);
+  (match Par.Cancel.check t with
+   | () -> Alcotest.fail "check did not raise"
+   | exception Par.Cancel.Cancelled -> ());
+  (* an already-expired deadline cancels without an explicit cancel *)
+  let d = Par.Cancel.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  Alcotest.(check bool) "past deadline cancels" true (Par.Cancel.cancelled d);
+  let far = Par.Cancel.create ~deadline:(Unix.gettimeofday () +. 3600.0) () in
+  Alcotest.(check bool) "future deadline is live" false
+    (Par.Cancel.cancelled far)
+
+let test_cancel_pool_raises_untorn () =
+  (* a pre-cancelled token: the pool must raise and evaluate nothing
+     beyond the chunks already committed (here: at most one per worker
+     before the first poll... in fact none, since the poll precedes the
+     first chunk) *)
+  List.iter
+    (fun jobs ->
+      let cancel = Par.Cancel.create () in
+      Par.Cancel.cancel cancel;
+      let touched = Atomic.make 0 in
+      match
+        Par.Pool.map ~jobs ~cancel 64 (fun i ->
+            Atomic.incr touched;
+            i)
+      with
+      | _ -> Alcotest.failf "pre-cancelled map returned at jobs=%d" jobs
+      | exception Par.Cancel.Cancelled ->
+        Alcotest.(check int)
+          (Printf.sprintf "no work after cancel at jobs=%d" jobs)
+          0 (Atomic.get touched))
+    [ 1; 4 ]
+
+let test_cancel_mid_flight_stops_launching () =
+  (* trip the token from inside the map: chunks already running finish,
+     later chunks never start, and the call raises after the join *)
+  let cancel = Par.Cancel.create () in
+  let touched = Atomic.make 0 in
+  match
+    Par.Pool.map ~jobs:2 ~chunk:1 ~cancel 1000 (fun i ->
+        Atomic.incr touched;
+        if i = 0 then Par.Cancel.cancel cancel;
+        i)
+  with
+  | _ -> Alcotest.fail "cancelled map returned"
+  | exception Par.Cancel.Cancelled ->
+    Alcotest.(check bool)
+      "stopped early" true
+      (Atomic.get touched < 1000)
+
+let test_uncancelled_map_unchanged () =
+  (* supplying a live token must not change the result *)
+  let cancel = Par.Cancel.create () in
+  let plain = Par.Pool.map ~jobs:4 100 (fun i -> i * i) in
+  let with_token = Par.Pool.map ~jobs:4 ~cancel 100 (fun i -> i * i) in
+  Alcotest.(check bool) "identical results" true (plain = with_token)
+
 let suite =
   [ Alcotest.test_case "map = sequential for jobs 1/2/8" `Quick
       test_map_matches_sequential;
@@ -256,4 +320,11 @@ let suite =
     Alcotest.test_case "scored-zero distinct from nothing-switches" `Quick
       test_scored_zero_distinct_from_quiet_zero;
     Alcotest.test_case "telemetry merge sums counters" `Quick
-      test_merge_telemetry ]
+      test_merge_telemetry;
+    Alcotest.test_case "cancel token basics" `Quick test_cancel_token_basics;
+    Alcotest.test_case "pre-cancelled pool raises untorn" `Quick
+      test_cancel_pool_raises_untorn;
+    Alcotest.test_case "mid-flight cancel stops launching chunks" `Quick
+      test_cancel_mid_flight_stops_launching;
+    Alcotest.test_case "live token leaves results unchanged" `Quick
+      test_uncancelled_map_unchanged ]

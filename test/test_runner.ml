@@ -54,7 +54,13 @@ let test_sexp_errors () =
     (String.length (err "(a\n(b") > 0
      && String.sub (err "(a\n(b") 0 7 = "line 2:");
   ignore (err "(a))");
-  ignore (err {|("unterminated|})
+  ignore (err {|("unterminated|});
+  (* with a source name the position is compiler-style "file:line:" *)
+  (match Runner.Sexp.parse_string ~file:"jobs.mtz" "(a\n(b" with
+   | Error m ->
+     Alcotest.(check string) "file-qualified position" "jobs.mtz:2:"
+       (String.sub m 0 11)
+   | Ok _ -> Alcotest.fail "unclosed paren parsed")
 
 (* --- JSON emitter --------------------------------------------------- *)
 
@@ -148,14 +154,66 @@ let test_journal_round_trip () =
       (match Runner.Journal.load ~path ~fingerprint:"other" with
        | Error _ -> ()
        | Ok _ -> Alcotest.fail "stale journal was accepted");
-      (* a kill mid-append leaves an unterminated tail: dropped *)
-      let oc = open_out_gen [ Open_append ] 0o644 path in
-      output_string oc "j3 {\"tru";
-      close_out oc;
-      match Runner.Journal.load ~path ~fingerprint:"abc123" with
-      | Ok entries ->
-        Alcotest.(check int) "torn tail dropped" 2 (List.length entries)
-      | Error e -> Alcotest.fail e)
+      (* a kill mid-append can tear the tail several ways; every one
+         must be dropped without touching the intact prefix *)
+      let base = In_channel.with_open_bin path In_channel.input_all in
+      let with_tail tail check_name =
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc base;
+            Out_channel.output_string oc tail);
+        match Runner.Journal.load ~path ~fingerprint:"abc123" with
+        | Ok entries ->
+          Alcotest.(check int) check_name 2 (List.length entries)
+        | Error e -> Alcotest.fail e
+      in
+      with_tail "j3 {\"tru" "legacy torn payload dropped";
+      with_tail "j3 1" "torn length header dropped";
+      with_tail "j3 12\n" "terminated torn header dropped";
+      with_tail "j3 12 {\"id\"" "short framed payload dropped";
+      with_tail "j3 12 {\"id\"\n" "terminated short payload dropped";
+      with_tail "j3" "bare id dropped";
+      with_tail "j3 8 {\"x\":1}" "unterminated framed record dropped")
+
+(* Exhaustive torn-tail fuzz: truncate a valid journal at every byte
+   offset.  load must never raise, and whenever it answers Ok the
+   entries must be a prefix of the untruncated journal's — truncation
+   can lose records, never invent or corrupt them. *)
+let test_journal_truncation_fuzz () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Runner.Journal.start ~path ~fingerprint:"fz";
+      let full_entries =
+        [ ("a", {|{"id":"a","status":"ok"}|});
+          ("b", {|{"id":"b","err":"x y z"}|});
+          ("c", {|{"id":"c","n":123}|}) ]
+      in
+      List.iter
+        (fun (id, json) -> Runner.Journal.append ~path ~id ~json)
+        full_entries;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let is_prefix got =
+        let rec go g f =
+          match (g, f) with
+          | [], _ -> true
+          | gh :: gt, fh :: ft -> gh = fh && go gt ft
+          | _ :: _, [] -> false
+        in
+        go got full_entries
+      in
+      for cut = 0 to String.length full do
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (String.sub full 0 cut));
+        match Runner.Journal.load ~path ~fingerprint:"fz" with
+        | Ok entries ->
+          if not (is_prefix entries) then
+            Alcotest.failf "cut at %d: entries are not a prefix" cut
+        | Error _ -> () (* truncated header: a refusal, never a raise *)
+        | exception e ->
+          Alcotest.failf "cut at %d: load raised %s" cut
+            (Printexc.to_string e)
+      done)
 
 (* --- Catalog -------------------------------------------------------- *)
 
@@ -182,8 +240,8 @@ let test_catalog_round_trips () =
 
 (* --- Exec: isolation and manifest shape ----------------------------- *)
 
-let run_exn ?ctx ?journal ?fresh ?stop_after spec =
-  match Runner.run ?ctx ?journal ?fresh ?stop_after spec with
+let run_exn ?ctx ?journal ?fresh ?stop_after ?cancel ?on_fragment spec =
+  match Runner.run ?ctx ?journal ?fresh ?stop_after ?cancel ?on_fragment spec with
   | Ok o -> o
   | Error e -> Alcotest.failf "runner failed: %s" e
 
@@ -219,6 +277,50 @@ let test_failure_isolation () =
   Alcotest.(check bool) "error message kept" true (mem {|"error":|});
   Alcotest.(check bool) "ok neighbour present" true
     (mem {|"id":"s_also_ok","kind":"sweep","circuit":"c","status":"ok"|})
+
+(* Cancellation at job boundaries + fragment streaming: the serve
+   daemon's contract.  A cancelled run reports interrupted, journals
+   what it finished, and a resume completes to the uninterrupted
+   manifest; on_fragment sees every manifest entry in order, replayed
+   ones included. *)
+let test_cancel_and_streaming () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let s = spec () in
+      let reference = (run_exn s).Runner.manifest in
+      (* pre-tripped token: nothing executes, nothing raises *)
+      let c = Par.Cancel.create () in
+      Par.Cancel.cancel c;
+      let o = run_exn ~journal:path ~fresh:true ~cancel:c s in
+      Alcotest.(check int) "cancelled before start" 0 o.Runner.executed;
+      Alcotest.(check bool) "interrupted" true o.Runner.interrupted;
+      (* resume with streaming: all fragments arrive, in manifest order,
+         and the manifest matches an uninterrupted run byte for byte *)
+      let seen = ref [] in
+      let resumed =
+        run_exn ~journal:path
+          ~on_fragment:(fun ~id ~status:_ frag ->
+            seen := (id, frag) :: !seen)
+          s
+      in
+      Alcotest.(check string) "resume = reference" reference
+        resumed.Runner.manifest;
+      Alcotest.(check (list string))
+        "streamed ids in manifest order"
+        (List.map (fun j -> j.Runner.Spec.id) s.Runner.Spec.jobs)
+        (List.rev_map fst !seen);
+      List.iter
+        (fun (_, frag) ->
+          let np = String.length frag in
+          let hay = resumed.Runner.manifest in
+          let rec find i =
+            i + np <= String.length hay
+            && (String.sub hay i np = frag || find (i + 1))
+          in
+          Alcotest.(check bool) "fragment appears verbatim" true (find 0))
+        !seen)
 
 let test_runner_metrics () =
   let obs = Obs.create () in
@@ -289,8 +391,12 @@ let suite =
       test_spec_rejections;
     Alcotest.test_case "journal round trip + torn tail" `Quick
       test_journal_round_trip;
+    Alcotest.test_case "journal truncation fuzz (every offset)" `Quick
+      test_journal_truncation_fuzz;
     Alcotest.test_case "catalog round trips" `Quick test_catalog_round_trips;
     Alcotest.test_case "per-job failure isolation" `Quick
       test_failure_isolation;
+    Alcotest.test_case "cancel at job boundary + fragment streaming"
+      `Quick test_cancel_and_streaming;
     Alcotest.test_case "runner obs metrics" `Quick test_runner_metrics;
     QCheck_alcotest.to_alcotest prop_resume_bit_identical ]
