@@ -1434,6 +1434,111 @@ let serve_exp ~fast () =
     exit 1
   end
 
+(* ---- SCALE: event-driven core vs dense passes on 10k+-gate circuits ------------ *)
+
+let scale_exp ~fast () =
+  header
+    "SCALE: event-driven switch-level core vs dense whole-netlist passes";
+  Format.printf
+    "per vector step: dense = one full Logic_sim.eval plus \
+     switched/falling scans; event = one Event_sim.step touching only \
+     dirty gates.  Totals must be identical; >= 10k-gate circuits must \
+     show >= 5x.@.";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let module L = Netlist.Logic_sim in
+  let module E = Netlist.Event_sim in
+  let check name c =
+    let inputs = Array.length (Netlist.Circuit.inputs c) in
+    let gates = Netlist.Circuit.num_gates c in
+    let steps = if fast then 200 else 400 in
+    let st = Random.State.make [| 19 |] in
+    (* a realistic step sequence: mostly small perturbations (2 flips),
+       with a half-the-inputs burst every 16th step so the worklist also
+       sees wide events *)
+    let vecs = Array.make (steps + 1) [||] in
+    vecs.(0) <-
+      Array.init inputs (fun _ -> S.of_bool (Random.State.bool st));
+    for i = 1 to steps do
+      let v = Array.copy vecs.(i - 1) in
+      let flips = if i mod 16 = 0 then max 1 (inputs / 2) else 2 in
+      for _ = 1 to flips do
+        let k = Random.State.int st inputs in
+        v.(k) <- (match v.(k) with S.L1 -> S.L0 | S.L0 | S.X -> S.L1)
+      done;
+      vecs.(i) <- v
+    done;
+    let dense () =
+      let prev = ref (L.eval c vecs.(0)) in
+      let sw = ref 0 and fall = ref 0 in
+      for i = 1 to steps do
+        let s = L.eval c vecs.(i) in
+        sw := !sw + List.length (L.switched_gates c !prev s);
+        fall := !fall + List.length (L.falling_gates c !prev s);
+        prev := s
+      done;
+      (!sw, !fall, !prev)
+    in
+    let es = E.of_circuit c in
+    let event () =
+      let state = ref (E.init es vecs.(0)) in
+      let sw = ref 0 and fall = ref 0 and touched = ref 0 in
+      for i = 1 to steps do
+        let m = E.step es !state vecs.(i) in
+        sw := !sw + E.activity es m;
+        fall := !fall + List.length (E.falling_gates es m);
+        touched := !touched + List.length m.E.touched;
+        state := m.E.post
+      done;
+      (!sw, !fall, !touched, !state)
+    in
+    let (d_sw, d_fall, d_final), t_dense = time dense in
+    let (e_sw, e_fall, e_touched, e_final), t_event = time event in
+    let identical =
+      d_sw = e_sw && d_fall = e_fall
+      && Array.for_all2 S.equal d_final (E.levels es e_final)
+    in
+    let speedup = t_dense /. Float.max 1e-9 t_event in
+    let touched_frac =
+      float_of_int e_touched /. float_of_int (steps * gates)
+    in
+    Format.printf
+      "{\"experiment\": \"scale/%s\", \"gates\": %d, \"steps\": %d, \
+       \"activity\": %d, \"falling\": %d, \"touched_frac\": %.4f, \
+       \"t_dense_s\": %.3f, \"t_event_s\": %.3f, \"speedup\": %.1f, \
+       \"identical\": %b}@."
+      name gates steps d_sw d_fall touched_frac t_dense t_event speedup
+      identical;
+    if not identical then begin
+      Format.eprintf
+        "scale/%s: event-driven totals differ from dense (activity %d \
+         vs %d, falling %d vs %d)@."
+        name e_sw d_sw e_fall d_fall;
+      exit 1
+    end;
+    if gates >= 10_000 && speedup < 5.0 then begin
+      Format.eprintf "scale/%s: speedup %.1fx < 5x at %d gates@." name
+        speedup gates;
+      exit 1
+    end
+  in
+  let ks = Circuits.Kogge_stone.make t07 ~bits:128 in
+  check "kogge-stone-128" ks.Circuits.Kogge_stone.circuit;
+  let mu = Circuits.Csa_multiplier.make t07 ~bits:16 in
+  check "csa-mult-16" mu.Circuits.Csa_multiplier.circuit;
+  let cloud g =
+    (Circuits.Random_logic.make ~seed:3 t07 ~inputs:64 ~gates:g)
+      .Circuits.Random_logic.circuit
+  in
+  check "random-cloud-12k" (cloud 12_000);
+  if not fast then begin
+    check "random-cloud-50k" (cloud 50_000);
+    check "random-cloud-100k" (cloud 100_000)
+  end
+
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -1525,6 +1630,7 @@ let all ~fast () =
   runner_exp ~fast ();
   obs_exp ~fast ();
   serve_exp ~fast ();
+  scale_exp ~fast ();
   bechamel ()
 
 let () =
@@ -1564,12 +1670,13 @@ let () =
         | "runner" -> runner_exp ~fast ()
         | "obs" -> obs_exp ~fast ()
         | "serve" -> serve_exp ~fast ()
+        | "scale" -> scale_exp ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
              fig14 cpu ablations extras par cache runner obs serve \
-             bechamel)@."
+             scale bechamel)@."
             other;
           exit 2)
       names

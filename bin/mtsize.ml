@@ -30,8 +30,9 @@ let tech_term =
 let circuit_term =
   let doc =
     "Benchmark circuit: tree, chain, adder$(i,N) (e.g. adder3), \
-     mult$(i,N) (e.g. mult8), or a $(i,.net) netlist file (see \
-     Netlist.Parse for the language)."
+     mult$(i,N) (e.g. mult8), kogge$(i,N) (Kogge-Stone prefix adder), \
+     random$(i,G) (seeded $(i,G)-gate random-logic cloud), or a \
+     $(i,.net) netlist file (see Netlist.Parse for the language)."
   in
   Arg.(value & opt string "adder3" & info [ "c"; "circuit" ] ~docv:"CIRCUIT" ~doc)
 
@@ -813,6 +814,103 @@ let workload_cmd =
     Term.(const run $ tech_term $ circuit_term $ wl_term $ period_term
           $ cycles_term $ seed_term $ obs_term)
 
+let scale_cmd =
+  (* The event-driven core's CLI surface: run a perturbation workload on
+     a (typically generated) circuit, report per-step touched/activity/
+     falling counts, and cross-check every step against the dense
+     reference evaluator.  Everything printed is deterministic (no
+     timings), so the golden suite pins it byte for byte. *)
+  let run tech_name circuit_name steps flips seed =
+    let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
+    let c = bc.circuit in
+    if steps < 1 then or_die (Error "--steps must be >= 1");
+    if flips < 1 then or_die (Error "--flips must be >= 1");
+    let es = Netlist.Event_sim.of_circuit c in
+    let n_inputs = Array.length (Netlist.Circuit.inputs c) in
+    Format.printf "%a@." Netlist.Circuit.pp_stats c;
+    Format.printf
+      "event core: %d gates over %d nets; workload: %d step(s), %d \
+       flip(s)/step, seed %d@."
+      (Netlist.Event_sim.num_gates es)
+      (Netlist.Event_sim.num_nets es)
+      steps flips seed;
+    let st = Random.State.make [| seed |] in
+    let v =
+      ref
+        (Array.init n_inputs (fun _ ->
+             Netlist.Signal.of_bool (Random.State.bool st)))
+    in
+    let state = ref (Netlist.Event_sim.init es !v) in
+    let gates = Netlist.Circuit.num_gates c in
+    let agree = ref true in
+    let t_touched = ref 0 and t_act = ref 0 and t_fall = ref 0 in
+    for i = 1 to steps do
+      let v' = Array.copy !v in
+      for _ = 1 to flips do
+        let k = Random.State.int st n_inputs in
+        v'.(k) <-
+          (match v'.(k) with
+           | Netlist.Signal.L1 -> Netlist.Signal.L0
+           | Netlist.Signal.L0 | Netlist.Signal.X -> Netlist.Signal.L1)
+      done;
+      let m = Netlist.Event_sim.step es !state v' in
+      let touched = List.length m.Netlist.Event_sim.touched in
+      let act = Netlist.Event_sim.activity es m in
+      let fall = List.length (Netlist.Event_sim.falling_gates es m) in
+      (* dense cross-check, every step *)
+      let s0 = Netlist.Logic_sim.eval c !v in
+      let s1 = Netlist.Logic_sim.eval c v' in
+      let ok =
+        Netlist.Event_sim.levels es m.Netlist.Event_sim.post = s1
+        && Netlist.Event_sim.switched_gates es m
+           = Netlist.Logic_sim.switched_gates c s0 s1
+        && Netlist.Event_sim.falling_gates es m
+           = Netlist.Logic_sim.falling_gates c s0 s1
+      in
+      if not ok then agree := false;
+      t_touched := !t_touched + touched;
+      t_act := !t_act + act;
+      t_fall := !t_fall + fall;
+      Format.printf
+        "step %2d: touched %d gate(s) (%.1f%%), activity %d, falling %d@."
+        i touched
+        (100.0 *. float_of_int touched /. float_of_int gates)
+        act fall;
+      state := m.Netlist.Event_sim.post;
+      v := v'
+    done;
+    Format.printf
+      "total: %d gate evals vs %d dense (%.1f%%); activity %d, falling \
+       %d@."
+      !t_touched (steps * gates)
+      (100.0 *. float_of_int !t_touched /. float_of_int (steps * gates))
+      !t_act !t_fall;
+    Format.printf "event core agrees with dense reference: %s@."
+      (if !agree then "yes" else "NO");
+    if not !agree then exit 1
+  in
+  let steps_term =
+    let doc = "Number of perturbation steps." in
+    Arg.(value & opt int 16 & info [ "steps" ] ~docv:"N" ~doc)
+  in
+  let flips_term =
+    let doc = "Input bits flipped per step." in
+    Arg.(value & opt int 2 & info [ "flips" ] ~docv:"K" ~doc)
+  in
+  let seed_term =
+    let doc = "Workload seed." in
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Drive the event-driven switch-level core over a perturbation \
+          workload (use generated circuits like random20000 or \
+          kogge16), cross-checking every step against the dense \
+          evaluator.  Exit 1 on any disagreement.")
+    Term.(const run $ tech_term $ circuit_term $ steps_term $ flips_term
+          $ seed_term)
+
 let run_cmd =
   let run jobfile out journal fresh stop_after engine jobs budget co oo =
     let spec = or_die (Runner.Spec.parse_file jobfile) in
@@ -1117,4 +1215,4 @@ let () =
           [ sweep_cmd; size_cmd; worst_cmd; simulate_cmd; compare_cmd;
             estimate_cmd; sta_cmd; energy_cmd; wakeup_cmd; deck_cmd;
             lint_cmd; search_cmd; workload_cmd; dot_cmd; trace_check_cmd;
-            run_cmd; serve_cmd; submit_cmd ]))
+            scale_cmd; run_cmd; serve_cmd; submit_cmd ]))

@@ -19,11 +19,16 @@ let make ?(seed = 7) ?(cl = 10e-15) tech ~inputs ~gates =
     Array.init inputs (fun i ->
         C.add_input ~name:(Printf.sprintf "i%d" i) b)
   in
-  let nets = ref (Array.to_list ins) in
+  (* creation-order net pool; index [count-1-k] reproduces the draw the
+     old newest-first list made at [List.nth _ k], so seeded circuits
+     are unchanged while 100k-gate clouds build in O(gates) instead of
+     O(gates^2) *)
+  let nets = Array.make (inputs + gates) 0 in
+  Array.blit ins 0 nets 0 inputs;
   let n_nets = ref inputs in
   let read = Hashtbl.create (gates * 2) in
   let pick () =
-    let n = List.nth !nets (Random.State.int st !n_nets) in
+    let n = nets.(!n_nets - 1 - Random.State.int st !n_nets) in
     Hashtbl.replace read n ();
     n
   in
@@ -32,7 +37,7 @@ let make ?(seed = 7) ?(cl = 10e-15) tech ~inputs ~gates =
     let kind = kinds.(Random.State.int st (Array.length kinds)) in
     let pins = List.init (G.arity kind) (fun _ -> pick ()) in
     let out = C.add_gate b kind pins in
-    nets := out :: !nets;
+    nets.(!n_nets) <- out;
     incr n_nets;
     produced := out :: !produced
   done;

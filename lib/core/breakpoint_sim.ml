@@ -138,9 +138,12 @@ let simulate_core ?(config = default_config) c ~before ~after =
         Vground.model = Device.Tech.pmos_alpha tech }
     else model.Delay_model.vg
   in
-  let pre = Netlist.Logic_sim.eval c before in
-  let post_targets = Netlist.Logic_sim.eval c after in
-  ignore post_targets;
+  (* the event-driven core shares one flattened netlist per circuit
+     across every simulate call (and every Par.Pool domain); the dense
+     second eval that used to compute-and-discard the post state is
+     gone — retargeting discovers the post state incrementally *)
+  let es = Netlist.Event_sim.of_circuit c in
+  let pre = Netlist.Event_sim.levels es (Netlist.Event_sim.init es before) in
   (* check the initial state is fully determined *)
   Array.iter
     (fun (g : C.gate_inst) ->
@@ -384,9 +387,9 @@ let simulate_core ?(config = default_config) c ~before ~after =
   (* apply the input step *)
   let to_reeval : (int, C.net) Hashtbl.t = Hashtbl.create 32 in
   let queue_fanout n =
-    List.iter
-      (fun (gid, _) -> Hashtbl.replace to_reeval gid n)
-      (C.fanout c n)
+    (* CSR walk, no per-event list allocation *)
+    Netlist.Event_sim.iter_fanout es n (fun gid ->
+        Hashtbl.replace to_reeval gid n)
   in
   Array.iteri
     (fun i n ->

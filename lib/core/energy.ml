@@ -10,15 +10,23 @@ type budget = {
 
 let switching_energy_of_transition circuit ~before ~after =
   let vdd = (C.tech circuit).Device.Tech.vdd in
-  let s0 = Netlist.Logic_sim.eval_ints circuit before in
-  let s1 = Netlist.Logic_sim.eval_ints circuit after in
+  let es = Netlist.Event_sim.of_circuit circuit in
+  let m =
+    Netlist.Event_sim.transition es
+      ~before:(Netlist.Logic_sim.pack_ints circuit before)
+      ~after:(Netlist.Logic_sim.pack_ints circuit after)
+  in
+  (* changed_nets comes back in ascending net order — the same order
+     the old dense 0..nets-1 scan summed in, so the float total is
+     bit-identical *)
   let e = ref 0.0 in
-  for n = 0 to C.num_nets circuit - 1 do
-    match (s0.(n), s1.(n)) with
-    | Netlist.Signal.L0, Netlist.Signal.L1 ->
-      e := !e +. (C.load_capacitance circuit n *. vdd *. vdd)
-    | (Netlist.Signal.L0 | Netlist.Signal.L1 | Netlist.Signal.X), _ -> ()
-  done;
+  List.iter
+    (fun (n, v0, v1) ->
+      match (v0, v1) with
+      | Netlist.Signal.L0, Netlist.Signal.L1 ->
+        e := !e +. (C.load_capacitance circuit n *. vdd *. vdd)
+      | (Netlist.Signal.L0 | Netlist.Signal.L1 | Netlist.Signal.X), _ -> ())
+    (Netlist.Event_sim.changed_nets es m);
   !e
 
 let switching_energy_of_result circuit result =

@@ -57,12 +57,16 @@ let discharge_hotspot ~fraction ~samples c =
     let random_vec () =
       List.map (fun w -> (w, Random.State.int st (1 lsl w))) widths
     in
+    let es = Netlist.Event_sim.of_circuit c in
     let worst = ref 0 and worst_pair = ref None in
     for _ = 1 to samples do
       let before = random_vec () and after = random_vec () in
-      let s0 = Netlist.Logic_sim.eval_ints c before in
-      let s1 = Netlist.Logic_sim.eval_ints c after in
-      let falling = List.length (Netlist.Logic_sim.falling_gates c s0 s1) in
+      let m =
+        Netlist.Event_sim.transition es
+          ~before:(Netlist.Logic_sim.pack_ints c before)
+          ~after:(Netlist.Logic_sim.pack_ints c after)
+      in
+      let falling = List.length (Netlist.Event_sim.falling_gates es m) in
       if falling > !worst then begin
         worst := falling;
         worst_pair := Some (before, after)

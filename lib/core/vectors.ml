@@ -79,9 +79,19 @@ let worst ?ctx ?body_effect c ~sleep ~pairs ~top =
   List.filteri (fun i _ -> i < top) ranked
 
 let involving_output c ~net ~pairs =
+  (* pairs share sides heavily (enumerated products especially), so
+     memoize per-side steady states on the shared flattened netlist
+     instead of a dense eval per membership test *)
+  let es = Netlist.Event_sim.of_circuit c in
+  let memo = Hashtbl.create 64 in
   let value_of groups =
-    let st = Netlist.Logic_sim.eval_ints c groups in
-    st.(net)
+    match Hashtbl.find_opt memo groups with
+    | Some v -> v
+    | None ->
+      let st = Netlist.Event_sim.init es (Netlist.Logic_sim.pack_ints c groups) in
+      let v = Netlist.Event_sim.level st net in
+      Hashtbl.add memo groups v;
+      v
   in
   List.filter
     (fun (before, after) ->

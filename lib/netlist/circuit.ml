@@ -13,6 +13,7 @@ type builder = {
   b_tech : Device.Tech.t;
   mutable b_next_net : int;
   mutable b_gates : gate_inst list; (* reversed *)
+  mutable b_n_gates : int;
   mutable b_inputs : net list;      (* reversed *)
   mutable b_outputs : net list;     (* reversed *)
   mutable b_ties : (net * bool) list;
@@ -41,6 +42,7 @@ let builder b_tech =
   { b_tech;
     b_next_net = 0;
     b_gates = [];
+    b_n_gates = 0;
     b_inputs = [];
     b_outputs = [];
     b_ties = [];
@@ -90,13 +92,14 @@ let add_gate ?name ?(strength = 1.0) b kind ins =
   let output = fresh_net ?name b in
   Hashtbl.replace b.b_driven output ();
   let g =
-    { id = List.length b.b_gates;
+    { id = b.b_n_gates;
       kind;
       inputs = Array.of_list ins;
       output;
       strength }
   in
   b.b_gates <- g :: b.b_gates;
+  b.b_n_gates <- b.b_n_gates + 1;
   output
 
 let mark_output ?name b n =

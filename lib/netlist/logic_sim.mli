@@ -13,11 +13,16 @@ val eval : Circuit.t -> Signal.level array -> state
     order of [Circuit.inputs].
     @raise Invalid_argument on a length mismatch. *)
 
+val pack_ints : Circuit.t -> (int * int) list -> Signal.level array
+(** Expand little-endian [(width, value)] groups into the flat input
+    vector [eval] expects, consumed in the order of [Circuit.inputs].
+    @raise Invalid_argument when the widths don't sum to the number of
+    primary inputs (the message lists the widths and the input count)
+    or when a value doesn't fit its width (the message names the
+    offending group index). *)
+
 val eval_ints : Circuit.t -> (int * int) list -> state
-(** Convenience: assign inputs from little-endian [(width, value)]
-    groups, consumed in the order of [Circuit.inputs].  The widths must
-    sum to the number of primary inputs.
-    @raise Invalid_argument otherwise. *)
+(** [eval c (pack_ints c groups)]. *)
 
 val outputs_of : Circuit.t -> state -> Signal.level array
 val output_int : Circuit.t -> state -> int option

@@ -46,10 +46,28 @@ let circuit_of_name tech = function
        Ok { name = s; circuit = m.Circuits.Csa_multiplier.circuit;
             widths = [ bits; bits ] }
      | Some _ | None -> Error (Printf.sprintf "bad multiplier spec %S" s))
+  | s when String.length s > 5 && String.sub s 0 5 = "kogge" ->
+    (match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+     | Some bits when bits >= 1 && bits <= 30 ->
+       let k = Circuits.Kogge_stone.make tech ~bits in
+       Ok { name = s; circuit = k.Circuits.Kogge_stone.circuit;
+            widths = [ bits; bits ] }
+     | Some _ | None -> Error (Printf.sprintf "bad kogge spec %S" s))
+  | s when String.length s > 6 && String.sub s 0 6 = "random" ->
+    (* seeded random-logic cloud: deterministic for a given gate count,
+       input count scales with size but stays packable in one group *)
+    (match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+     | Some gates when gates >= 10 && gates <= 200_000 ->
+       let inputs = min 32 (max 4 (gates / 8)) in
+       let r = Circuits.Random_logic.make ~seed:7 tech ~inputs ~gates in
+       Ok { name = s; circuit = r.Circuits.Random_logic.circuit;
+            widths = [ inputs ] }
+     | Some _ | None -> Error (Printf.sprintf "bad random spec %S" s))
   | s ->
     Error
       (Printf.sprintf
-         "unknown circuit %S (tree | chain | adder<N> | mult<N>)" s)
+         "unknown circuit %S (tree | chain | adder<N> | mult<N> | \
+          kogge<N> | random<G>)" s)
 
 let parse_vector widths s =
   (* "1,5->6,5" with one integer per input group *)

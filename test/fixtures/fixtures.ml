@@ -29,6 +29,37 @@ let adder8 () = adder_circuit 8
 let mult ?(tech = tech) bits = Circuits.Csa_multiplier.make tech ~bits
 let mult_circuit ?tech bits = (mult ?tech bits).Circuits.Csa_multiplier.circuit
 
+(* --- sized builders for the scale tier --------------------------------
+   Parameterized generators for the event-driven-core suites: wide
+   Kogge-Stone prefix adders, CSA multiplier arrays (via [mult] above)
+   and seeded random-logic clouds.  Deterministic for a given size and
+   seed, so differential results are reproducible across runs and
+   worker counts. *)
+
+let kogge ?(tech = tech) bits = Circuits.Kogge_stone.make tech ~bits
+
+let kogge_circuit ?tech bits =
+  (kogge ?tech bits).Circuits.Kogge_stone.circuit
+
+let random_cloud ?(tech = tech) ?(seed = 7) ?cl ~inputs ~gates () =
+  Circuits.Random_logic.make ~seed ?cl tech ~inputs ~gates
+
+let random_circuit ?tech ?seed ?cl ~inputs ~gates () =
+  (random_cloud ?tech ?seed ?cl ~inputs ~gates ()).Circuits.Random_logic.circuit
+
+(* Size multiplier for the scale suites: tier-1 stays fast at the
+   default 1; CI (or a curious dev) sets MTSIZE_TEST_SCALE=4/10 to run
+   the same properties on 10k+-gate instances. *)
+let test_scale () =
+  match Sys.getenv_opt "MTSIZE_TEST_SCALE" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> 1)
+  | None -> 1
+
+let scaled n = n * test_scale ()
+
 (* the 28-transistor mirror-adder cell as a 3-input / 2-output circuit *)
 let mirror_cell () =
   let b = Netlist.Circuit.builder tech in

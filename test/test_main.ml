@@ -16,4 +16,5 @@ let () =
       ("runner", Test_runner.suite);
       ("serve", Test_serve.suite);
       ("differential", Test_differential.suite);
+      ("scale", Test_scale.suite);
       ("integration", Test_integration.suite) ]
