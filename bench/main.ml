@@ -147,11 +147,11 @@ let fig10 () =
     List.map
       (fun wl ->
         let sp =
-          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level tree_c
+          Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Spice_level) tree_c
             ~vectors:[ tree_vec ] ~wl
         in
         let bp =
-          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint tree_c
+          Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Breakpoint) tree_c
             ~vectors:[ tree_vec ] ~wl
         in
         let ratio =
@@ -357,11 +357,11 @@ let fig13 () =
     List.map
       (fun wl ->
         let sp =
-          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level adder_c
+          Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Spice_level) adder_c
             ~vectors:[ adder_fig13_vec ] ~wl
         in
         let bp =
-          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint adder_c
+          Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Breakpoint) adder_c
             ~vectors:[ adder_fig13_vec ] ~wl
         in
         let ratio =
@@ -499,8 +499,9 @@ let ablations () =
   List.iter
     (fun be ->
       let m =
-        Mtcmos.Sizing.delay_at ~body_effect:be tree_c ~vectors:[ tree_vec ]
-          ~wl:8.0
+        Mtcmos.Sizing.delay_at
+          ~ctx:Eval.Ctx.(default |> with_body_effect be)
+          tree_c ~vectors:[ tree_vec ] ~wl:8.0
       in
       Format.printf "  body effect %-5b: delay %s, degradation %.1f%%@." be
         (eng ~unit:"s" m.Mtcmos.Sizing.mtcmos_delay)
@@ -970,7 +971,7 @@ let extras ~fast () =
     List.iter
       (fun wl ->
         let sp =
-          Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level tree_c
+          Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Spice_level) tree_c
             ~vectors:[ tree_vec ] ~wl
         in
         let bp =
@@ -1019,7 +1020,7 @@ let extras ~fast () =
         ~sleep:BP.Cmos ~widths:[ 3; 3 ] Mtcmos.Search.Max_delay
     in
     let sp =
-      Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level adder_c
+      Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Spice_level) adder_c
         ~vectors:[ hunt.Mtcmos.Search.pair ] ~wl:1000.0
     in
     Format.printf
@@ -1078,7 +1079,10 @@ let par ~fast () =
            300.0; 400.0; 500.0 ]
   in
   let vectors = [ mult_vec_a; mult_vec_b ] in
-  let sweep j () = Mtcmos.Sizing.sweep ~jobs:j mult_c ~vectors ~wls in
+  let sweep j () =
+    Mtcmos.Sizing.sweep ~ctx:Eval.Ctx.(default |> with_jobs j) mult_c
+      ~vectors ~wls
+  in
   let ms_seq, t_seq = time (sweep 1) in
   let ms_par, t_par = time (sweep jobs) in
   report "sizing-sweep-mult8" t_seq t_par (ms_seq = ms_par);
@@ -1086,8 +1090,9 @@ let par ~fast () =
   let sleep60 = sleep_of t03 60.0 in
   let hunt j () =
     Mtcmos.Search.hill_climb ~seed:2 ~restarts:(if fast then 4 else 8)
-      ~max_iters:(if fast then 100 else 250) ~jobs:j mult_c ~sleep:sleep60
-      ~widths:[ 8; 8 ] Mtcmos.Search.Max_degradation
+      ~max_iters:(if fast then 100 else 250)
+      ~ctx:Eval.Ctx.(default |> with_jobs j)
+      mult_c ~sleep:sleep60 ~widths:[ 8; 8 ] Mtcmos.Search.Max_degradation
   in
   let h_seq, ht_seq = time (hunt 1) in
   let h_par, ht_par = time (hunt jobs) in
@@ -1539,6 +1544,187 @@ let scale_exp ~fast () =
     check "random-cloud-100k" (cloud 100_000)
   end
 
+(* ---- SPEED: fast transient path (chain reduction + latency bypass) ------------- *)
+
+let speed_exp ~fast () =
+  header "SPEED: fast transient path vs the unreduced engine";
+  Format.printf
+    "deck 1: explicit series-RC ladder, `Reduce eliminates the chain \
+     interior exactly; deck 2: sleep-gated ripple adder through \
+     Spice_ref, `Reduce_bypass adds the quiescent-device bypass and \
+     LTE stepping.  Gates: `Off bit-identical through the Opts record, \
+     fast modes inside their bands, >= 5x wall-clock on both decks.@.";
+  let module T = Netlist.Transistor in
+  let module E = Spice.Engine in
+  (* best-of-2 so one scheduler hiccup does not fail a wall-clock gate *)
+  let time f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (v, Unix.gettimeofday () -. t0)
+    in
+    let v, t1 = once () in
+    let _, t2 = once () in
+    (v, Float.min t1 t2)
+  in
+  (* --- deck 1: RC ladder, `Off vs `Reduce ------------------------------ *)
+  let segments = if fast then 300 else 600 in
+  let r = 1000.0 and c = 1e-13 in
+  let b = T.builder () in
+  let src = T.node ~name:"src" b in
+  T.add b
+    (T.Vsrc
+       { pos = src; neg = T.ground;
+         wave = Phys.Pwl.create [ (0.0, 0.0); (1e-11, 1.0) ] });
+  let nodes =
+    Array.init segments (fun i -> T.node ~name:(Printf.sprintf "n%d" i) b)
+  in
+  Array.iteri
+    (fun i n ->
+      let prev = if i = 0 then src else nodes.(i - 1) in
+      T.add b (T.Res { pos = prev; neg = n; r });
+      T.add b (T.Cap { pos = n; neg = T.ground; c }))
+    nodes;
+  let netlist = T.freeze b in
+  let probe = nodes.(segments - 1) in
+  let tau = r *. c in
+  let t_stop = 6.0 *. tau *. float_of_int segments /. 10.0 in
+  let dt = tau /. 2.0 in
+  let run_ladder mode =
+    let eng =
+      E.prepare
+        ~opts:
+          E.Opts.(
+            default |> with_fast mode |> with_dt dt
+            |> with_record (E.Nodes [ probe ]))
+        netlist
+    in
+    match E.transient_r eng ~t_stop with
+    | Ok res -> res
+    | Error f ->
+      Format.eprintf "speed/ladder (%s): %s@." (E.Opts.fast_to_string mode)
+        (Spice.Diag.failure_to_string f);
+      exit 1
+  in
+  (* `Off twice: once through the legacy wrapper, once through the Opts
+     record — these must agree bit for bit *)
+  let wrapper_res =
+    let eng = E.prepare netlist in
+    E.transient ~dt ~record:(E.Nodes [ probe ]) eng ~t_stop
+  in
+  let res_off, t_off = time (fun () -> run_ladder `Off) in
+  let res_red, t_red = time (fun () -> run_ladder `Reduce) in
+  let off_identical =
+    let xa = E.final_solution wrapper_res and xb = E.final_solution res_off in
+    Array.length xa = Array.length xb
+    && Array.for_all2 Float.equal xa xb
+    && E.steps_taken wrapper_res = E.steps_taken res_off
+  in
+  let ladder_dev =
+    let w0 = E.waveform res_off probe and w1 = E.waveform res_red probe in
+    Array.fold_left
+      (fun acc (t, v0) ->
+        Float.max acc (Float.abs (Phys.Pwl.value_at w1 t -. v0)))
+      0.0
+      (Phys.Pwl.sample w0 ~t0:0.0 ~t1:t_stop ~n:256)
+  in
+  let ladder_speedup = t_off /. Float.max 1e-9 t_red in
+  Format.printf
+    "{\"experiment\": \"speed/rc-ladder\", \"segments\": %d, \"steps\": \
+     %d, \"t_off_s\": %.3f, \"t_reduce_s\": %.3f, \"speedup\": %.1f, \
+     \"max_dev_v\": %.3e, \"off_bit_identical\": %b}@."
+    segments (E.steps_taken res_off) t_off t_red ladder_speedup ladder_dev
+    off_identical;
+  (* --- deck 2: sleep-gated ripple adder, `Off vs `Reduce_bypass -------- *)
+  let bits = if fast then 4 else 8 in
+  let add = Circuits.Ripple_adder.make t07 ~bits in
+  let ac = add.Circuits.Ripple_adder.circuit in
+  let vec_lo = [ (bits, 0); (bits, 0) ] in
+  let vec_hi = [ (bits, (1 lsl bits) - 1); (bits, 1) ] in
+  let run_adder mode =
+    let config =
+      { SR.default_config with SR.sleep = sleep_of t07 12.0; fast = mode }
+    in
+    SR.run_ints ~config ac ~before:vec_lo ~after:vec_hi
+  in
+  let run0, t_a_off = time (fun () -> run_adder `Off) in
+  let run1, t_a_fb = time (fun () -> run_adder `Reduce_bypass) in
+  (* calibrated band: 120 mV (10 % of the 1.2 V rail) inside a +-25 ps
+     time tube — a coarser LTE step placement shifts a full-rail edge
+     by a few ps, which a purely vertical band would misread as a
+     volt-scale error; measured worst case on this deck is ~90 mV, on
+     the slow sleep-gated settling edge *)
+  let v_band = 0.12 and t_tube = 25e-12 in
+  let d_band_rel = 0.10 and d_band_abs = 20e-12 in
+  let tube_dev w0 w1 =
+    Array.fold_left
+      (fun (acc, at) (t, v0) ->
+        let best = ref infinity in
+        for k = -4 to 4 do
+          let t' = t +. (float_of_int k /. 4.0 *. t_tube) in
+          best :=
+            Float.min !best (Float.abs (Phys.Pwl.value_at w1 t' -. v0))
+        done;
+        if !best > acc then (!best, t) else (acc, at))
+      (0.0, 0.0)
+      (Phys.Pwl.sample w0 ~t0:0.0 ~t1:SR.default_config.SR.t_stop ~n:128)
+  in
+  let adder_dev, worst_net, worst_t =
+    Array.fold_left
+      (fun (acc, wn, wt) net ->
+        let d, t =
+          tube_dev (SR.net_waveform run0 net) (SR.net_waveform run1 net)
+        in
+        if d > acc then (d, net, t) else (acc, wn, wt))
+      (0.0, -1, 0.0)
+      (Netlist.Circuit.outputs ac)
+  in
+  let delay_drift =
+    match (SR.critical_delay run0, SR.critical_delay run1) with
+    | Some (_, d0), Some (_, d1) ->
+      Float.abs (d1 -. d0) /. Float.max d_band_abs (d_band_rel *. d0)
+    | None, None -> 0.0
+    | Some _, None | None, Some _ -> infinity
+  in
+  let adder_speedup = t_a_off /. Float.max 1e-9 t_a_fb in
+  Format.printf
+    "{\"experiment\": \"speed/sleep-adder%d\", \"t_off_s\": %.3f, \
+     \"t_bypass_s\": %.3f, \"speedup\": %.1f, \"newton_off\": %d, \
+     \"newton_bypass\": %d, \"max_dev_v\": %.4f, \"worst_net\": %d, \
+     \"worst_t_s\": %.3e, \"delay_drift_frac\": %.2f}@."
+    bits t_a_off t_a_fb adder_speedup
+    (SR.newton_iterations run0)
+    (SR.newton_iterations run1)
+    adder_dev worst_net worst_t delay_drift;
+  (* --- gates ----------------------------------------------------------- *)
+  if not off_identical then begin
+    Format.eprintf
+      "speed: `Off through Opts differs from the legacy wrapper@.";
+    exit 1
+  end;
+  if ladder_dev > 1e-6 then begin
+    Format.eprintf "speed: ladder reduction deviates %.3e V (> 1e-6)@."
+      ladder_dev;
+    exit 1
+  end;
+  if adder_dev > v_band then begin
+    Format.eprintf "speed: bypass deviates %.4f V (> %.2f band)@."
+      adder_dev v_band;
+    exit 1
+  end;
+  if delay_drift > 1.0 then begin
+    Format.eprintf "speed: bypass critical delay outside its band@.";
+    exit 1
+  end;
+  if ladder_speedup < 5.0 then begin
+    Format.eprintf "speed: rc-ladder speedup %.1fx < 5x@." ladder_speedup;
+    exit 1
+  end;
+  if adder_speedup < 5.0 then begin
+    Format.eprintf "speed: sleep-adder speedup %.1fx < 5x@." adder_speedup;
+    exit 1
+  end
+
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -1631,6 +1817,7 @@ let all ~fast () =
   obs_exp ~fast ();
   serve_exp ~fast ();
   scale_exp ~fast ();
+  speed_exp ~fast ();
   bechamel ()
 
 let () =
@@ -1671,12 +1858,13 @@ let () =
         | "obs" -> obs_exp ~fast ()
         | "serve" -> serve_exp ~fast ()
         | "scale" -> scale_exp ~fast ()
+        | "speed" -> speed_exp ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
              fig14 cpu ablations extras par cache runner obs serve \
-             scale bechamel)@."
+             scale speed bechamel)@."
             other;
           exit 2)
       names

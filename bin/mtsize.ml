@@ -99,8 +99,6 @@ let resolve_jobs n =
   else if n > 0 then n
   else or_die (Error (Printf.sprintf "--jobs %d: must be >= 0" n))
 
-(* Canonical engine spelling; --spice stays as a deprecated synonym on
-   the subcommands that historically had it. *)
 let engine_term =
   let doc =
     "Delay engine: $(b,bp) (the fast switch-level breakpoint tool, the \
@@ -109,10 +107,22 @@ let engine_term =
   Arg.(
     value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
-let resolve_engine ?(spice = false) name =
+let resolve_engine name =
   match name with
-  | None -> if spice then Eval.Engine.Spice_level else Eval.Engine.Breakpoint
+  | None -> Eval.Engine.Breakpoint
   | Some s -> or_die (Eval.Engine.of_string s)
+
+let fast_term =
+  let doc =
+    "Fast transient path for the transistor-level engine: $(b,off) \
+     (exact, the default), $(b,reduce) (series-RC chain reduction, \
+     exact up to LU rounding) or $(b,reduce-bypass) (reduction plus \
+     quiescent-device bypass and LTE-controlled stepping, fastest, \
+     within calibrated tolerance bands)."
+  in
+  Arg.(value & opt string "off" & info [ "fast" ] ~docv:"MODE" ~doc)
+
+let resolve_fast s = or_die (Spice.Engine.Opts.fast_of_string s)
 
 (* Evaluation-cache plumbing shared by the analysis subcommands: the
    cache is on by default (--no-cache disables), --cache-file FILE
@@ -265,10 +275,12 @@ let finish_obs ?co oo =
    | Some f -> Obs.write_trace oo.obs f);
   if oo.report then print_string (Obs.report oo.obs)
 
-let ctx_of ?policy ?stats ?(obs = Obs.disabled) ~engine ~jobs co =
+let ctx_of ?policy ?stats ?(obs = Obs.disabled) ?(fast = `Off) ~engine ~jobs
+    co =
   let ctx =
     Eval.Ctx.default
     |> Eval.Ctx.with_engine engine
+    |> Eval.Ctx.with_fast fast
     |> Eval.Ctx.with_jobs jobs
     |> Eval.Ctx.with_obs obs
   in
@@ -289,12 +301,13 @@ let ctx_of ?policy ?stats ?(obs = Obs.disabled) ~engine ~jobs co =
 (* ---- subcommands ---------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run tech_name circuit_name vectors wls engine spice budget jobs co oo =
+  let run tech_name circuit_name vectors wls engine fast budget jobs co oo =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let stats = Mtcmos.Resilience.create () in
     let ctx =
       ctx_of ?policy:(policy_of_budget budget) ~stats ~obs:oo.obs
-        ~engine:(resolve_engine ~spice engine) ~jobs:(resolve_jobs jobs) co
+        ~fast:(resolve_fast fast) ~engine:(resolve_engine engine)
+        ~jobs:(resolve_jobs jobs) co
     in
     Format.printf "%s: %a@." bc.name Netlist.Circuit.pp_stats bc.circuit;
     Mtcmos.Sizing.sweep ~ctx bc.circuit ~vectors:vecs ~wls
@@ -311,24 +324,21 @@ let sweep_cmd =
       & opt (list float) [ 2.0; 5.0; 10.0; 20.0; 50.0; 100.0 ]
       & info [ "w"; "wl" ] ~docv:"WLS" ~doc)
   in
-  let spice_term =
-    let doc = "Deprecated synonym of $(b,--engine spice)." in
-    Arg.(value & flag & info [ "spice" ] ~doc)
-  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Delay and degradation versus sleep size")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wls_term
-          $ engine_term $ spice_term $ newton_budget_term $ jobs_term
+          $ engine_term $ fast_term $ newton_budget_term $ jobs_term
           $ cache_term $ obs_term)
 
 let size_cmd =
-  let run tech_name circuit_name vectors target engine budget jobs repair co
-      oo =
+  let run tech_name circuit_name vectors target engine fast budget jobs
+      repair co oo =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let stats = Mtcmos.Resilience.create () in
     let ctx =
       ctx_of ?policy:(policy_of_budget budget) ~stats ~obs:oo.obs
-        ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
+        ~fast:(resolve_fast fast) ~engine:(resolve_engine engine)
+        ~jobs:(resolve_jobs jobs) co
     in
     let infeasible = ref false in
     (try
@@ -380,8 +390,8 @@ let size_cmd =
   Cmd.v
     (Cmd.info "size" ~doc:"Minimum sleep size for a delay budget")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ target_term
-          $ engine_term $ newton_budget_term $ jobs_term $ repair_term
-          $ cache_term $ obs_term)
+          $ engine_term $ fast_term $ newton_budget_term $ jobs_term
+          $ repair_term $ cache_term $ obs_term)
 
 let worst_cmd =
   let run tech_name circuit_name wl top sample co oo =
@@ -476,7 +486,7 @@ let simulate_cmd =
           $ obs_term)
 
 let compare_cmd =
-  let run tech_name circuit_name vectors wl budget jobs co oo =
+  let run tech_name circuit_name vectors wl fast budget jobs co oo =
     let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
     let jobs = resolve_jobs jobs in
     (* both engines share one cache (distinct key spaces); the spice
@@ -486,7 +496,7 @@ let compare_cmd =
     let stats = Mtcmos.Resilience.create () in
     let sp_ctx =
       ctx_of ?policy:(policy_of_budget budget) ~stats ~obs:oo.obs
-        ~engine:Eval.Engine.Spice_level ~jobs co
+        ~fast:(resolve_fast fast) ~engine:Eval.Engine.Spice_level ~jobs co
     in
     let sp = Mtcmos.Sizing.delay_at ~ctx:sp_ctx bc.circuit ~vectors:vecs ~wl in
     Format.printf "switch-level:     %a@." Mtcmos.Sizing.pp_measurement bp;
@@ -503,7 +513,8 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Compare the fast tool against the transistor-level engine")
     Term.(const run $ tech_term $ circuit_term $ vectors_term $ wl_term
-          $ newton_budget_term $ jobs_term $ cache_term $ obs_term)
+          $ fast_term $ newton_budget_term $ jobs_term $ cache_term
+          $ obs_term)
 
 let estimate_cmd =
   let run tech_name circuit_name vectors co oo =
@@ -684,7 +695,7 @@ let lint_cmd =
     Term.(const run $ tech_term $ circuit_term $ obs_term)
 
 let search_cmd =
-  let run tech_name circuit_name wl restarts objective engine spice jobs co
+  let run tech_name circuit_name wl restarts objective engine fast jobs co
       oo =
     let tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let sleep =
@@ -695,8 +706,8 @@ let search_cmd =
     let objective = or_die (Runner.Catalog.objective_of_name objective) in
     let stats = Mtcmos.Resilience.create () in
     let ctx =
-      ctx_of ~stats ~obs:oo.obs ~engine:(resolve_engine ~spice engine)
-        ~jobs:(resolve_jobs jobs) co
+      ctx_of ~stats ~obs:oo.obs ~fast:(resolve_fast fast)
+        ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
     in
     let o =
       Mtcmos.Search.hill_climb ~ctx ~restarts bc.circuit ~sleep
@@ -726,18 +737,11 @@ let search_cmd =
     Arg.(value & opt string "degradation"
          & info [ "objective" ] ~docv:"OBJ" ~doc)
   in
-  let spice_term =
-    let doc =
-      "Deprecated synonym of $(b,--engine spice); failed transients \
-       score 0 and are reported, not fatal."
-    in
-    Arg.(value & flag & info [ "spice" ] ~doc)
-  in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Stochastic worst-vector hunt for unenumerable spaces")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ restarts_term
-          $ objective_term $ engine_term $ spice_term $ jobs_term
+          $ objective_term $ engine_term $ fast_term $ jobs_term
           $ cache_term $ obs_term)
 
 let dot_cmd =

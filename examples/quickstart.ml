@@ -41,8 +41,9 @@ let () =
 
   (* 7. verify the chosen size against the transistor-level engine *)
   let m =
-    Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level circuit ~vectors
-      ~wl
+    Mtcmos.Sizing.delay_at
+      ~ctx:Eval.Ctx.(default |> with_engine Eval.Spice_level)
+      circuit ~vectors ~wl
   in
   Format.printf "transistor-level check:    %a@." Mtcmos.Sizing.pp_measurement
     m

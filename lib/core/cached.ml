@@ -56,6 +56,11 @@ let sp_config_key (cfg : Spice_ref.config) =
   K.option b K.float cfg.Spice_ref.dt;
   K.bool b cfg.Spice_ref.record_all;
   K.policy b cfg.Spice_ref.policy;
+  K.raw b
+    (match cfg.Spice_ref.fast with
+     | `Off -> "f0;"
+     | `Reduce -> "f1;"
+     | `Reduce_bypass -> "f2;");
   K.contents b
 
 let vector_key ~before ~after =

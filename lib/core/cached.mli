@@ -23,8 +23,10 @@ val bp_config_key : Breakpoint_sim.config -> string option
 val sp_config_key : Spice_ref.config -> string
 (** Framed bytes for a transistor-level config, including the recovery
     policy (a different policy can produce a different — recovered vs
-    failed — result) and the time grid ([t_start]/[t_stop]/[dt], which
-    Sizing derives from a circuit-dependent estimate). *)
+    failed — result), the time grid ([t_start]/[t_stop]/[dt], which
+    Sizing derives from a circuit-dependent estimate) and the fast
+    transient mode (fast-path results live in a different band than
+    exact ones and must never be served across modes). *)
 
 val vector_key : before:(int * int) list -> after:(int * int) list -> string
 (** Framed bytes for an input transition. *)

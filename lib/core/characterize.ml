@@ -11,8 +11,7 @@ type point = {
   rise_slew : float;
 }
 
-let resolve ?ctx ?stats ?jobs () =
-  Eval.Ctx.override ?stats ?jobs (Option.value ctx ~default:Eval.Ctx.default)
+let resolve ?ctx () = Option.value ctx ~default:Eval.Ctx.default
 
 (* single-gate fixture: pin 0 driven, remaining pins tied so pin 0 is
    controlling (ties high for AND-like pulldowns, low for OR-like). *)
@@ -129,8 +128,8 @@ let measure_uncached ~policy ?obs ?stats tech kind ~cl ~ramp =
       fall_slew = slew fall_run ~out_rising:false;
       rise_slew = slew rise_run ~out_rising:true }
 
-let measure ?ctx ?stats tech kind ~cl ~ramp =
-  let ctx = resolve ?ctx ?stats () in
+let measure ?ctx tech kind ~cl ~ramp =
+  let ctx = resolve ?ctx () in
   let policy = ctx.Eval.Ctx.policy in
   let compute stats =
     measure_uncached ~policy ~obs:ctx.Eval.Ctx.obs ?stats tech kind ~cl ~ramp
@@ -161,9 +160,9 @@ let measure ?ctx ?stats tech kind ~cl ~ramp =
           rise_slew = a.(3) })
       compute
 
-let gate ?ctx ?stats ?jobs ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
+let gate ?ctx ?(loads = [ 10e-15; 20e-15; 50e-15; 100e-15 ])
     ?(ramps = [ 20e-12; 100e-12 ]) tech kind =
-  let ctx = resolve ?ctx ?stats ?jobs () in
+  let ctx = resolve ?ctx () in
   Obs.Span.with_ ctx.Eval.Ctx.obs "characterize.gate" @@ fun () ->
   (* the grid is materialised in loads-major order (same order the old
      sequential concat_map produced) and each operating point is an

@@ -10,9 +10,7 @@
     Entry points take [?ctx:Eval.Ctx.t]; the context supplies the
     recovery policy, stats accumulator, worker count and evaluation
     cache (operating points are cached per (tech card, gate kind, load,
-    ramp, policy), so re-characterising a grid is nearly free).  The
-    historical [?stats]/[?jobs] arguments remain as deprecated
-    wrappers. *)
+    ramp, policy), so re-characterising a grid is nearly free). *)
 
 type point = {
   cl : float;           (** output load, F *)
@@ -25,7 +23,6 @@ type point = {
 
 val measure :
   ?ctx:Eval.Ctx.t ->
-  ?stats:Resilience.t ->
   Device.Tech.t -> Netlist.Gate.kind -> cl:float -> ramp:float -> point
 (** One fixture run at one operating point.  A transient that fails
     even after recovery yields NaN delay/slew entries (recorded with
@@ -33,8 +30,6 @@ val measure :
 
 val gate :
   ?ctx:Eval.Ctx.t ->
-  ?stats:Resilience.t ->
-  ?jobs:int ->
   ?loads:float list ->
   ?ramps:float list ->
   Device.Tech.t ->

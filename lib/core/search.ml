@@ -12,9 +12,7 @@ type outcome = {
   evaluations : int;
 }
 
-let resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () =
-  Eval.Ctx.override ?engine ?body_effect ?policy ?stats ?jobs
-    (Option.value ctx ~default:Eval.Ctx.default)
+let resolve ?ctx () = Option.value ctx ~default:Eval.Ctx.default
 
 let vector_label (before, after) =
   let fmt g =
@@ -91,12 +89,12 @@ let sp_scored ?cache ?obs ?stats ~config ~label c (before, after) =
    an honest nothing-switches zero, which records a plain success — so
    a hunt over thousands of vectors survives individual failures
    without silently conflating the two cases *)
-let score_spice ?cache ?(obs = Obs.disabled) ?stats ~policy ~jobs c ~sleep
-    objective pair =
+let score_spice ?cache ?(obs = Obs.disabled) ?stats ~policy ~fast ~jobs c
+    ~sleep objective pair =
   let label = vector_label pair in
   let run_one ?cache obs wstats sl =
     let config =
-      { Spice_ref.default_config with Spice_ref.sleep = sl; policy }
+      { Spice_ref.default_config with Spice_ref.sleep = sl; policy; fast }
     in
     sp_scored ?cache ~obs ?stats:wstats ~config ~label c pair
   in
@@ -143,17 +141,15 @@ let score_ctx (ctx : Eval.Ctx.t) c ~sleep objective pair =
       objective pair
   | Eval.Spice_level ->
     score_spice ?cache ~obs ?stats:ctx.Eval.Ctx.stats
-      ~policy:ctx.Eval.Ctx.policy ~jobs:ctx.Eval.Ctx.jobs c ~sleep objective
-      pair
+      ~policy:ctx.Eval.Ctx.policy ~fast:ctx.Eval.Ctx.fast
+      ~jobs:ctx.Eval.Ctx.jobs c ~sleep objective pair
 
-let score ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep objective
-    pair =
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+let score ?ctx c ~sleep objective pair =
+  let ctx = resolve ?ctx () in
   score_ctx ctx c ~sleep objective pair
 
-let score_all ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep
-    objective pairs =
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+let score_all ?ctx c ~sleep objective pairs =
+  let ctx = resolve ?ctx () in
   Obs.Span.with_ ctx.Eval.Ctx.obs "search.score_all" @@ fun () ->
   let arr = Array.of_list pairs in
   Par.Pool.map_stateful ~obs:ctx.Eval.Ctx.obs ~jobs:ctx.Eval.Ctx.jobs
@@ -230,9 +226,9 @@ let climb_restart ~seed ~restart ~max_iters ~widths ~bits ~eval =
   done;
   !best
 
-let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400) ?ctx
-    ?body_effect ?engine ?stats ?policy ?jobs c ~sleep ~widths objective =
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400) ?ctx c ~sleep
+    ~widths objective =
+  let ctx = resolve ?ctx () in
   Obs.Span.with_ ctx.Eval.Ctx.obs "search.hill_climb" @@ fun () ->
   let bits = total_bits widths in
   (* restarts are the unit of parallelism: each is an independent climb
@@ -274,9 +270,8 @@ let hill_climb ?(seed = 17) ?(restarts = 8) ?(max_iters = 400) ?ctx
   | Some (pair, s) -> { pair; score = s; evaluations }
   | None -> assert false
 
-let exhaustive ?ctx ?body_effect ?engine ?stats ?policy ?jobs c ~sleep
-    ~widths objective =
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+let exhaustive ?ctx c ~sleep ~widths objective =
+  let ctx = resolve ?ctx () in
   let pairs = Vectors.enumerate_pairs ~widths in
   let scores = score_all ~ctx c ~sleep objective pairs in
   let best = ref None in

@@ -8,9 +8,8 @@
     role §5 assigns the tool.
 
     Entry points take [?ctx:Eval.Ctx.t] (engine, body effect, recovery
-    policy, stats, jobs, cache); the historical per-function optional
-    arguments remain as deprecated wrappers overriding the context for
-    one release.  Work is distributed over [jobs] domains via
+    policy, fast transient mode, stats, jobs, cache).  Work is
+    distributed over [jobs] domains via
     [Par.Pool]: the outcome — best pair, score, evaluation count, and
     the stats counter totals — is identical whatever [jobs] is
     (candidates are assigned to workers statically, reduced in index
@@ -40,11 +39,6 @@ type outcome = {
 
 val score :
   ?ctx:Eval.Ctx.t ->
-  ?body_effect:bool ->
-  ?engine:Eval.engine ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?jobs:int ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   objective ->
@@ -61,16 +55,11 @@ val score :
     For [Max_degradation] at [jobs >= 2] the MTCMOS and CMOS transients
     run on separate domains; both are always evaluated, so the value
     and the recorded diagnostics are jobs-invariant.
-    ([body_effect] only applies to the breakpoint oracle; the
-    transistor-level engine always models it.) *)
+    (The context's [body_effect] only applies to the breakpoint oracle;
+    the transistor-level engine always models it.) *)
 
 val score_all :
   ?ctx:Eval.Ctx.t ->
-  ?body_effect:bool ->
-  ?engine:Eval.engine ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?jobs:int ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   objective ->
@@ -86,11 +75,6 @@ val hill_climb :
   ?restarts:int ->
   ?max_iters:int ->
   ?ctx:Eval.Ctx.t ->
-  ?body_effect:bool ->
-  ?engine:Eval.engine ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?jobs:int ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   widths:int list ->
@@ -107,11 +91,6 @@ val hill_climb :
 
 val exhaustive :
   ?ctx:Eval.Ctx.t ->
-  ?body_effect:bool ->
-  ?engine:Eval.engine ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?jobs:int ->
   Netlist.Circuit.t ->
   sleep:Breakpoint_sim.sleep_model ->
   widths:int list ->

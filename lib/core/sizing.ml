@@ -2,8 +2,6 @@ module BP = Breakpoint_sim
 
 type vector_pair = (int * int) list * (int * int) list
 
-type engine = Eval.engine = Breakpoint | Spice_level
-
 type measurement = {
   wl : float;
   cmos_delay : float;
@@ -12,11 +10,7 @@ type measurement = {
   vx_peak : float;
 }
 
-(* fold the deprecated per-function optional arguments into the context
-   (explicit arguments win over context fields) *)
-let resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () =
-  Eval.Ctx.override ?engine ?body_effect ?policy ?stats ?jobs
-    (Option.value ctx ~default:Eval.Ctx.default)
+let resolve ?ctx () = Option.value ctx ~default:Eval.Ctx.default
 
 let worst_delay_bp ?cache ?obs ~config c vectors =
   List.fold_left
@@ -134,14 +128,15 @@ let worst_delay_ctx (ctx : Eval.Ctx.t) c ~sleep vectors =
       { Spice_ref.default_config with
         Spice_ref.sleep;
         t_stop;
-        policy = ctx.Eval.Ctx.policy }
+        policy = ctx.Eval.Ctx.policy;
+        fast = ctx.Eval.Ctx.fast }
     in
     worst_delay_spice ?cache ~obs ~config ~bp_config
       ?stats:ctx.Eval.Ctx.stats ~jobs:ctx.Eval.Ctx.jobs c vectors
 
-let cmos_delay ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors =
+let cmos_delay ?ctx c ~vectors =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  let ctx = resolve ?ctx () in
   fst (worst_delay_ctx ctx c ~sleep:BP.Cmos vectors)
 
 let measurement_at (ctx : Eval.Ctx.t) c ~base ~wl vectors =
@@ -155,15 +150,15 @@ let measurement_at (ctx : Eval.Ctx.t) c ~base ~wl vectors =
     degradation = (d -. base) /. base;
     vx_peak = vx }
 
-let delay_at ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wl =
+let delay_at ?ctx c ~vectors ~wl =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  let ctx = resolve ?ctx () in
   let base = fst (worst_delay_ctx ctx c ~sleep:BP.Cmos vectors) in
   measurement_at ctx c ~base ~wl vectors
 
-let sweep ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wls =
+let sweep ?ctx c ~vectors ~wls =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect ?jobs () in
+  let ctx = resolve ?ctx () in
   Obs.Span.with_ ctx.Eval.Ctx.obs "sizing.sweep" @@ fun () ->
   (* the shared CMOS baseline is measured once, sequentially *)
   let base =
@@ -187,10 +182,10 @@ let sweep ?ctx ?stats ?policy ?engine ?body_effect ?jobs c ~vectors ~wls =
   in
   Array.to_list ms
 
-let size_for_degradation ?ctx ?stats ?policy ?engine ?body_effect
-    ?(wl_lo = 0.5) ?(wl_hi = 4096.0) ?(tolerance = 0.01) c ~vectors ~target =
+let size_for_degradation ?ctx ?(wl_lo = 0.5) ?(wl_hi = 4096.0)
+    ?(tolerance = 0.01) c ~vectors ~target =
   if vectors = [] then invalid_arg "Sizing: empty vector list";
-  let ctx = resolve ?ctx ?stats ?policy ?engine ?body_effect () in
+  let ctx = resolve ?ctx () in
   let base = fst (worst_delay_ctx ctx c ~sleep:BP.Cmos vectors) in
   let degradation wl =
     let sleep =

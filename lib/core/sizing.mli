@@ -7,31 +7,15 @@
     vector set.
 
     Every entry point takes [?ctx:Eval.Ctx.t] — engine, body effect,
-    recovery policy, stats accumulator, worker count and evaluation
-    cache in one record.  The historical per-function optional
-    arguments ([?stats ?policy ?engine ?body_effect ?jobs]) are kept
-    for one release as thin wrappers that override the corresponding
-    context field; new code should build a context instead.  With a
-    cache in the context, repeated evaluations of the same (circuit,
-    config, vector, W/L) point — across [delay_at] calls, sweep
-    points, bisection probes, even different modules — are served from
-    memory with identical results and replayed resilience counters. *)
+    recovery policy, fast transient mode, stats accumulator, worker
+    count and evaluation cache in one record.  With a cache in the
+    context, repeated evaluations of the same (circuit, config, vector,
+    W/L) point — across [delay_at] calls, sweep points, bisection
+    probes, even different modules — are served from memory with
+    identical results and replayed resilience counters. *)
 
 type vector_pair = (int * int) list * (int * int) list
 (** [(before, after)] in [Logic_sim.eval_ints] packing. *)
-
-type engine = Eval.engine = Breakpoint | Spice_level
-[@@alert deprecated "Sizing.engine moved to Eval.engine"]
-(** Which simulator evaluates delays: the paper's fast switch-level tool
-    or the transistor-level reference.
-
-    With {!Eval.Spice_level}, every function below is fault-tolerant: a
-    vector whose transient fails even after the engine's recovery
-    policy is recorded as a skipped sample (with its structured
-    diagnosis) in the stats accumulator and replaced by the
-    breakpoint-simulator estimate, instead of aborting the sweep.
-
-    @deprecated this alias moved to {!Eval.engine}. *)
 
 type measurement = {
   wl : float;
@@ -43,11 +27,6 @@ type measurement = {
 
 val delay_at :
   ?ctx:Eval.Ctx.t ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?engine:Eval.engine ->
-  ?body_effect:bool ->
-  ?jobs:int ->
   Netlist.Circuit.t ->
   vectors:vector_pair list ->
   wl:float ->
@@ -57,25 +36,22 @@ val delay_at :
     transistor-level analyses over that many domains via [Par.Pool];
     the measurement and the stats totals are identical whatever [jobs]
     is, and whatever the cache already holds.
-    @deprecated the per-field optional arguments; pass [?ctx].
+
+    With {!Eval.Spice_level} in the context, every function here is
+    fault-tolerant: a vector whose transient fails even after the
+    engine's recovery policy is recorded as a skipped sample (with its
+    structured diagnosis) in the stats accumulator and replaced by the
+    breakpoint-simulator estimate, instead of aborting the sweep.
     @raise Invalid_argument on an empty vector list. *)
 
 val cmos_delay :
   ?ctx:Eval.Ctx.t ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?engine:Eval.engine -> ?body_effect:bool -> ?jobs:int ->
   Netlist.Circuit.t ->
   vectors:vector_pair list -> float
 (** Ideal-ground baseline delay. *)
 
 val sweep :
   ?ctx:Eval.Ctx.t ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?engine:Eval.engine ->
-  ?body_effect:bool ->
-  ?jobs:int ->
   Netlist.Circuit.t ->
   vectors:vector_pair list ->
   wls:float list ->
@@ -90,10 +66,6 @@ val sweep :
 
 val size_for_degradation :
   ?ctx:Eval.Ctx.t ->
-  ?stats:Resilience.t ->
-  ?policy:Spice.Recover.policy ->
-  ?engine:Eval.engine ->
-  ?body_effect:bool ->
   ?wl_lo:float ->
   ?wl_hi:float ->
   ?tolerance:float ->

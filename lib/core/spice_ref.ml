@@ -12,6 +12,7 @@ type config = {
   dt : float option;
   record_all : bool;
   policy : Spice.Recover.policy;
+  fast : Spice.Engine.Opts.fast;
 }
 
 let default_config =
@@ -24,7 +25,8 @@ let default_config =
     t_stop = 6e-9;
     dt = None;
     record_all = false;
-    policy = Spice.Recover.default }
+    policy = Spice.Recover.default;
+    fast = `Off }
 
 type run = {
   circuit : C.t;
@@ -80,7 +82,6 @@ let run_r ?(config = default_config) ?obs circuit ~before ~after =
   let instance =
     Netlist.Expand.expand ~config:(expand_config config) circuit ~stimuli
   in
-  let engine = Spice.Engine.prepare instance.Netlist.Expand.netlist in
   let record =
     if config.record_all then Spice.Engine.All
     else
@@ -106,6 +107,21 @@ let run_r ?(config = default_config) ?obs circuit ~before ~after =
   let dt =
     match config.dt with Some d -> d | None -> config.t_stop /. 3000.0
   in
+  (* small blocks get a true DC solve; large ones start from the
+     logic-derived state and settle during the pre-[t_start] window *)
+  let uic = C.num_gates circuit > 60 in
+  let opts =
+    Spice.Engine.Opts.(
+      default
+      |> with_fast config.fast
+      |> with_dt dt
+      |> with_record record
+      |> with_uic uic
+      |> with_policy config.policy)
+  in
+  let engine =
+    Spice.Engine.prepare ~opts instance.Netlist.Expand.netlist
+  in
   (* seed the DC operating point from the logic-simulator steady state:
      big combinational blocks will not converge from all-zeros *)
   let pre = Netlist.Logic_sim.eval circuit before in
@@ -125,13 +141,7 @@ let run_r ?(config = default_config) ?obs circuit ~before ~after =
          (List.init (C.num_nets circuit) (fun n -> n))
   in
   let x0 = Spice.Engine.initial_guess engine hints in
-  (* small blocks get a true DC solve; large ones start from the
-     logic-derived state and settle during the pre-[t_start] window *)
-  let uic = C.num_gates circuit > 60 in
-  match
-    Spice.Engine.transient_r engine ~t_stop:config.t_stop ~dt ~record ~x0
-      ~uic ~policy:config.policy ?obs
-  with
+  match Spice.Engine.transient_r engine ~t_stop:config.t_stop ~x0 ?obs with
   | Ok result -> Ok { circuit; cfg = config; instance; result; vdd }
   | Error f -> Error f
 

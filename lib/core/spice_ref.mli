@@ -17,6 +17,9 @@ type config = {
   dt : float option;       (** time step; default [t_stop / 3000] *)
   record_all : bool;       (** record every node, not just the outputs *)
   policy : Spice.Recover.policy; (** engine recovery-policy ladder *)
+  fast : Spice.Engine.Opts.fast;
+      (** fast transient path (default [`Off]; see
+          {!Spice.Engine.Opts.fast}) *)
 }
 
 val default_config : config

@@ -34,11 +34,9 @@ let shift_tech (tech : Device.Tech.t) ~dvt ~dkp_rel =
     sleep_pmos = shift_params tech.Device.Tech.sleep_pmos ~dvt ~dkp_rel }
 
 let monte_carlo ?ctx ?(seed = 99) ?(sigma_vt = 0.02) ?(sigma_kp_rel = 0.05)
-    ?jobs ~n circuit ~wl ~vector =
+    ~n circuit ~wl ~vector =
   if n < 1 then invalid_arg "Variation.monte_carlo: n < 1";
-  let ctx =
-    Eval.Ctx.override ?jobs (Option.value ctx ~default:Eval.Ctx.default)
-  in
+  let ctx = Option.value ctx ~default:Eval.Ctx.default in
   let cache = ctx.Eval.Ctx.cache in
   let obs = ctx.Eval.Ctx.obs in
   Obs.Span.with_ obs "variation.monte_carlo" @@ fun () ->

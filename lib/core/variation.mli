@@ -33,7 +33,6 @@ val monte_carlo :
   ?seed:int ->
   ?sigma_vt:float ->
   ?sigma_kp_rel:float ->
-  ?jobs:int ->
   n:int ->
   Netlist.Circuit.t ->
   wl:float ->

@@ -2,6 +2,7 @@ type t = {
   engine : Engine.t;
   body_effect : bool;
   policy : Spice.Recover.policy;
+  fast : Spice.Engine.Opts.fast;
   stats : Resilience.t option;
   jobs : int;
   cache : Cache.t option;
@@ -12,12 +13,14 @@ let default =
   { engine = Engine.Breakpoint;
     body_effect = true;
     policy = Spice.Recover.default;
+    fast = `Off;
     stats = None;
     jobs = 1;
     cache = None;
     obs = Obs.disabled }
 
 let with_engine engine t = { t with engine }
+let with_fast fast t = { t with fast }
 let with_body_effect body_effect t = { t with body_effect }
 let with_policy policy t = { t with policy }
 let with_stats s t = { t with stats = Some s }
@@ -49,11 +52,12 @@ let for_job t =
   Resilience.attach_obs stats t.obs;
   ({ t with stats = Some stats }, stats)
 
-let override ?engine ?body_effect ?policy ?stats ?jobs ?cache ?obs t =
+let override ?engine ?body_effect ?policy ?fast ?stats ?jobs ?cache ?obs t =
   let keep o field = match o with Some v -> Some v | None -> field in
   { engine = Option.value engine ~default:t.engine;
     body_effect = Option.value body_effect ~default:t.body_effect;
     policy = Option.value policy ~default:t.policy;
+    fast = Option.value fast ~default:t.fast;
     stats = keep stats t.stats;
     jobs = Option.value jobs ~default:t.jobs;
     cache = keep cache t.cache;

@@ -4,14 +4,16 @@
     handle.
 
     Analysis entry points ([Sizing], [Search], [Resize], [Characterize],
-    [Variation]) take [?ctx:Ctx.t]; the old per-function optional
-    arguments remain as deprecated wrappers that override the
-    corresponding context field for one release. *)
+    [Variation]) take [?ctx:Ctx.t]. *)
 
 type t = {
   engine : Engine.t;          (** delay engine (default {!Engine.Breakpoint}) *)
   body_effect : bool;         (** model the body effect (default [true]) *)
   policy : Spice.Recover.policy;  (** solver recovery policy *)
+  fast : Spice.Engine.Opts.fast;
+      (** fast transient path for spice-level evaluation (default
+          [`Off]); enters the cache key, so cached results never cross
+          modes *)
   stats : Resilience.t option;    (** resilience accumulator, if any *)
   jobs : int;                 (** worker domains for parallel sweeps *)
   cache : Cache.t option;     (** evaluation cache, if any *)
@@ -27,6 +29,7 @@ val default : t
     [Ctx.default |> Ctx.with_engine Spice_level |> Ctx.with_jobs 4]. *)
 
 val with_engine : Engine.t -> t -> t
+val with_fast : Spice.Engine.Opts.fast -> t -> t
 val with_body_effect : bool -> t -> t
 val with_policy : Spice.Recover.policy -> t -> t
 val with_stats : Resilience.t -> t -> t
@@ -59,11 +62,11 @@ val override :
   ?engine:Engine.t ->
   ?body_effect:bool ->
   ?policy:Spice.Recover.policy ->
+  ?fast:Spice.Engine.Opts.fast ->
   ?stats:Resilience.t ->
   ?jobs:int ->
   ?cache:Cache.t ->
   ?obs:Obs.t ->
   t ->
   t
-(** Replace only the fields given — the adapter the deprecated
-    per-function optional arguments funnel through. *)
+(** Replace only the fields given. *)

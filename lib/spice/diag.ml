@@ -34,8 +34,7 @@ type telemetry = {
   mutable recoveries : (string * int) list;
       (* strategy name -> times it rescued an analysis or a step *)
   mutable wall_s : float;
-      (* monotonic wall-clock seconds inside the engine (Obs.Clock);
-         used to be CPU seconds under the name [wall_time] *)
+      (* monotonic wall-clock seconds inside the engine (Obs.Clock) *)
 }
 
 let create_telemetry () =
@@ -46,8 +45,6 @@ let create_telemetry () =
     source_steps = 0;
     recoveries = [];
     wall_s = 0.0 }
-
-let wall_time tm = tm.wall_s
 
 let record_recovery tm name =
   let rec bump = function

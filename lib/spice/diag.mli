@@ -36,17 +36,10 @@ type telemetry = {
       (** strategy name -> times it rescued an analysis or a step *)
   mutable wall_s : float;
       (** monotonic wall-clock seconds inside the engine, measured with
-          [Obs.Clock].  This field was previously named [wall_time] and
-          measured CPU seconds ([Sys.time]), which under-reported
-          parallel regions; use {!wall_time} to keep old callers
-          compiling. *)
+          [Obs.Clock]. *)
 }
 
 val create_telemetry : unit -> telemetry
-
-val wall_time : telemetry -> float
-  [@@ocaml.deprecated "use the wall_s field (monotonic wall seconds)"]
-(** Deprecated accessor for the renamed [wall_s] field. *)
 
 val record_recovery : telemetry -> string -> unit
 

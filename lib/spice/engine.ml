@@ -1,20 +1,156 @@
-type t = {
-  sys : Mna.system;
-  matrix : La.Sparse.matrix;
-  rhs : float array;
-}
-
 exception No_convergence of string
 
 type integration = Backward_euler | Trapezoidal
 
-let prepare netlist =
-  let sys = Mna.prepare netlist in
+type record = All | Nodes of Netlist.Transistor.node list
+
+module Opts = struct
+  type fast = [ `Off | `Reduce | `Reduce_bypass ]
+
+  type t = {
+    integration : integration;
+    dt : float option;
+    record : record;
+    max_newton : int;
+    uic : bool;
+    adaptive : bool;
+    fast : fast;
+    bypass_vtol : float;
+    lte_rel : float;
+    lte_abs : float;
+    policy : Recover.policy;
+  }
+
+  let default =
+    { integration = Backward_euler;
+      dt = None;
+      record = All;
+      max_newton = 40;
+      uic = false;
+      adaptive = false;
+      fast = `Off;
+      bypass_vtol = 2e-4;
+      lte_rel = 0.02;
+      lte_abs = 5e-4;
+      policy = Recover.default }
+
+  let with_integration integration t = { t with integration }
+  let with_dt dt t = { t with dt = Some dt }
+  let with_record record t = { t with record }
+  let with_max_newton max_newton t = { t with max_newton }
+  let with_uic uic t = { t with uic }
+  let with_adaptive adaptive t = { t with adaptive }
+  let with_fast fast t = { t with fast }
+  let with_bypass_vtol bypass_vtol t = { t with bypass_vtol }
+  let with_lte ~rel ~abs t = { t with lte_rel = rel; lte_abs = abs }
+  let with_policy policy t = { t with policy }
+
+  let fast_to_string = function
+    | `Off -> "off"
+    | `Reduce -> "reduce"
+    | `Reduce_bypass -> "reduce-bypass"
+
+  let fast_of_string s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok `Off
+    | "reduce" -> Ok `Reduce
+    | "reduce-bypass" | "reduce_bypass" -> Ok `Reduce_bypass
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown fast mode %S (expected \"off\", \"reduce\" or \
+            \"reduce-bypass\")"
+           other)
+
+  let pp_fast fmt f = Format.pp_print_string fmt (fast_to_string f)
+end
+
+(* Per-chain scratch: the Thomas-elimination coefficients of the last
+   assembly (v_i = alpha_i + gamma_i v_a + beta_i v_{i+1}), the interior
+   companion state, and the voltages recovered at the last accepted
+   point. *)
+type chain_scratch = {
+  alpha : float array;
+  beta : float array;
+  gamma : float array;
+  cv_prev : float array;
+  ci_prev : float array;
+  cvolt : float array;
+}
+
+(* Device-bypass cache: last-stamped terminal voltages and linearisation
+   per MOS, so a quiescent device skips its model evaluation. *)
+type bypass = {
+  bv : float array;        (* 4 per device: vd vg vs vb *)
+  bs : float array;        (* 4 per device: gm gds gmb ieq *)
+  bvalid : Bytes.t;
+  mutable benabled : bool;
+  vtol : float;
+}
+
+type t = {
+  sys : Mna.system;
+  matrix : La.Sparse.matrix;
+  rhs : float array;
+  opts : Opts.t;
+  chain_st : chain_scratch array;
+  bypass : bypass option;
+}
+
+let prepare ?(opts = Opts.default) netlist =
+  let reduce = opts.Opts.fast <> `Off in
+  let sys = Mna.prepare ~reduce netlist in
+  let chain_st =
+    Array.map
+      (fun (ch : Mna.chain) ->
+        let n = Array.length ch.Mna.nodes in
+        { alpha = Array.make n 0.0;
+          beta = Array.make n 0.0;
+          gamma = Array.make n 0.0;
+          cv_prev = Array.make n 0.0;
+          ci_prev = Array.make n 0.0;
+          cvolt = Array.make n 0.0 })
+      sys.Mna.chains
+  in
+  let bypass =
+    if opts.Opts.fast = `Reduce_bypass then begin
+      let n_mos =
+        Array.fold_left
+          (fun acc e ->
+            match e with
+            | Mna.P_mos _ -> acc + 1
+            | Mna.P_res _ | Mna.P_cap _ | Mna.P_vsrc _ -> acc)
+          0 sys.Mna.elems
+      in
+      Some
+        { bv = Array.make (4 * n_mos) 0.0;
+          bs = Array.make (4 * n_mos) 0.0;
+          bvalid = Bytes.make (Stdlib.max 1 n_mos) '\000';
+          benabled = false;
+          vtol = opts.Opts.bypass_vtol }
+    end
+    else None
+  in
   { sys;
     matrix = La.Sparse.create_matrix sys.Mna.pattern;
-    rhs = Array.make sys.Mna.n_unknowns 0.0 }
+    rhs = Array.make sys.Mna.n_unknowns 0.0;
+    opts;
+    chain_st;
+    bypass }
 
 let system t = t.sys
+let opts t = t.opts
+
+(* Default transient step: the historical [t_stop / 2000] ceiling,
+   refined downward to half the fastest explicit RC time constant (so a
+   large [t_stop] cannot silently under-resolve a fast node), floored to
+   keep the step count bounded. *)
+let default_dt t ~t_stop =
+  let base = t_stop /. 2000.0 in
+  match t.sys.Mna.tau_min with
+  | None -> base
+  | Some tau ->
+    Float.max (t_stop /. 50000.0) (Float.min base (tau /. 2.0))
 
 (* Per-capacitor dynamic state for the integration companions. *)
 type cap_state = {
@@ -31,6 +167,79 @@ let stamp m slot v = if slot >= 0 then m.La.Sparse.values.(slot) <- m.La.Sparse.
 
 let add_rhs rhs u v = if u >= 0 then rhs.(u) <- rhs.(u) +. v
 
+(* Reduced-chain stamping: eliminate the interior unknowns of each chain
+   with the Thomas recurrences and fold the result into the two anchor
+   rows.  Exact — the eliminated equations (including their gmin leak
+   and companion currents) are satisfied by construction, and the
+   interior voltages are recovered by [back_substitute]. *)
+let stamp_chains t ~gmin ~(cap : (integration * float) option) =
+  let m = t.matrix and rhs = t.rhs in
+  Array.iteri
+    (fun ci (ch : Mna.chain) ->
+      let st = t.chain_st.(ci) in
+      let n = Array.length ch.Mna.nodes in
+      for i = 0 to n - 1 do
+        let geq, ieq =
+          match cap with
+          | None -> (0.0, 0.0)
+          | Some (integ, h) ->
+            let cv = ch.Mna.cvals.(i) in
+            (match integ with
+             | Backward_euler ->
+               let geq = cv /. h in
+               (geq, geq *. st.cv_prev.(i))
+             | Trapezoidal ->
+               let geq = 2.0 *. cv /. h in
+               (geq, (geq *. st.cv_prev.(i)) +. st.ci_prev.(i)))
+        in
+        let gl = ch.Mna.g.(i) and gr = ch.Mna.g.(i + 1) in
+        let d =
+          gl +. gr +. geq +. gmin
+          -. (if i = 0 then 0.0 else gl *. st.beta.(i - 1))
+        in
+        st.alpha.(i) <-
+          (ieq +. (if i = 0 then 0.0 else gl *. st.alpha.(i - 1))) /. d;
+        st.gamma.(i) <- (if i = 0 then gl else gl *. st.gamma.(i - 1)) /. d;
+        st.beta.(i) <- gr /. d
+      done;
+      (* b-side anchor: g_n (v_b - v_n) with v_n eliminated *)
+      let gn = ch.Mna.g.(n) in
+      stamp m ch.Mna.s_bb (gn *. (1.0 -. st.beta.(n - 1)));
+      stamp m ch.Mna.s_ba (-.(gn *. st.gamma.(n - 1)));
+      add_rhs rhs ch.Mna.cb (gn *. st.alpha.(n - 1));
+      (* a-side anchor: g_0 (v_a - v_1) with v_1 = P + Q v_a + R v_b *)
+      let p = ref st.alpha.(n - 1)
+      and q = ref st.gamma.(n - 1)
+      and r = ref st.beta.(n - 1) in
+      for i = n - 2 downto 0 do
+        p := st.alpha.(i) +. (st.beta.(i) *. !p);
+        q := st.gamma.(i) +. (st.beta.(i) *. !q);
+        r := st.beta.(i) *. !r
+      done;
+      let g0 = ch.Mna.g.(0) in
+      stamp m ch.Mna.s_aa (g0 *. (1.0 -. !q));
+      stamp m ch.Mna.s_ab (-.(g0 *. !r));
+      add_rhs rhs ch.Mna.ca (g0 *. !p))
+    t.sys.Mna.chains
+
+(* Recover the eliminated interior voltages from the anchors, using the
+   coefficients of the last assembly (they do not depend on the trial
+   point, so any assembly of the accepted solve is valid). *)
+let back_substitute t x =
+  Array.iteri
+    (fun ci (ch : Mna.chain) ->
+      let st = t.chain_st.(ci) in
+      let n = Array.length ch.Mna.nodes in
+      let va = if ch.Mna.ca >= 0 then x.(ch.Mna.ca) else 0.0 in
+      let vb = if ch.Mna.cb >= 0 then x.(ch.Mna.cb) else 0.0 in
+      let next = ref vb in
+      for i = n - 1 downto 0 do
+        let v = st.alpha.(i) +. (st.gamma.(i) *. va) +. (st.beta.(i) *. !next) in
+        st.cvolt.(i) <- v;
+        next := v
+      done)
+    t.sys.Mna.chains
+
 (* Assemble J and b = J x - F for the trial point [x].  [cap] = None in
    DC mode.  [src_scale] scales every source value (source stepping). *)
 let assemble t ~x ~gmin ~time ~src_scale
@@ -43,6 +252,7 @@ let assemble t ~x ~gmin ~time ~src_scale
     sys.Mna.gmin_slots;
   let vat u = if u >= 0 then x.(u) else 0.0 in
   let cap_index = ref 0 in
+  let mos_index = ref 0 in
   Array.iter
     (fun e ->
       match e with
@@ -92,21 +302,52 @@ let assemble t ~x ~gmin ~time ~src_scale
       | Mna.P_mos d ->
         let vd = vat d.Mna.ud and vg = vat d.Mna.ug in
         let vs = vat d.Mna.us and vb = vat d.Mna.ub in
-        let bias =
-          { Device.Mosfet.vgs = vg -. vs; vds = vd -. vs; vbs = vb -. vs }
+        let k = !mos_index in
+        incr mos_index;
+        let gm, gds, gmb, ieq =
+          let fresh () =
+            let bias =
+              { Device.Mosfet.vgs = vg -. vs; vds = vd -. vs; vbs = vb -. vs }
+            in
+            let op = Device.Mosfet.eval d.Mna.params ~wl:d.Mna.wl bias in
+            let gm = op.Device.Mosfet.gm
+            and gds = op.Device.Mosfet.gds
+            and gmb = op.Device.Mosfet.gmb in
+            (* linearised current: ids ~ ieq + gm vgs + gds vds + gmb vbs *)
+            let ieq =
+              op.Device.Mosfet.ids
+              -. (gm *. bias.Device.Mosfet.vgs)
+              -. (gds *. bias.Device.Mosfet.vds)
+              -. (gmb *. bias.Device.Mosfet.vbs)
+            in
+            (gm, gds, gmb, ieq)
+          in
+          match t.bypass with
+          | Some bp when bp.benabled ->
+            let b = 4 * k in
+            if
+              Bytes.unsafe_get bp.bvalid k = '\001'
+              && Float.abs (vd -. bp.bv.(b)) < bp.vtol
+              && Float.abs (vg -. bp.bv.(b + 1)) < bp.vtol
+              && Float.abs (vs -. bp.bv.(b + 2)) < bp.vtol
+              && Float.abs (vb -. bp.bv.(b + 3)) < bp.vtol
+            then (bp.bs.(b), bp.bs.(b + 1), bp.bs.(b + 2), bp.bs.(b + 3))
+            else begin
+              let (gm, gds, gmb, ieq) as r = fresh () in
+              bp.bv.(b) <- vd;
+              bp.bv.(b + 1) <- vg;
+              bp.bv.(b + 2) <- vs;
+              bp.bv.(b + 3) <- vb;
+              bp.bs.(b) <- gm;
+              bp.bs.(b + 1) <- gds;
+              bp.bs.(b + 2) <- gmb;
+              bp.bs.(b + 3) <- ieq;
+              Bytes.unsafe_set bp.bvalid k '\001';
+              r
+            end
+          | Some _ | None -> fresh ()
         in
-        let op = Device.Mosfet.eval d.Mna.params ~wl:d.Mna.wl bias in
-        let gm = op.Device.Mosfet.gm
-        and gds = op.Device.Mosfet.gds
-        and gmb = op.Device.Mosfet.gmb in
         let gs = -.(gm +. gds +. gmb) in
-        (* linearised current: ids ~ ieq + gm vgs + gds vds + gmb vbs *)
-        let ieq =
-          op.Device.Mosfet.ids
-          -. (gm *. bias.Device.Mosfet.vgs)
-          -. (gds *. bias.Device.Mosfet.vds)
-          -. (gmb *. bias.Device.Mosfet.vbs)
-        in
         stamp m d.Mna.sdd gds;
         stamp m d.Mna.sdg gm;
         stamp m d.Mna.sdb gmb;
@@ -117,7 +358,10 @@ let assemble t ~x ~gmin ~time ~src_scale
         stamp m d.Mna.sss (-.gs);
         add_rhs rhs d.Mna.ud (-.ieq);
         add_rhs rhs d.Mna.us ieq)
-    sys.Mna.elems
+    sys.Mna.elems;
+  if Array.length sys.Mna.chains > 0 then
+    stamp_chains t ~gmin
+      ~cap:(match cap with None -> None | Some (integ, h, _) -> Some (integ, h))
 
 let v_limit = 0.5
 
@@ -227,8 +471,12 @@ let worst_residual t ~x ~gmin ~time ~cap =
     (!name, !worst)
   end
 
-let dc_r ?(time = 0.0) ?x0 ?(policy = Recover.default) ?telemetry
-    ?(obs = Obs.disabled) t =
+let dc_r ?(time = 0.0) ?x0 ?policy ?opts ?telemetry ?(obs = Obs.disabled) t =
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> (Option.value opts ~default:t.opts).Opts.policy
+  in
   let tm =
     match telemetry with Some v -> v | None -> Diag.create_telemetry ()
   in
@@ -274,6 +522,7 @@ let dc_r ?(time = 0.0) ?x0 ?(policy = Recover.default) ?telemetry
       None
   in
   let finish x =
+    if Array.length t.sys.Mna.chains > 0 then back_substitute t x;
     tm.Diag.wall_s <- tm.Diag.wall_s +. Obs.Clock.elapsed_since wall0;
     flush ~failed:false;
     Ok x
@@ -391,9 +640,13 @@ let initial_guess t assignments =
     assignments;
   x
 
-let voltage t x node = Mna.voltage_of t.sys x node
-
-type record = All | Nodes of Netlist.Transistor.node list
+let voltage t x node =
+  let u = t.sys.Mna.unknown_of_node.(node) in
+  if u >= 0 then x.(u)
+  else if u = -1 then 0.0
+  else
+    let ci, pos = t.sys.Mna.chain_pos.(node) in
+    t.chain_st.(ci).cvolt.(pos)
 
 type result = {
   recorded : (Netlist.Transistor.node, (float * float) list ref) Hashtbl.t;
@@ -406,13 +659,40 @@ type result = {
 
 exception Abort of Diag.failure
 
-let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
-    ?(max_newton = 40) ?x0 ?(uic = false) ?(adaptive = false)
-    ?(policy = Recover.default) ?telemetry ?(obs = Obs.disabled) t ~t_stop =
+(* Ascending source-waveform breakpoint times inside (0, t_stop): the
+   LTE stepper never strides across one, so an input ramp corner is
+   always a step boundary even at large quiescent steps. *)
+let source_breakpoints sys ~t_stop =
+  let ts =
+    Array.fold_left
+      (fun acc e ->
+        match e with
+        | Mna.P_vsrc v ->
+          List.fold_left
+            (fun acc (tp, _) ->
+              if tp > 0.0 && tp < t_stop then tp :: acc else acc)
+            acc
+            (Phys.Pwl.points v.Mna.wave)
+        | Mna.P_mos _ | Mna.P_res _ | Mna.P_cap _ -> acc)
+      [] sys.Mna.elems
+  in
+  Array.of_list (List.sort_uniq compare ts)
+
+let transient_opts ?x0 ?telemetry ?(obs = Obs.disabled) t ~(o : Opts.t)
+    ~t_stop =
   if t_stop <= 0.0 then invalid_arg "Engine.transient: t_stop <= 0";
-  let dt = match dt with Some d -> d | None -> t_stop /. 2000.0 in
+  let dt = match o.Opts.dt with Some d -> d | None -> default_dt t ~t_stop in
   if dt <= 0.0 then invalid_arg "Engine.transient: dt <= 0";
   if dt > t_stop then invalid_arg "Engine.transient: dt > t_stop";
+  let integration = o.Opts.integration
+  and record = o.Opts.record
+  and max_newton = o.Opts.max_newton
+  and uic = o.Opts.uic
+  and adaptive = o.Opts.adaptive
+  and policy = o.Opts.policy in
+  (* the LTE-controlled stepper replaces the iteration-count heuristic
+     in the full fast mode *)
+  let lte = t.opts.Opts.fast = `Reduce_bypass in
   let tm =
     match telemetry with Some v -> v | None -> Diag.create_telemetry ()
   in
@@ -445,6 +725,11 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
         ("factorizations", float_of_int (tm.Diag.factorizations - fc0)) ])
   @@ fun () ->
   let sys = t.sys in
+  (match t.bypass with
+   | Some bp ->
+     Bytes.fill bp.bvalid 0 (Bytes.length bp.bvalid) '\000';
+     bp.benabled <- false
+   | None -> ());
   try
     (* [uic]: trust the caller's initial condition (SPICE's .tran UIC) and
        let the L-stable integrator settle it; otherwise solve the true
@@ -456,7 +741,9 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
            Array.copy v
          | true, (Some _ | None) -> Array.make sys.Mna.n_unknowns 0.0
          | false, _ ->
-           (match dc_r ~time:0.0 ?x0 ~policy ~telemetry:tm ~obs:obs_nested t with
+           (match
+              dc_r ~time:0.0 ?x0 ~policy ~telemetry:tm ~obs:obs_nested t
+            with
             | Ok x -> x
             | Error f ->
               raise
@@ -470,6 +757,20 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
       { v_prev = Array.init ncap (fun k -> cap_voltage caps.(k) !x);
         i_prev = Array.make ncap 0.0 }
     in
+    let nchain = Array.length sys.Mna.chains in
+    if nchain > 0 then begin
+      (* interior initial state: the DC path back-substituted already;
+         under [uic] recover it from a static (caps-open) assembly *)
+      if uic then begin
+        assemble t ~x:!x ~gmin:1e-12 ~time:0.0 ~src_scale:1.0 ~cap:None;
+        back_substitute t !x
+      end;
+      Array.iter
+        (fun cs ->
+          Array.blit cs.cvolt 0 cs.cv_prev 0 (Array.length cs.cvolt);
+          Array.fill cs.ci_prev 0 (Array.length cs.ci_prev) 0.0)
+        t.chain_st
+    end;
     let nodes_to_record =
       match record with
       | All ->
@@ -482,7 +783,7 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
       List.iter
         (fun n ->
           let cell = Hashtbl.find recorded n in
-          cell := (time, Mna.voltage_of sys !x n) :: !cell)
+          cell := (time, voltage t !x n) :: !cell)
         nodes_to_record
     in
     sample 0.0;
@@ -493,9 +794,22 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
     let time = ref 0.0 in
     (* dt control: with [adaptive], grow the step while Newton converges
        easily and shrink it when iterations pile up (SPICE's iteration-count
-       heuristic); bounded to [dt/16, 8*dt] around the nominal step *)
+       heuristic); bounded to [dt/16, 8*dt] around the nominal step.  In
+       LTE mode the bounds widen to [dt/16, 64*dt] and the controller is
+       the local-truncation-error test below. *)
     let dt_now = ref dt in
-    let dt_min = dt /. 16.0 and dt_max = 8.0 *. dt in
+    let dt_min = dt /. 16.0 in
+    let dt_max = if lte then 64.0 *. dt else 8.0 *. dt in
+    let breakpoints =
+      if lte then source_breakpoints sys ~t_stop else [||]
+    in
+    let bp_idx = ref 0 in
+    (* LTE predictor history: the previous accepted solution and step *)
+    let x_prev = ref [||] in
+    let h_prev = ref 0.0 in
+    (* device bypass activates only for the time stepping; the initial
+       operating point above always runs full model evaluations *)
+    (match t.bypass with Some bp -> bp.benabled <- true | None -> ());
     let last = ref N_exhausted in
     (* one solve attempt for the next step; failures count as rejections *)
     let solve ~integ ~h ~x0 ~gmin ~max_iter =
@@ -516,9 +830,9 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
     in
     (* the per-step recovery ladder: the nominal attempt, then the
        policy's transient strategies in order, each bounded *)
-    let step () =
+    let step h_step =
       match
-        solve ~integ:integration ~h:!dt_now ~x0:!x ~gmin:1e-12
+        solve ~integ:integration ~h:h_step ~x0:!x ~gmin:1e-12
           ~max_iter:max_newton
       with
       | Some s -> s
@@ -536,25 +850,25 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
                 | Some s -> Some s
                 | None -> halve (h /. 2.0) (k + 1)
             in
-            halve (!dt_now /. 2.0) 1
+            halve (h_step /. 2.0) 1
           | Recover.Stiff_integration ->
             (* an L-stable step damps the trapezoidal ringing that
                rejected the step *)
             if integration = Backward_euler then None
             else
-              solve ~integ:Backward_euler ~h:!dt_now ~x0:!x ~gmin:1e-12
+              solve ~integ:Backward_euler ~h:h_step ~x0:!x ~gmin:1e-12
                 ~max_iter:policy.Recover.ladder_max_iter
           | Recover.Gmin_ramp ->
             (* solve the stuck step at elevated gmin and walk back down,
                warm-starting each rung; only the 1e-12 solve is kept *)
             let rec ramp gmin x0 =
               if gmin < 1e-12 then
-                solve ~integ:integration ~h:!dt_now ~x0 ~gmin:1e-12
+                solve ~integ:integration ~h:h_step ~x0 ~gmin:1e-12
                   ~max_iter:policy.Recover.ladder_max_iter
               else begin
                 tm.Diag.gmin_rounds <- tm.Diag.gmin_rounds + 1;
                 match
-                  solve ~integ:integration ~h:!dt_now ~x0 ~gmin
+                  solve ~integ:integration ~h:h_step ~x0 ~gmin
                     ~max_iter:policy.Recover.ladder_max_iter
                 with
                 | Some (x', _, _, _, _) -> ramp (gmin /. 10.0) x'
@@ -566,11 +880,11 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
             (* re-seed from a fresh operating point at the target time *)
             (match
                dc_r
-                 ~time:(Float.min (!time +. !dt_now) t_stop)
+                 ~time:(Float.min (!time +. h_step) t_stop)
                  ~x0:!x ~policy ~telemetry:tm ~obs:obs_nested t
              with
              | Ok xdc ->
-               solve ~integ:integration ~h:!dt_now ~x0:xdc ~gmin:1e-12
+               solve ~integ:integration ~h:h_step ~x0:xdc ~gmin:1e-12
                  ~max_iter:policy.Recover.ladder_max_iter
              | Error _ -> None)
           | Recover.Source_step -> None (* DC-only *)
@@ -584,7 +898,7 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
               then Diag.Step_underflow
               else kind_of_outcome !last
             in
-            let t_next = Float.min (!time +. !dt_now) t_stop in
+            let t_next = Float.min (!time +. h_step) t_stop in
             let node, res_worst =
               worst_residual t ~x:!x ~gmin:1e-12 ~time:t_next
                 ~cap:(Some (integration, t_next -. !time, st))
@@ -610,12 +924,25 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
         in
         walk policy.Recover.transient_strategies
     in
-    while !time < t_stop -. (dt_min *. 1e-6) do
-      let x', t_next, h_eff, integ_used, iters = step () in
-      if adaptive then begin
-        if iters <= 8 then dt_now := Float.min dt_max (!dt_now *. 1.3)
-        else if iters > 16 then dt_now := Float.max dt_min (!dt_now /. 2.0)
-      end;
+    (* never stride across a source-waveform corner in LTE mode *)
+    let clamp_to_breakpoint h =
+      if not lte then h
+      else begin
+        while
+          !bp_idx < Array.length breakpoints
+          && breakpoints.(!bp_idx) <= !time +. (dt_min *. 1e-3)
+        do
+          incr bp_idx
+        done;
+        if !bp_idx < Array.length breakpoints then begin
+          let tb = breakpoints.(!bp_idx) in
+          if !time +. h > tb then Float.max dt_min (tb -. !time) else h
+        end
+        else h
+      end
+    in
+    (* accept a solved step: companion-state update, history, sampling *)
+    let accept (x', t_next, h_eff, integ_used, _iters) =
       (* update companion state with the integrator the step actually
          used (a stiff-integration rescue runs Backward-Euler even in a
          trapezoidal analysis) *)
@@ -632,20 +959,126 @@ let transient_r ?(integration = Backward_euler) ?dt ?(record = All)
         st.v_prev.(k) <- v_new;
         st.i_prev.(k) <- i_new
       done;
+      if nchain > 0 then begin
+        back_substitute t x';
+        Array.iteri
+          (fun ci (ch : Mna.chain) ->
+            let cs = t.chain_st.(ci) in
+            let n = Array.length ch.Mna.nodes in
+            for i = 0 to n - 1 do
+              let v_new = cs.cvolt.(i) in
+              let i_new =
+                match integ_used with
+                | Backward_euler ->
+                  ch.Mna.cvals.(i) /. h_eff *. (v_new -. cs.cv_prev.(i))
+                | Trapezoidal ->
+                  (2.0 *. ch.Mna.cvals.(i) /. h_eff
+                   *. (v_new -. cs.cv_prev.(i)))
+                  -. cs.ci_prev.(i)
+              in
+              cs.cv_prev.(i) <- v_new;
+              cs.ci_prev.(i) <- i_new
+            done)
+          sys.Mna.chains
+      end;
+      if lte then begin
+        if Array.length !x_prev = 0 then x_prev := Array.copy !x
+        else Array.blit !x 0 !x_prev 0 (Array.length !x);
+        h_prev := h_eff
+      end;
       x := x';
       time := t_next;
       res.n_steps <- res.n_steps + 1;
       sample !time
+    in
+    let nn = sys.Mna.n_node_unknowns in
+    (* normalised LTE estimate: forward-Euler predictor from the last
+       two accepted points vs the solved point, over node unknowns *)
+    let lte_err x' h_eff =
+      if !h_prev <= 0.0 then 0.0
+      else begin
+        let ratio = h_eff /. !h_prev in
+        let err = ref 0.0 in
+        let xp = !x_prev and xc = !x in
+        for i = 0 to nn - 1 do
+          let pred = xc.(i) +. (ratio *. (xc.(i) -. xp.(i))) in
+          let tol =
+            (o.Opts.lte_rel *. Float.max (Float.abs x'.(i)) (Float.abs xc.(i)))
+            +. o.Opts.lte_abs
+          in
+          err := Float.max !err (Float.abs (x'.(i) -. pred) /. tol)
+        done;
+        !err
+      end
+    in
+    while !time < t_stop -. (dt_min *. 1e-6) do
+      if lte then begin
+        (* LTE-controlled step: solve, estimate the truncation error
+           against the predictor, reject-and-shrink while it exceeds
+           the band, then rescale the next step from the error *)
+        let rec attempt h tries =
+          let h = clamp_to_breakpoint h in
+          let ((x', _, h_eff, _, _) as s) = step h in
+          let err = lte_err x' h_eff in
+          if err > 1.0 && h_eff > dt_min *. 1.000001 && tries < 8 then begin
+            tm.Diag.step_rejections <- tm.Diag.step_rejections + 1;
+            let shrink =
+              Phys.Float_utils.clamp ~lo:0.1 ~hi:0.5
+                (0.9 /. Float.sqrt err)
+            in
+            attempt (Float.max dt_min (h_eff *. shrink)) (tries + 1)
+          end
+          else begin
+            accept s;
+            let grow =
+              if err <= 0.0 then 2.0
+              else
+                Phys.Float_utils.clamp ~lo:0.5 ~hi:2.0
+                  (0.9 /. Float.sqrt err)
+            in
+            dt_now :=
+              Phys.Float_utils.clamp ~lo:dt_min ~hi:dt_max (h_eff *. grow)
+          end
+        in
+        attempt !dt_now 0
+      end
+      else begin
+        let ((_, _, _, _, iters) as s) = step !dt_now in
+        if adaptive then begin
+          if iters <= 8 then dt_now := Float.min dt_max (!dt_now *. 1.3)
+          else if iters > 16 then dt_now := Float.max dt_min (!dt_now /. 2.0)
+        end;
+        accept s
+      end
     done;
     res.final_x <- !x;
     res.n_newton <- tm.Diag.newton_iterations - iters0;
     tm.Diag.wall_s <- tm.Diag.wall_s +. Obs.Clock.elapsed_since wall0;
+    (match t.bypass with Some bp -> bp.benabled <- false | None -> ());
     flush ~failed:false;
     Ok res
   with Abort f ->
+    (match t.bypass with Some bp -> bp.benabled <- false | None -> ());
     tm.Diag.wall_s <- tm.Diag.wall_s +. Obs.Clock.elapsed_since wall0;
     flush ~failed:true;
     Error f
+
+let transient_r ?opts ?integration ?dt ?record ?max_newton ?x0 ?uic
+    ?adaptive ?policy ?telemetry ?obs t ~t_stop =
+  let o = Option.value opts ~default:t.opts in
+  let o =
+    { o with
+      Opts.integration = Option.value integration ~default:o.Opts.integration;
+      dt = (match dt with Some _ -> dt | None -> o.Opts.dt);
+      record = Option.value record ~default:o.Opts.record;
+      max_newton = Option.value max_newton ~default:o.Opts.max_newton;
+      uic = Option.value uic ~default:o.Opts.uic;
+      adaptive = Option.value adaptive ~default:o.Opts.adaptive;
+      policy = Option.value policy ~default:o.Opts.policy;
+      (* the fast mode is structural: fixed at prepare time *)
+      fast = t.opts.Opts.fast }
+  in
+  transient_opts ?x0 ?telemetry ?obs t ~o ~t_stop
 
 let transient ?integration ?dt ?record ?max_newton ?x0 ?uic ?adaptive t
     ~t_stop =

@@ -6,27 +6,106 @@
     Backward-Euler fallback / transient gmin ramping / DC re-seeding for
     rejected transient steps.
 
+    Analysis knobs live in a typed options record, {!Opts.t}, threaded
+    through {!prepare} and overridable per call on {!transient_r} /
+    {!dc_r}.  The [fast] option selects the fast transient path:
+    [`Reduce] eliminates series-RC chain interiors from the unknown
+    vector at prepare time (exact — interior waveforms are recovered by
+    back-substitution), and [`Reduce_bypass] additionally skips model
+    re-evaluation for quiescent transistors and drives the time step
+    with a local-truncation-error controller.  [`Off] (the default) is
+    bit-identical to the historical engine.
+
     Each analysis exists in two forms: a [Result]-typed variant
     ({!dc_r}, {!transient_r}) returning [Ok result] or a structured
     [Error Diag.failure], and the historical raising form ({!dc},
     {!transient}) which is a thin wrapper that raises {!No_convergence}
     with the rendered diagnosis. *)
 
-type t
-(** A prepared simulation context (pattern, symbolic LU, stamp slots). *)
-
-val prepare : Netlist.Transistor.t -> t
-
-val system : t -> Mna.system
-
 exception No_convergence of string
 
 type integration = Backward_euler | Trapezoidal
+
+type record = All | Nodes of Netlist.Transistor.node list
+
+(** Typed analysis options.  Build with {!Opts.default} and the
+    [with_*] combinators:
+    {[
+      Engine.Opts.(default |> with_fast `Reduce_bypass |> with_dt 2e-12)
+    ]} *)
+module Opts : sig
+  type fast = [ `Off | `Reduce | `Reduce_bypass ]
+  (** Fast transient path.  [`Off]: historical engine, bit-identical
+      results.  [`Reduce]: series-RC chain reduction only (exact up to
+      LU rounding).  [`Reduce_bypass]: reduction plus quiescent-device
+      stamp bypass and LTE-controlled stepping — results within
+      calibrated tolerance bands of [`Off]. *)
+
+  type t = {
+    integration : integration;  (** default [Backward_euler] *)
+    dt : float option;
+        (** nominal transient step; [None] derives it from [t_stop] and
+            the fastest explicit RC time constant *)
+    record : record;            (** default [All] *)
+    max_newton : int;           (** per-solve iteration budget, 40 *)
+    uic : bool;                 (** skip the initial DC solve *)
+    adaptive : bool;
+        (** iteration-count step control (ignored under
+            [`Reduce_bypass], which uses the LTE controller) *)
+    fast : fast;                (** default [`Off] *)
+    bypass_vtol : float;
+        (** terminal-voltage quiescence threshold for the device
+            bypass, volts (default 2e-4) *)
+    lte_rel : float;  (** relative LTE band (default 0.02) *)
+    lte_abs : float;  (** absolute LTE band, volts (default 5e-4) *)
+    policy : Recover.policy;  (** default {!Recover.default} *)
+  }
+
+  val default : t
+
+  val with_integration : integration -> t -> t
+  val with_dt : float -> t -> t
+  val with_record : record -> t -> t
+  val with_max_newton : int -> t -> t
+  val with_uic : bool -> t -> t
+  val with_adaptive : bool -> t -> t
+  val with_fast : fast -> t -> t
+  val with_bypass_vtol : float -> t -> t
+  val with_lte : rel:float -> abs:float -> t -> t
+  val with_policy : Recover.policy -> t -> t
+
+  val fast_of_string : string -> (fast, string) result
+  (** Parse ["off"], ["reduce"] or ["reduce-bypass"]. *)
+
+  val fast_to_string : fast -> string
+  val pp_fast : Format.formatter -> fast -> unit
+end
+
+type t
+(** A prepared simulation context (pattern, symbolic LU, stamp slots,
+    reduced chains and their scratch state). *)
+
+val prepare : ?opts:Opts.t -> Netlist.Transistor.t -> t
+(** [prepare ?opts netlist] resolves the MNA structure once.  The
+    [fast] option is structural — it decides the unknown numbering and
+    sparsity pattern — so it is fixed here; the remaining options become
+    the analysis defaults, overridable per {!transient_r} / {!dc_r}
+    call. *)
+
+val system : t -> Mna.system
+val opts : t -> Opts.t
+
+val default_dt : t -> t_stop:float -> float
+(** The step used when [Opts.dt] is [None]: [t_stop /. 2000.], refined
+    downward to half the fastest explicit RC time constant of the deck
+    (never below [t_stop /. 50000.]), so a slow analysis window cannot
+    silently under-resolve a fast node. *)
 
 val dc_r :
   ?time:float ->
   ?x0:float array ->
   ?policy:Recover.policy ->
+  ?opts:Opts.t ->
   ?telemetry:Diag.telemetry ->
   ?obs:Obs.t ->
   t ->
@@ -34,14 +113,19 @@ val dc_r :
 (** Operating point with the sources evaluated at [time] (default 0).
     [x0] seeds the Newton iteration (see {!initial_guess}) and also
     warm-starts every recovery strategy.  On failure of the direct
-    solve the [policy]'s DC strategies (default: gmin ramp, then source
-    stepping) are tried in order, each bounded by the policy budgets.
-    [telemetry] (optional, caller-owned) accumulates effort counters
-    across calls.  [obs] (default [Obs.disabled]) records a
-    ["spice.dc"] span carrying the analysis's Newton/factorization
-    deltas as args, and flushes the telemetry deltas once per analysis
-    into the registry ([spice.dc.analyses], [spice.newton_iterations],
-    ... and the [spice.newton_per_analysis] histogram). *)
+    solve the policy's DC strategies (default: gmin ramp, then source
+    stepping) are tried in order, each bounded by the policy budgets;
+    [?policy] takes precedence over [?opts], which takes precedence
+    over the prepare-time options.  [telemetry] (optional,
+    caller-owned) accumulates effort counters across calls.  [obs]
+    (default [Obs.disabled]) records a ["spice.dc"] span carrying the
+    analysis's Newton/factorization deltas as args, and flushes the
+    telemetry deltas once per analysis into the registry
+    ([spice.dc.analyses], [spice.newton_iterations], ... and the
+    [spice.newton_per_analysis] histogram).
+
+    Under a reducing fast mode the chain-interior voltages of the
+    solution are recovered on success and readable with {!voltage}. *)
 
 val dc : ?time:float -> ?x0:float array -> t -> float array
 (** {!dc_r} with the default policy.
@@ -53,12 +137,14 @@ val initial_guess :
     logic-simulator steady state). *)
 
 val voltage : t -> float array -> Netlist.Transistor.node -> float
-
-type record = All | Nodes of Netlist.Transistor.node list
+(** Read a node voltage: from the solution vector for retained
+    unknowns, 0 for ground, and from the back-substituted chain state
+    for nodes eliminated by a reducing fast mode. *)
 
 type result
 
 val transient_r :
+  ?opts:Opts.t ->
   ?integration:integration ->
   ?dt:float ->
   ?record:record ->
@@ -73,16 +159,25 @@ val transient_r :
   t_stop:float ->
   (result, Diag.failure) Stdlib.result
 (** Simulate from a [dc_r] initial condition at [t = 0] to [t_stop].
-    [dt] defaults to [t_stop /. 2000.]; [x0] seeds the DC solve.  With
+
+    Options resolve in precedence order: the individual optional
+    arguments (deprecated, kept as thin wrappers for existing callers),
+    then [?opts], then the prepare-time options.  The [fast] mode is
+    always the prepare-time one (it is structural).
+
+    [dt] defaults to {!default_dt}; [x0] seeds the DC solve.  With
     [uic] (default false) the DC solve is skipped entirely and [x0] is
     taken as the initial state — the integrator settles any
     inconsistency within a few steps, which is how very large blocks
     whose cold DC diverges are simulated.  With [adaptive] (default
     false) the step size floats in [dt/16, 8*dt] on a Newton-iteration-
-    count heuristic, trading exact step placement for speed.  Only
-    recorded nodes (default [All]) can be read back with {!waveform}.
+    count heuristic, trading exact step placement for speed.  Under
+    [`Reduce_bypass] the step is instead driven by a local-truncation-
+    error controller in [dt/16, 64*dt], clamped so it never strides
+    across a source-waveform breakpoint.  Only recorded nodes (default
+    [All]) can be read back with {!waveform}.
 
-    A rejected step walks the [policy]'s transient strategies in order
+    A rejected step walks the policy's transient strategies in order
     (default: step halving, Backward-Euler fallback, transient gmin
     ramping, DC re-seeding), each bounded, so every run terminates with
     either [Ok] — whose waveforms contain only finite samples — or a
@@ -111,7 +206,9 @@ val transient :
     strategy. *)
 
 val waveform : result -> Netlist.Transistor.node -> Phys.Pwl.t
-(** @raise Not_found for a node that was not recorded. *)
+(** Samples of a recorded node, including back-substituted
+    chain-interior nodes under a reducing fast mode.
+    @raise Not_found for a node that was not recorded. *)
 
 val waveform_named : result -> string -> Phys.Pwl.t
 (** Look a node up by name first. *)

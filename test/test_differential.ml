@@ -33,11 +33,11 @@ let measurements c vec =
   List.map
     (fun wl ->
       let bp =
-        Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Breakpoint c
+        Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Breakpoint) c
           ~vectors:[ vec ] ~wl
       in
       let sp =
-        Mtcmos.Sizing.delay_at ~engine:Mtcmos.Sizing.Spice_level c
+        Mtcmos.Sizing.delay_at ~ctx:Eval.Ctx.(default |> with_engine Eval.Spice_level) c
           ~vectors:[ vec ] ~wl
       in
       (wl, bp, sp))

@@ -54,15 +54,17 @@ let test_tree_wl_trend_agreement () =
     List.map
       (fun wl ->
         let m =
-          Mtcmos.Sizing.delay_at ~engine c
+          Mtcmos.Sizing.delay_at
+            ~ctx:Eval.Ctx.(default |> with_engine engine)
+            c
             ~vectors:[ ([ (1, 0) ], [ (1, 1) ]) ]
             ~wl
         in
         m.Mtcmos.Sizing.mtcmos_delay)
       [ 5.0; 10.0; 20.0 ]
   in
-  let bp = delays Mtcmos.Sizing.Breakpoint in
-  let sp = delays Mtcmos.Sizing.Spice_level in
+  let bp = delays Eval.Breakpoint in
+  let sp = delays Eval.Spice_level in
   let decreasing l =
     let rec go = function
       | a :: (b :: _ as rest) -> a > b && go rest

@@ -17,4 +17,5 @@ let () =
       ("serve", Test_serve.suite);
       ("differential", Test_differential.suite);
       ("scale", Test_scale.suite);
+      ("speed", Test_speed.suite);
       ("integration", Test_integration.suite) ]

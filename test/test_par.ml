@@ -126,8 +126,12 @@ let test_resilience_counters_match_sequential () =
   let run jobs =
     let stats = Mtcmos.Resilience.create () in
     let ms =
-      Mtcmos.Sizing.sweep ~stats ~policy ~engine:Mtcmos.Sizing.Spice_level
-        ~jobs c ~vectors:[ vec ] ~wls:[ 2.0; 5.0; 10.0; 20.0 ]
+      Mtcmos.Sizing.sweep
+        ~ctx:
+          Eval.Ctx.(
+            default |> with_engine Eval.Spice_level |> with_stats stats
+            |> with_policy policy |> with_jobs jobs)
+        c ~vectors:[ vec ] ~wls:[ 2.0; 5.0; 10.0; 20.0 ]
     in
     (ms, stats)
   in
@@ -174,8 +178,11 @@ let test_scored_zero_distinct_from_quiet_zero () =
   (* nothing switches: before = after *)
   let quiet = Mtcmos.Resilience.create () in
   let s_quiet =
-    Mtcmos.Search.score ~engine:Mtcmos.Sizing.Spice_level ~stats:quiet c
-      ~sleep Mtcmos.Search.Max_degradation
+    Mtcmos.Search.score
+      ~ctx:
+        Eval.Ctx.(
+          default |> with_engine Eval.Spice_level |> with_stats quiet)
+      c ~sleep Mtcmos.Search.Max_degradation
       ([ (1, 0) ], [ (1, 0) ])
   in
   Alcotest.(check (float 0.0)) "quiet zero" 0.0 s_quiet;
@@ -190,9 +197,13 @@ let test_scored_zero_distinct_from_quiet_zero () =
   (* transient failure: a one-iteration Newton budget cannot converge *)
   let broken = Mtcmos.Resilience.create () in
   let s_broken =
-    Mtcmos.Search.score ~engine:Mtcmos.Sizing.Spice_level ~stats:broken
-      ~policy:(Spice.Recover.with_newton_budget 1 Spice.Recover.strict) c
-      ~sleep Mtcmos.Search.Max_degradation
+    Mtcmos.Search.score
+      ~ctx:
+        Eval.Ctx.(
+          default |> with_engine Eval.Spice_level |> with_stats broken
+          |> with_policy
+               (Spice.Recover.with_newton_budget 1 Spice.Recover.strict))
+      c ~sleep Mtcmos.Search.Max_degradation
       ([ (1, 0) ], [ (1, 1) ])
   in
   Alcotest.(check (float 0.0)) "failure scores zero" 0.0 s_broken;

@@ -234,8 +234,12 @@ let prop_score_jobs_invariant =
       let run jobs =
         let stats = Mtcmos.Resilience.create () in
         let s =
-          Mtcmos.Search.score ~engine:Mtcmos.Sizing.Spice_level ~stats
-            ~jobs c ~sleep Mtcmos.Search.Max_degradation pair
+          Mtcmos.Search.score
+            ~ctx:
+              Eval.Ctx.(
+                default |> with_engine Eval.Spice_level |> with_stats stats
+                |> with_jobs jobs)
+            c ~sleep Mtcmos.Search.Max_degradation pair
         in
         ( s,
           stats.Mtcmos.Resilience.attempted,
@@ -259,8 +263,9 @@ let prop_hunt_reproducible =
           (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl:8.0 ~vdd:1.2)
       in
       let hunt jobs =
-        Mtcmos.Search.hill_climb ~seed ~restarts:3 ~max_iters:40 ~jobs c
-          ~sleep ~widths:[ 2; 2 ] Mtcmos.Search.Max_degradation
+        Mtcmos.Search.hill_climb ~seed ~restarts:3 ~max_iters:40
+          ~ctx:Eval.Ctx.(default |> with_jobs jobs)
+          c ~sleep ~widths:[ 2; 2 ] Mtcmos.Search.Max_degradation
       in
       let a = hunt 1 and b = hunt 1 and p = hunt 2 in
       a = b && a = p)
