@@ -33,6 +33,107 @@ let maybe_csv name table =
     Phys.Table.write_csv table ~path;
     Format.printf "(csv written to %s)@." path
 
+(* ---- bench history --------------------------------------------------------
+
+   `dune exec bench/main.exe -- record[=DIR] ...` appends every gated
+   experiment's headline ratio to DIR/BENCH_<exp>.json (one JSON object
+   per line) and compares it against the stored baseline -- the FIRST
+   recorded ratio for that (experiment, sub) pair.  The run fails when
+   a compared ratio sits below its gate floor or has degraded more than
+   20% against the baseline.  `mtsize bench-history` renders the files.
+
+   MTSIZE_BENCH_INJECT_SLOWDOWN=<fraction> scales the compared ratio
+   down (0.25 -> 25% slower than measured) to prove the regression gate
+   trips; injected runs never append, so the history stays honest. *)
+
+let record_dir : string option ref = ref None
+let record_failed = ref false
+
+let inject_slowdown =
+  match Sys.getenv_opt "MTSIZE_BENCH_INJECT_SLOWDOWN" with
+  | None -> 0.0
+  | Some s -> ( try float_of_string s with _ -> 0.0)
+
+(* the record format is fixed and self-emitted, so a naive field scan is
+   enough -- no JSON parser in the bench binary *)
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let field_num line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let start = i + String.length key + 3 in
+    let stop = ref start in
+    let n = String.length line in
+    while
+      !stop < n
+      && (match line.[!stop] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false)
+    do
+      incr stop
+    done;
+    (try Some (float_of_string (String.sub line start (!stop - start)))
+     with _ -> None)
+
+let has_sub line sub = find_sub line (Printf.sprintf "\"sub\":\"%s\"" sub) <> None
+
+(* baseline = first recorded ratio for this sub, None on a fresh file *)
+let record_baseline path sub =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let base = ref None in
+    (try
+       while !base = None do
+         let line = input_line ic in
+         if has_sub line sub then base := field_num line "ratio"
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !base
+  end
+
+let record_note ~exp ~sub ~ratio ~floor =
+  match !record_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" exp) in
+    let compared = ratio *. (1.0 -. inject_slowdown) in
+    let base = record_baseline path sub in
+    if compared < floor then begin
+      Format.eprintf "record %s/%s: ratio %.3f below floor %.3f@." exp sub
+        compared floor;
+      record_failed := true
+    end;
+    (match base with
+     | Some b when compared < 0.8 *. b ->
+       Format.eprintf
+         "record %s/%s: ratio %.3f degraded > 20%% vs baseline %.3f@." exp sub
+         compared b;
+       record_failed := true
+     | _ -> ());
+    if inject_slowdown = 0.0 then begin
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Printf.fprintf oc
+        {|{"experiment":"%s","sub":"%s","ratio":%.6f,"floor":%.3f,"at":%.0f}|}
+        exp sub ratio floor (Unix.time ());
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "(recorded %s/%s ratio %.3f -> %s)@." exp sub ratio path
+    end
+    else
+      Format.printf "(inject %s/%s: compared %.3f, nothing appended)@." exp sub
+        compared
+
 let sleep_of tech wl =
   BP.Sleep_fet
     (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
@@ -1070,7 +1171,8 @@ let par ~fast () =
         "par/%s: speedup %.2fx < 2x at --jobs %d on a %d-core host@." name
         speedup jobs cores;
       exit 1
-    end
+    end;
+    record_note ~exp:"par" ~sub:name ~ratio:speedup ~floor:2.0
   in
   (* W/L sweep of the 8x8 multiplier over both paper vectors *)
   let wls =
@@ -1144,7 +1246,8 @@ let cache_exp ~fast () =
     if speedup < 3.0 then begin
       Format.eprintf "cache/%s: warm speedup %.1fx < 3x@." name speedup;
       exit 1
-    end
+    end;
+    record_note ~exp:"cache" ~sub:name ~ratio:speedup ~floor:3.0
   in
   let chain = Circuits.Chain.inverter_chain t07 ~length:8 in
   check "sweep-chain-spice" ~engine:Eval.Spice_level
@@ -1259,7 +1362,8 @@ let runner_exp ~fast () =
   if speedup < 3.0 then begin
     Format.eprintf "runner: warm batch speedup %.1fx < 3x@." speedup;
     exit 1
-  end
+  end;
+  record_note ~exp:"runner" ~sub:"batch" ~ratio:speedup ~floor:3.0
 
 (* ---- OBS: observability overhead, identical output, trace validity ------------- *)
 
@@ -1323,13 +1427,18 @@ let obs_exp ~fast () =
     if overhead > 5.0 then begin
       Format.eprintf "obs/%s: overhead %.2f%% > 5%%@." name overhead;
       exit 1
-    end
+    end;
+    record_note ~exp:"obs" ~sub:name
+      ~ratio:(t_off /. Float.max 1e-9 t_on)
+      ~floor:0.95
   in
   let chain = Circuits.Chain.inverter_chain t07 ~length:8 in
+  let chain_vectors = [ ([ (1, 0) ], [ (1, 1) ]); ([ (1, 1) ], [ (1, 0) ]) ] in
+  let chain_wls =
+    if fast then [ 5.0; 20.0 ] else [ 2.0; 5.0; 10.0; 20.0; 50.0 ]
+  in
   check "sweep-chain-spice" ~engine:Eval.Spice_level
-    chain.Circuits.Chain.circuit
-    ~vectors:[ ([ (1, 0) ], [ (1, 1) ]); ([ (1, 1) ], [ (1, 0) ]) ]
-    ~wls:(if fast then [ 5.0; 20.0 ] else [ 2.0; 5.0; 10.0; 20.0; 50.0 ]);
+    chain.Circuits.Chain.circuit ~vectors:chain_vectors ~wls:chain_wls;
   let adder8 = Circuits.Ripple_adder.make t07 ~bits:8 in
   let vectors =
     List.init (if fast then 16 else 32) (fun i ->
@@ -1339,7 +1448,53 @@ let obs_exp ~fast () =
   check "sweep-adder8-bp" ~engine:Eval.Breakpoint
     adder8.Circuits.Ripple_adder.circuit ~vectors
     ~wls:[ 2.0; 4.0; 6.0; 10.0; 16.0; 25.0; 40.0; 80.0 ];
-  Format.printf "metrics registry after the adder8 run:@.%s" !dump_last
+  Format.printf "metrics registry after the adder8 run:@.%s" !dump_last;
+  (* the profile is a pure post-run pass over the span sink, so
+     --profile must cost < 2% over an otherwise identical traced run *)
+  let run_chain ctx () =
+    Mtcmos.Sizing.sweep ~ctx chain.Circuits.Chain.circuit
+      ~vectors:chain_vectors ~wls:chain_wls
+  in
+  let base = Eval.Ctx.with_engine Eval.Spice_level Eval.Ctx.default in
+  let traced () =
+    let obs = Obs.create ~trace:true () in
+    ignore (run_chain (Eval.Ctx.with_obs obs base) ());
+    obs
+  in
+  let _, t_trace = best_of_3 traced in
+  let _, t_prof =
+    best_of_3 (fun () ->
+        Obs.Prof.to_collapsed (Obs.profile (traced ())))
+  in
+  let prof_overhead =
+    100.0 *. (t_prof -. t_trace) /. Float.max 1e-9 t_trace
+  in
+  Format.printf
+    "{\"experiment\": \"obs/profiler\", \"t_trace_s\": %.4f, \
+     \"t_profile_s\": %.4f, \"overhead_pct\": %.2f}@."
+    t_trace t_prof prof_overhead;
+  if prof_overhead > 2.0 then begin
+    Format.eprintf "obs/profiler: overhead %.2f%% > 2%%@." prof_overhead;
+    exit 1
+  end;
+  record_note ~exp:"obs" ~sub:"profiler"
+    ~ratio:(t_trace /. Float.max 1e-9 t_prof)
+    ~floor:0.98;
+  (* the disabled handle threaded through a full run must stay silent:
+     no metrics, no spans, an empty profile *)
+  let off = Obs.disabled in
+  ignore (run_chain (Eval.Ctx.with_obs off base) ());
+  let prof = Obs.profile off in
+  let silent =
+    String.equal (Obs.metrics_jsonl off) ""
+    && Obs.Prof.paths prof = []
+    && String.equal (Obs.Prof.to_collapsed prof) ""
+  in
+  Format.printf "{\"experiment\": \"obs/disabled\", \"silent\": %b}@." silent;
+  if not silent then begin
+    Format.eprintf "obs/disabled: disabled handle emitted events@.";
+    exit 1
+  end
 
 (* ---- SERVE: sharded-cache contention under concurrent clients ------------------ *)
 
@@ -1437,7 +1592,8 @@ let serve_exp ~fast () =
        (gate: 2x)@."
       speedup clients;
     exit 1
-  end
+  end;
+  record_note ~exp:"serve" ~sub:"cache-contention" ~ratio:speedup ~floor:2.0
 
 (* ---- SCALE: event-driven core vs dense passes on 10k+-gate circuits ------------ *)
 
@@ -1528,7 +1684,9 @@ let scale_exp ~fast () =
       Format.eprintf "scale/%s: speedup %.1fx < 5x at %d gates@." name
         speedup gates;
       exit 1
-    end
+    end;
+    if gates >= 10_000 then
+      record_note ~exp:"scale" ~sub:name ~ratio:speedup ~floor:5.0
   in
   let ks = Circuits.Kogge_stone.make t07 ~bits:128 in
   check "kogge-stone-128" ks.Circuits.Kogge_stone.circuit;
@@ -1723,7 +1881,11 @@ let speed_exp ~fast () =
   if adder_speedup < 5.0 then begin
     Format.eprintf "speed: sleep-adder speedup %.1fx < 5x@." adder_speedup;
     exit 1
-  end
+  end;
+  record_note ~exp:"speed" ~sub:"rc-ladder" ~ratio:ladder_speedup ~floor:5.0;
+  record_note ~exp:"speed"
+    ~sub:(Printf.sprintf "sleep-adder%d" bits)
+    ~ratio:adder_speedup ~floor:5.0
 
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
@@ -1826,16 +1988,20 @@ let () =
   List.iter
     (fun a ->
       if String.length a > 4 && String.sub a 0 4 = "csv=" then
-        csv_dir := Some (String.sub a 4 (String.length a - 4)))
+        csv_dir := Some (String.sub a 4 (String.length a - 4));
+      if a = "record" then record_dir := Some ".";
+      if String.length a > 7 && String.sub a 0 7 = "record=" then
+        record_dir := Some (String.sub a 7 (String.length a - 7)))
     args;
   let args =
     List.filter
       (fun a ->
-        a <> "fast"
-        && not (String.length a > 4 && String.sub a 0 4 = "csv="))
+        a <> "fast" && a <> "record"
+        && not (String.length a > 4 && String.sub a 0 4 = "csv=")
+        && not (String.length a > 7 && String.sub a 0 7 = "record="))
       args
   in
-  match args with
+  (match args with
   | [] -> all ~fast ()
   | names ->
     List.iter
@@ -1867,4 +2033,8 @@ let () =
              scale speed bechamel)@."
             other;
           exit 2)
-      names
+      names);
+  if !record_failed then begin
+    Format.eprintf "bench: recorded regression gate failed@.";
+    exit 1
+  end

@@ -196,6 +196,7 @@ type obs_opts = {
   trace_file : string option;
   metrics_out : string option; (* "-" = stdout *)
   report : bool;
+  profile_out : string option; (* collapsed-stack flamegraph file *)
 }
 
 let obs_term =
@@ -226,15 +227,30 @@ let obs_term =
     in
     Arg.(value & flag & info [ "report" ] ~doc)
   in
-  let make trace metrics report =
+  let profile =
+    let doc =
+      "Profile the run from its spans and write the call tree in \
+       collapsed-stack format to $(docv) (default \
+       $(b,profile.folded)) — one 'frame;frame self-µs' line per call \
+       path, directly consumable by flamegraph tooling — plus the \
+       timing-free per-label call counts (invariant in --jobs and \
+       cache settings) to $(docv).golden.  Implies span collection."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "profile.folded") (some string) None
+      & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let make trace metrics report profile =
     let obs =
-      if trace <> None || metrics <> None || report then
-        Obs.create ~trace:(trace <> None) ()
+      if trace <> None || metrics <> None || report || profile <> None then
+        Obs.create ~trace:(trace <> None || profile <> None) ()
       else Obs.disabled
     in
-    { obs; trace_file = trace; metrics_out = metrics; report }
+    { obs; trace_file = trace; metrics_out = metrics; report;
+      profile_out = profile }
   in
-  Term.(const make $ trace $ metrics $ report)
+  Term.(const make $ trace $ metrics $ report $ profile)
 
 (* End-of-run output, in registry order: publish the cache counters
    (idempotent set), render --cache-stats from the registry (the cache
@@ -273,6 +289,9 @@ let finish_obs ?co oo =
   (match oo.trace_file with
    | None -> ()
    | Some f -> Obs.write_trace oo.obs f);
+  (match oo.profile_out with
+   | None -> ()
+   | Some f -> Obs.write_profile oo.obs f);
   if oo.report then print_string (Obs.report oo.obs)
 
 let ctx_of ?policy ?stats ?(obs = Obs.disabled) ?(fast = `Off) ~engine ~jobs
@@ -824,11 +843,12 @@ let scale_cmd =
      falling counts, and cross-check every step against the dense
      reference evaluator.  Everything printed is deterministic (no
      timings), so the golden suite pins it byte for byte. *)
-  let run tech_name circuit_name steps flips seed =
+  let run tech_name circuit_name steps flips seed oo =
     let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
     let c = bc.circuit in
     if steps < 1 then or_die (Error "--steps must be >= 1");
     if flips < 1 then or_die (Error "--flips must be >= 1");
+    let obs = oo.obs in
     let es = Netlist.Event_sim.of_circuit c in
     let n_inputs = Array.length (Netlist.Circuit.inputs c) in
     Format.printf "%a@." Netlist.Circuit.pp_stats c;
@@ -857,7 +877,7 @@ let scale_cmd =
            | Netlist.Signal.L1 -> Netlist.Signal.L0
            | Netlist.Signal.L0 | Netlist.Signal.X -> Netlist.Signal.L1)
       done;
-      let m = Netlist.Event_sim.step es !state v' in
+      let m = Netlist.Event_sim.step ~obs es !state v' in
       let touched = List.length m.Netlist.Event_sim.touched in
       let act = Netlist.Event_sim.activity es m in
       let fall = List.length (Netlist.Event_sim.falling_gates es m) in
@@ -891,6 +911,7 @@ let scale_cmd =
       !t_act !t_fall;
     Format.printf "event core agrees with dense reference: %s@."
       (if !agree then "yes" else "NO");
+    finish_obs oo;
     if not !agree then exit 1
   in
   let steps_term =
@@ -913,7 +934,7 @@ let scale_cmd =
           kogge16), cross-checking every step against the dense \
           evaluator.  Exit 1 on any disagreement.")
     Term.(const run $ tech_term $ circuit_term $ steps_term $ flips_term
-          $ seed_term)
+          $ seed_term $ obs_term)
 
 let run_cmd =
   let run jobfile out journal fresh stop_after engine jobs budget co oo =
@@ -1208,6 +1229,121 @@ let trace_check_cmd =
           with the embedded registry counters.  Exit 1 on any failure.")
     Term.(const run $ file_term)
 
+let bench_history_cmd =
+  (* Read the BENCH_<experiment>.json files `bench ... record[=DIR]`
+     appends to, and show the performance trajectory per gated
+     measurement: every recorded ratio against the first (baseline)
+     entry, flagging >20% degradations the way the bench regression
+     gate does. *)
+  let find_sub line pat =
+    let n = String.length line and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub line i m = pat then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let field_str line key =
+    let pat = Printf.sprintf "\"%s\":\"" key in
+    match find_sub line pat with
+    | None -> None
+    | Some i ->
+      let start = i + String.length pat in
+      (match String.index_from_opt line start '"' with
+       | Some stop -> Some (String.sub line start (stop - start))
+       | None -> None)
+  in
+  let field_num line key =
+    let pat = Printf.sprintf "\"%s\":" key in
+    match find_sub line pat with
+    | None -> None
+    | Some i ->
+      let start = i + String.length pat in
+      let stop = ref start in
+      let n = String.length line in
+      while
+        !stop < n
+        && (match line.[!stop] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+  in
+  let run dir =
+    let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+    Array.sort compare entries;
+    let shown = ref 0 in
+    Array.iter
+      (fun name ->
+        if
+          String.starts_with ~prefix:"BENCH_" name
+          && Filename.check_suffix name ".json"
+        then begin
+          incr shown;
+          let exp =
+            Filename.chop_suffix
+              (String.sub name 6 (String.length name - 6))
+              ".json"
+          in
+          Format.printf "== %s (%s) ==@." exp name;
+          let lines =
+            try
+              String.split_on_char '\n'
+                (In_channel.with_open_bin (Filename.concat dir name)
+                   In_channel.input_all)
+              |> List.filter (fun l -> String.trim l <> "")
+            with Sys_error m ->
+              Format.printf "  unreadable: %s@." m;
+              []
+          in
+          (* baseline = first recorded ratio per measurement *)
+          let baselines = Hashtbl.create 8 in
+          List.iter
+            (fun line ->
+              let sub = Option.value ~default:"-" (field_str line "sub") in
+              match field_num line "ratio" with
+              | None -> Format.printf "  (unparseable entry)@."
+              | Some ratio ->
+                if not (Hashtbl.mem baselines sub) then
+                  Hashtbl.replace baselines sub ratio;
+                let base = Hashtbl.find baselines sub in
+                let delta =
+                  if base > 0.0 then 100.0 *. ((ratio /. base) -. 1.0)
+                  else 0.0
+                in
+                let at =
+                  match field_num line "at" with
+                  | Some v -> Printf.sprintf "%.0f" v
+                  | None -> "-"
+                in
+                let flag = if ratio < 0.8 *. base then "  << REGRESSION" else "" in
+                Format.printf
+                  "  %-24s at %-12s ratio %8.3f  (baseline %.3f, %+.1f%%)%s@."
+                  sub at ratio base delta flag)
+            lines
+        end)
+      entries;
+    if !shown = 0 then
+      Format.printf
+        "no BENCH_*.json files in %s (record some with: bench <exp> \
+         record)@."
+        dir
+  in
+  let dir_term =
+    let doc = "Directory holding the recorded BENCH_*.json files." in
+    Arg.(value & pos 0 string "." & info [] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "bench-history"
+       ~doc:
+         "Show the recorded bench measurement history (written by \
+          $(b,bench <experiment> record)): every entry's gated ratio \
+          against its stored baseline, flagging >20% degradations.")
+    Term.(const run $ dir_term)
+
 let () =
   let info =
     Cmd.info "mtsize" ~version:"1.0.0"
@@ -1219,4 +1355,5 @@ let () =
           [ sweep_cmd; size_cmd; worst_cmd; simulate_cmd; compare_cmd;
             estimate_cmd; sta_cmd; energy_cmd; wakeup_cmd; deck_cmd;
             lint_cmd; search_cmd; workload_cmd; dot_cmd; trace_check_cmd;
-            scale_cmd; run_cmd; serve_cmd; submit_cmd ]))
+            scale_cmd; run_cmd; serve_cmd; submit_cmd;
+            bench_history_cmd ]))

@@ -283,7 +283,14 @@ let bit_index b =
   if !b land 0x2 <> 0 then incr n;
   !n
 
-let step t st ins =
+(* step telemetry buckets: touched-gate counts span mirror-adder (tens)
+   to random20000 scale, sparsity is a percentage of the gate count *)
+let touched_buckets =
+  [| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384.; 65536. |]
+
+let pct_buckets = [| 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0 |]
+
+let step ?(obs = Obs.disabled) t st ins =
   check_inputs "step" t ins;
   let post = Bytes.copy st in
   (* pending worklist as a bitset, 32 gate ids per word.  All pushes go
@@ -311,7 +318,12 @@ let step t st ins =
       end)
     t.inputs;
   let touched = ref [] in
+  (* pending-bitset occupancy: words holding at least one dirty gate
+     when the sweep reaches them (later pushes into a not-yet-swept
+     word count once) *)
+  let words_active = ref 0 in
   for w = 0 to nw - 1 do
+    if Array.unsafe_get pending w <> 0 then incr words_active;
     (* re-read each iteration: processing a gate can set more bits in
        its own word (strictly above the one just cleared) *)
     while Array.unsafe_get pending w <> 0 do
@@ -328,9 +340,22 @@ let step t st ins =
       end
     done
   done;
-  { pre = st; post; touched = List.rev !touched }
+  let m = { pre = st; post; touched = List.rev !touched } in
+  if Obs.metrics_on obs then begin
+    let n_touched = List.length m.touched in
+    Obs.incr obs "event_sim.steps";
+    Obs.incr obs ~by:n_touched "event_sim.touched_gates";
+    Obs.observe ~buckets:touched_buckets obs "event_sim.touched_per_step"
+      (float_of_int n_touched);
+    Obs.observe ~buckets:pct_buckets obs "event_sim.touched_pct"
+      (100.0 *. float_of_int n_touched /. float_of_int (max 1 t.n_gates));
+    Obs.observe ~buckets:touched_buckets obs
+      "event_sim.pending_words_per_step"
+      (float_of_int !words_active)
+  end;
+  m
 
-let transition t ~before ~after = step t (init t before) after
+let transition ?obs t ~before ~after = step ?obs t (init t before) after
 
 let switched_gates t m =
   List.filter

@@ -64,14 +64,21 @@ type move = {
     of gates the worklist visited ([touched] is a superset of the gates
     whose output changed). *)
 
-val step : t -> state -> Signal.level array -> move
+val step : ?obs:Obs.t -> t -> state -> Signal.level array -> move
 (** [step t st ins] propagates from the steady state [st] to the new
     primary-input vector [ins].  [st] is not modified, so moves chain:
     [step t m.post ins'].  Cost is O(touched fanin + fanout), not
     O(gates).
+
+    When [obs] (default disabled) has metrics on, each step records
+    the worklist's sparsity: [event_sim.steps] / [.touched_gates]
+    counters plus [.touched_per_step], [.touched_pct] (touched as a
+    percentage of the gate count) and [.pending_words_per_step]
+    (pending-bitset words the sweep drained) histograms.
     @raise Invalid_argument on an input-length mismatch. *)
 
 val transition :
+  ?obs:Obs.t ->
   t -> before:Signal.level array -> after:Signal.level array -> move
 (** [init] on [before], then {!step} to [after]. *)
 

@@ -103,6 +103,52 @@ let observe ?(buckets = default_buckets) t name v =
   h.h_sum <- h.h_sum +. v;
   h.h_total <- h.h_total + 1
 
+(* Percentile estimation over the fixed-bucket representation, shared
+   by Report and the daemon's /metrics view.  The estimate assumes
+   samples are uniform within a bucket (linear interpolation between
+   the bucket's edges); the overflow bucket has no upper edge, so any
+   rank landing there reports the last finite edge — a deliberate
+   under-estimate that keeps the result inside the configured range. *)
+module Hist = struct
+  let percentile ~bounds ~counts p =
+    if p < 0.0 || p > 100.0 then
+      invalid_arg (Printf.sprintf "Obs.Metrics.Hist.percentile: p = %g" p);
+    let n = Array.length bounds in
+    let total = Array.fold_left ( + ) 0 counts in
+    if total = 0 then 0.0
+    else begin
+      let target = float_of_int total *. p /. 100.0 in
+      let rec walk i cum =
+        if i >= Array.length counts then bounds.(n - 1)
+        else begin
+          let c = counts.(i) in
+          let cum' = cum + c in
+          if c > 0 && float_of_int cum' >= target then
+            if i >= n then bounds.(n - 1)
+            else begin
+              let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+              let hi = bounds.(i) in
+              let frac = (target -. float_of_int cum) /. float_of_int c in
+              let frac = Float.max 0.0 (Float.min 1.0 frac) in
+              lo +. (frac *. (hi -. lo))
+            end
+          else walk (i + 1) cum'
+        end
+      in
+      walk 0 0
+    end
+
+  let percentiles ~bounds ~counts =
+    ( percentile ~bounds ~counts 50.0,
+      percentile ~bounds ~counts 90.0,
+      percentile ~bounds ~counts 99.0 )
+
+  let percentiles_of_value = function
+    | Dist { bounds; counts; total; _ } when total > 0 ->
+      Some (percentiles ~bounds ~counts)
+    | _ -> None
+end
+
 let count t name =
   match Hashtbl.find_opt t name with Some (Counter r) -> !r | _ -> 0
 

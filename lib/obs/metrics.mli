@@ -45,6 +45,26 @@ val observe : ?buckets:float array -> t -> string -> float -> unit
     consulted only when the histogram is created; a sample [v] lands in
     the first bucket with [v <= edge], else in the overflow bucket. *)
 
+(** Percentile summaries over the fixed-bucket histogram representation
+    — the one estimator shared by {!Report} and the daemon's [/metrics]
+    view. *)
+module Hist : sig
+  val percentile : bounds:float array -> counts:int array -> float -> float
+  (** [percentile ~bounds ~counts p] estimates the [p]-th percentile
+      ([0 <= p <= 100]) by linear interpolation inside the admitting
+      bucket (bucket [i] spans [bounds.(i-1) .. bounds.(i)], the first
+      bucket starts at 0).  A rank landing in the overflow bucket
+      reports the last finite edge; an empty histogram reports [0.].
+      @raise Invalid_argument when [p] is outside [0, 100]. *)
+
+  val percentiles :
+    bounds:float array -> counts:int array -> float * float * float
+  (** [(p50, p90, p99)]. *)
+
+  val percentiles_of_value : value -> (float * float * float) option
+  (** {!percentiles} of a non-empty [Dist]; [None] otherwise. *)
+end
+
 val count : t -> string -> int
 (** Current counter value (0 when absent). *)
 

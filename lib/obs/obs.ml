@@ -7,6 +7,7 @@
 module Clock = Clock
 module Metrics = Metrics
 module Trace = Trace
+module Prof = Prof
 module Report = Report
 
 type t = {
@@ -77,3 +78,21 @@ let write_trace t file =
   match t.trace with
   | None -> ()
   | Some tr -> Trace.write_chrome ~metrics:t.metrics tr file
+
+let profile t =
+  match t.trace with None -> Prof.empty | Some tr -> Prof.of_trace tr
+
+let write_profile t file =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    let p = Prof.of_trace tr in
+    let put path s =
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc s)
+    in
+    put file (Prof.to_collapsed p);
+    (* the timing-free companion: per-label call counts, byte-identical
+       across --jobs and cache settings for the same work *)
+    put (file ^ ".golden") (Prof.golden p)

@@ -23,6 +23,7 @@
 module Clock = Clock
 module Metrics = Metrics
 module Trace = Trace
+module Prof = Prof
 module Report = Report
 
 type t
@@ -92,3 +93,13 @@ val metrics_jsonl : t -> string
 val write_trace : t -> string -> unit
 (** Write the Chrome trace (with embedded registry counters, see
     {!Trace.to_chrome_json}) to a file; no-op when not tracing. *)
+
+val profile : t -> Prof.t
+(** {!Prof.of_trace} over this instance's span sink; {!Prof.empty}
+    when not tracing. *)
+
+val write_profile : t -> string -> unit
+(** Write the collapsed-stack flamegraph export ({!Prof.to_collapsed})
+    to [file], plus the timing-free {!Prof.golden} view (per-label call
+    counts, invariant in [--jobs] and cache settings) to
+    [file ^ ".golden"]; no-op when not tracing. *)

@@ -39,9 +39,22 @@ let cache_summary m =
          (count m "eval.cache.evictions"))
   end
 
+(* the engine publishes its fast-transient mode as a gauge (0 = off,
+   1 = reduce, 2 = reduce-bypass) so the report header can name it *)
+let fast_mode_string m =
+  match Metrics.get m "spice.fast_mode" with
+  | Some (Metrics.Value v) ->
+    Some
+      (if v >= 2.0 then "reduce-bypass"
+       else if v >= 1.0 then "reduce"
+       else "off")
+  | _ -> None
+
 let pp fmt ((m : Metrics.t), (trace : Trace.t option)) =
   let line fmt_str = Format.fprintf fmt fmt_str in
-  line "== run report ==@.";
+  (match fast_mode_string m with
+   | Some mode -> line "== run report (fast=%s) ==@." mode
+   | None -> line "== run report ==@.");
   (* solver effort *)
   if
     have m
@@ -135,53 +148,83 @@ let pp fmt ((m : Metrics.t), (trace : Trace.t option)) =
       List.assoc_opt (w ^ ".busy_s") workers
       |> Option.map (function Metrics.Value v -> v | _ -> 0.0)
     in
+    (* every pool worker gets a row: a worker that recorded no spans
+       (all its chunks were stolen by faster peers, or the range was
+       shorter than the pool) reports 0 rather than vanishing *)
+    let observed =
+      List.filter_map
+        (fun (k, _) ->
+          match String.index_opt k '.' with
+          | Some i -> int_of_string_opt (String.sub k 0 i)
+          | None -> None)
+        workers
+    in
+    let jobs = int_of_float (valuef m "par.jobs") in
     let ids =
       List.sort_uniq compare
-        (List.filter_map
-           (fun (k, _) ->
-             match String.index_opt k '.' with
-             | Some i -> int_of_string_opt (String.sub k 0 i)
-             | None -> None)
-           workers)
+        (observed @ List.init (max 0 jobs) (fun i -> i))
+    in
+    let total_busy =
+      List.fold_left
+        (fun acc w ->
+          acc
+          +. Option.value ~default:0.0 (busy_of (string_of_int w)))
+        0.0 ids
     in
     List.iter
       (fun w ->
         let key = string_of_int w in
-        line "  worker %-15s %d tasks, %.3f s busy@." key
+        let busy = Option.value ~default:0.0 (busy_of key) in
+        let share =
+          if total_busy > 0.0 then 100.0 *. busy /. total_busy else 0.0
+        in
+        line "  worker %-15s %d tasks, %.3f s busy (%.0f%%)@." key
           (Option.value ~default:0 (tasks_of key))
-          (Option.value ~default:0.0 (busy_of key)))
+          busy share)
       ids
   end;
-  (* hottest spans *)
+  (* daemon latency percentiles *)
+  if have m [ "serve.latency_s"; "serve.queue_wait_s" ] then begin
+    line "daemon latency:@.";
+    let row name label =
+      match Option.bind (Metrics.get m name) (fun v ->
+                match Metrics.Hist.percentiles_of_value v with
+                | Some pcts -> Some (v, pcts)
+                | None -> None)
+      with
+      | Some (Metrics.Dist d, (p50, p90, p99)) ->
+        line "  %-22s p50 %.4fs  p90 %.4fs  p99 %.4fs  (%d sample(s))@."
+          label p50 p90 p99 d.total
+      | _ -> ()
+    in
+    row "serve.latency_s" "request latency";
+    row "serve.queue_wait_s" "queue wait"
+  end;
+  (* hottest spans + call paths, from the profiler *)
   (match trace with
    | None -> ()
    | Some tr ->
-     let agg = Hashtbl.create 16 in
-     List.iter
-       (fun (e : Trace.event) ->
-         let calls, total, mx =
-           match Hashtbl.find_opt agg e.Trace.name with
-           | Some v -> v
-           | None -> (0, 0.0, 0.0)
-         in
-         Hashtbl.replace agg e.Trace.name
-           (calls + 1, total +. e.Trace.dur, Float.max mx e.Trace.dur))
-       (Trace.events tr);
+     let prof = Prof.of_trace tr in
      let ranked =
-       Hashtbl.fold (fun name v acc -> (name, v) :: acc) agg []
-       |> List.sort (fun (n1, (_, t1, _)) (n2, (_, t2, _)) ->
-              match Float.compare t2 t1 with
-              | 0 -> compare n1 n2
-              | c -> c)
+       List.sort
+         (fun (n1, _, t1, _) (n2, _, t2, _) ->
+           match Float.compare t2 t1 with 0 -> compare n1 n2 | c -> c)
+         (Prof.labels prof)
      in
      if ranked <> [] then begin
        line "hottest spans:@.";
        List.iteri
-         (fun i (name, (calls, total, mx)) ->
+         (fun i (name, calls, total, self) ->
            if i < 8 then
-             line "  %-22s %6d calls  %10.4f s total  %8.4f s max@." name
-               calls total mx)
-         ranked
+             line "  %-22s %6d calls  %10.4f s total  %8.4f s self@." name
+               calls total self)
+         ranked;
+       line "hot paths (self time):@.";
+       List.iter
+         (fun (n : Prof.node) ->
+           line "  %10.4f s  %s@." n.Prof.self_s
+             (String.concat ";" n.Prof.path))
+         (Prof.top ~k:4 prof)
      end)
 
 let render m trace = Format.asprintf "%a" pp (m, trace)

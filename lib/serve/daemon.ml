@@ -77,6 +77,8 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 type ticket = {
   rid : string;
   deadline : float option;  (* absolute epoch seconds *)
+  t_admit : float;          (* epoch seconds at admission: queue wait
+                               and request latency both start here *)
   reply : string -> unit;   (* best-effort raw write to the client *)
   fin_lock : Mutex.t;
   fin_cond : Condition.t;
@@ -145,6 +147,7 @@ type t = {
   cfg : config;
   ctx : Eval.Ctx.t;
   obs : Obs.t;        (* shared registry; touch only under mlock *)
+  lat : Latency.t;    (* rolling latency windows + slow log; mlock *)
   mlock : Mutex.t;
   queue : Q.t;
   active : (string, unit) Hashtbl.t;  (* rids queued or running; mlock *)
@@ -269,16 +272,37 @@ let finish d t =
       d.in_flight <- d.in_flight - 1);
   count_finished d
 
+(* per-request latency accounting, shared by every terminal path:
+   queue wait is admit -> dequeue, latency is admit -> finish.  Both
+   feed the cumulative registry histograms (so the totals survive in
+   --metrics dumps) and the rolling windows behind /metrics; requests
+   over the slow threshold also land in the slow log and on stderr. *)
+let observe_request d (t : ticket) ~t_dequeue =
+  let now = Unix.gettimeofday () in
+  let latency_s = Float.max 0.0 (now -. t.t_admit) in
+  let queue_wait_s = Float.max 0.0 (t_dequeue -. t.t_admit) in
+  with_mlock d (fun () ->
+      Obs.observe ~buckets:Latency.default_buckets d.obs "serve.latency_s"
+        latency_s;
+      Obs.observe ~buckets:Latency.default_buckets d.obs
+        "serve.queue_wait_s" queue_wait_s;
+      Latency.record d.lat ~now ~rid:t.rid ~latency_s ~queue_wait_s);
+  if latency_s >= Latency.slow_threshold_s d.lat then
+    Format.eprintf "mtsize serve: slow request %s: %.3fs (%.3fs queued)@."
+      t.rid latency_s queue_wait_s
+
 let worker_loop d () =
   let rec go () =
     match Q.pop d.queue with
     | None -> () (* queue closed and drained *)
     | Some t ->
+      let t_dequeue = Unix.gettimeofday () in
       with_mlock d (fun () -> d.in_flight <- d.in_flight + 1);
       (try execute d t
        with e ->
          t.reply
            (Protocol.error ~rid:t.rid ~message:(Printexc.to_string e)));
+      observe_request d t ~t_dequeue;
       finish d t;
       go ()
   in
@@ -361,7 +385,11 @@ let serve_http d reply fd line =
   | Some "/healthz" ->
     reply (Protocol.http_response ~status:200 ~body:(healthz_body d))
   | Some "/metrics" ->
-    let body = with_mlock d (fun () -> Obs.metrics_jsonl d.obs) in
+    let now = Unix.gettimeofday () in
+    let body =
+      with_mlock d (fun () ->
+          Obs.metrics_jsonl d.obs ^ Latency.to_jsonl d.lat ~now)
+    in
     reply (Protocol.http_response ~status:200 ~body)
   | _ -> reply (Protocol.http_response ~status:404 ~body:"not found\n")
 
@@ -430,6 +458,7 @@ let admit d reply (s : Protocol.submit) spec_src =
         let t =
           { rid;
             deadline;
+            t_admit = Unix.gettimeofday ();
             reply;
             fin_lock = Mutex.create ();
             fin_cond = Condition.create ();
@@ -505,6 +534,7 @@ let recover d =
           { rid;
             deadline = None;  (* the original deadline died with the
                                  process; finish the work *)
+            t_admit = Unix.gettimeofday ();
             reply = ignore;
             fin_lock = Mutex.create ();
             fin_cond = Condition.create ();
@@ -573,6 +603,7 @@ let run ?(ctx = Eval.Ctx.default) cfg =
         { cfg;
           ctx;
           obs = ctx.Eval.Ctx.obs;
+          lat = Latency.create ();
           mlock = Mutex.create ();
           queue = Q.create cfg.queue_depth;
           active = Hashtbl.create 64;

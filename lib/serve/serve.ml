@@ -3,3 +3,4 @@
 module Protocol = Protocol
 module Daemon = Daemon
 module Client = Client
+module Latency = Latency

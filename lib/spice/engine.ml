@@ -86,6 +86,13 @@ type bypass = {
   bvalid : Bytes.t;
   mutable benabled : bool;
   vtol : float;
+  (* lifetime telemetry, kept as plain ints because [assemble] is the
+     innermost hot loop and carries no obs handle; the transient flush
+     snapshots these at entry and publishes the per-analysis deltas *)
+  mutable n_hits : int;    (* cached linearisation reused *)
+  mutable n_miss : int;    (* fresh model evaluation while enabled *)
+  mutable n_inval : int;   (* a previously-valid entry refreshed
+                              because its terminals moved past vtol *)
 }
 
 type t = {
@@ -127,7 +134,10 @@ let prepare ?(opts = Opts.default) netlist =
           bs = Array.make (4 * n_mos) 0.0;
           bvalid = Bytes.make (Stdlib.max 1 n_mos) '\000';
           benabled = false;
-          vtol = opts.Opts.bypass_vtol }
+          vtol = opts.Opts.bypass_vtol;
+          n_hits = 0;
+          n_miss = 0;
+          n_inval = 0 }
     end
     else None
   in
@@ -331,8 +341,14 @@ let assemble t ~x ~gmin ~time ~src_scale
               && Float.abs (vg -. bp.bv.(b + 1)) < bp.vtol
               && Float.abs (vs -. bp.bv.(b + 2)) < bp.vtol
               && Float.abs (vb -. bp.bv.(b + 3)) < bp.vtol
-            then (bp.bs.(b), bp.bs.(b + 1), bp.bs.(b + 2), bp.bs.(b + 3))
+            then begin
+              bp.n_hits <- bp.n_hits + 1;
+              (bp.bs.(b), bp.bs.(b + 1), bp.bs.(b + 2), bp.bs.(b + 3))
+            end
             else begin
+              bp.n_miss <- bp.n_miss + 1;
+              if Bytes.unsafe_get bp.bvalid k = '\001' then
+                bp.n_inval <- bp.n_inval + 1;
               let (gm, gds, gmb, ieq) as r = fresh () in
               bp.bv.(b) <- vd;
               bp.bv.(b + 1) <- vg;
@@ -364,6 +380,18 @@ let assemble t ~x ~gmin ~time ~src_scale
       ~cap:(match cap with None -> None | Some (integ, h, _) -> Some (integ, h))
 
 let v_limit = 0.5
+
+(* fast-transient mode as a gauge value, so reports can name the mode
+   a registry was recorded under (0 = off, 1 = reduce, 2 = bypass) *)
+let fast_gauge = function
+  | `Off -> 0.0
+  | `Reduce -> 1.0
+  | `Reduce_bypass -> 2.0
+
+(* accepted LTE step sizes, as a ratio to the nominal dt; the stepper
+   ranges over [dt/16, 64*dt], so the edges cover it exactly *)
+let lte_step_buckets =
+  [| 0.0625; 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
 
 (* Branch-current deltas are folded into the shared convergence scalar
    with this scale: 1e-3 A maps to one "volt-equivalent", so the 1e-6
@@ -495,6 +523,7 @@ let dc_r ?(time = 0.0) ?x0 ?policy ?opts ?telemetry ?(obs = Obs.disabled) t =
       Obs.incr obs ~by:(tm.Diag.factorizations - fc0) "spice.factorizations";
       Obs.incr obs ~by:(tm.Diag.gmin_rounds - gm0) "spice.gmin_rounds";
       Obs.incr obs ~by:(tm.Diag.source_steps - ss0) "spice.source_steps";
+      Obs.set_gauge obs "spice.fast_mode" (fast_gauge t.opts.Opts.fast);
       Obs.observe obs "spice.newton_per_analysis"
         (float_of_int (tm.Diag.newton_iterations - nw0))
     end
@@ -704,6 +733,17 @@ let transient_opts ?x0 ?telemetry ?(obs = Obs.disabled) t ~(o : Opts.t)
   let obs_nested = Obs.spans_only obs in
   let fc0 = tm.Diag.factorizations and sr0 = tm.Diag.step_rejections in
   let gm0 = tm.Diag.gmin_rounds and ss0 = tm.Diag.source_steps in
+  (* fast-path telemetry, accumulated in plain refs on the hot path and
+     published once per analysis by [flush] (same delta discipline as
+     the Diag counters, so an engine reused across analyses never
+     double-counts) *)
+  let lte_accepted = ref 0 and lte_rejected = ref 0 in
+  let bp_clamps = ref 0 in
+  let bp0 =
+    match t.bypass with
+    | Some bp -> (bp.n_hits, bp.n_miss, bp.n_inval)
+    | None -> (0, 0, 0)
+  in
   let flush ~failed =
     if Obs.metrics_on obs then begin
       Obs.incr obs "spice.transient.analyses";
@@ -715,6 +755,32 @@ let transient_opts ?x0 ?telemetry ?(obs = Obs.disabled) t ~(o : Opts.t)
         "spice.step_rejections";
       Obs.incr obs ~by:(tm.Diag.gmin_rounds - gm0) "spice.gmin_rounds";
       Obs.incr obs ~by:(tm.Diag.source_steps - ss0) "spice.source_steps";
+      Obs.set_gauge obs "spice.fast_mode" (fast_gauge t.opts.Opts.fast);
+      (* chain reduction is structural: per analysis, how many RC
+         chains the MNA system collapsed and how many interior nodes
+         the solve therefore never saw *)
+      let nchains = Array.length t.sys.Mna.chains in
+      if nchains > 0 then begin
+        Obs.incr obs ~by:nchains "spice.chains.reduced";
+        Obs.incr obs
+          ~by:
+            (Array.fold_left
+               (fun acc (ch : Mna.chain) -> acc + Array.length ch.Mna.nodes)
+               0 t.sys.Mna.chains)
+          "spice.chains.interior_nodes"
+      end;
+      if lte then begin
+        Obs.incr obs ~by:!lte_accepted "spice.lte.accepted_steps";
+        Obs.incr obs ~by:!lte_rejected "spice.lte.rejected_steps";
+        Obs.incr obs ~by:!bp_clamps "spice.lte.breakpoint_clamps"
+      end;
+      (match t.bypass with
+       | Some bp ->
+         let h0, m0, i0 = bp0 in
+         Obs.incr obs ~by:(bp.n_hits - h0) "spice.bypass.hits";
+         Obs.incr obs ~by:(bp.n_miss - m0) "spice.bypass.misses";
+         Obs.incr obs ~by:(bp.n_inval - i0) "spice.bypass.invalidations"
+       | None -> ());
       Obs.observe obs "spice.newton_per_analysis"
         (float_of_int (tm.Diag.newton_iterations - iters0))
     end
@@ -936,7 +1002,11 @@ let transient_opts ?x0 ?telemetry ?(obs = Obs.disabled) t ~(o : Opts.t)
         done;
         if !bp_idx < Array.length breakpoints then begin
           let tb = breakpoints.(!bp_idx) in
-          if !time +. h > tb then Float.max dt_min (tb -. !time) else h
+          if !time +. h > tb then begin
+            incr bp_clamps;
+            Float.max dt_min (tb -. !time)
+          end
+          else h
         end
         else h
       end
@@ -1022,6 +1092,7 @@ let transient_opts ?x0 ?telemetry ?(obs = Obs.disabled) t ~(o : Opts.t)
           let err = lte_err x' h_eff in
           if err > 1.0 && h_eff > dt_min *. 1.000001 && tries < 8 then begin
             tm.Diag.step_rejections <- tm.Diag.step_rejections + 1;
+            incr lte_rejected;
             let shrink =
               Phys.Float_utils.clamp ~lo:0.1 ~hi:0.5
                 (0.9 /. Float.sqrt err)
@@ -1030,6 +1101,9 @@ let transient_opts ?x0 ?telemetry ?(obs = Obs.disabled) t ~(o : Opts.t)
           end
           else begin
             accept s;
+            incr lte_accepted;
+            Obs.observe ~buckets:lte_step_buckets obs "spice.lte.step_ratio"
+              (h_eff /. dt);
             let grow =
               if err <= 0.0 then 2.0
               else

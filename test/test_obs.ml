@@ -201,6 +201,234 @@ let test_chrome_trace_validates () =
                find 0 && abs (spans - counter) <= 1)
              check.Obs.Trace.reconciled))
 
+(* --- Hist.percentiles: bucket-edge semantics ----------------------- *)
+
+let test_percentile_edges () =
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  let pct counts p = Obs.Metrics.Hist.percentile ~bounds ~counts p in
+  (* empty histogram answers 0 *)
+  Alcotest.(check (float 0.0)) "empty" 0.0 (pct [| 0; 0; 0; 0 |] 50.0);
+  (* 2 samples in (0,1], one each in (1,2] and (2,4] *)
+  let counts = [| 2; 1; 1; 0 |] in
+  Alcotest.(check (float 1e-9)) "p0 at lower edge" 0.0 (pct counts 0.0);
+  Alcotest.(check (float 1e-9)) "p50 at first bucket edge" 1.0
+    (pct counts 50.0);
+  Alcotest.(check (float 1e-9)) "p100 at last populated edge" 4.0
+    (pct counts 100.0);
+  (* linear interpolation inside a bucket *)
+  Alcotest.(check (float 1e-9))
+    "p25 interpolates" 2.5
+    (Obs.Metrics.Hist.percentile ~bounds:[| 10.0 |] ~counts:[| 4; 0 |] 25.0);
+  (* overflow samples clamp to the last finite edge *)
+  Alcotest.(check (float 1e-9)) "overflow clamps" 4.0
+    (pct [| 0; 0; 0; 5 |] 50.0);
+  (* out-of-range p rejected *)
+  Alcotest.(check bool)
+    "p > 100 raises" true
+    (try
+       ignore (pct counts 101.0);
+       false
+     with Invalid_argument _ -> true);
+  (* the triple helper and the Dist bridge agree *)
+  let p50, p90, p99 = Obs.Metrics.Hist.percentiles ~bounds ~counts in
+  let m = Obs.Metrics.create () in
+  List.iter
+    (Obs.Metrics.observe ~buckets:bounds m "h")
+    [ 0.5; 0.7; 1.5; 3.0 ];
+  (match Obs.Metrics.get m "h" with
+  | Some v ->
+    (match Obs.Metrics.Hist.percentiles_of_value v with
+    | Some (q50, q90, q99) ->
+      Alcotest.(check (float 1e-9)) "bridge p50" p50 q50;
+      Alcotest.(check (float 1e-9)) "bridge p90" p90 q90;
+      Alcotest.(check (float 1e-9)) "bridge p99" p99 q99
+    | None -> Alcotest.fail "expected percentiles from a populated Dist")
+  | None -> Alcotest.fail "histogram missing");
+  Alcotest.(check bool)
+    "empty Dist yields None" true
+    (Obs.Metrics.Hist.percentiles_of_value (Obs.Metrics.Count 3) = None)
+
+(* --- Prof: call-tree construction and exports ---------------------- *)
+
+let test_prof_construction () =
+  let ev name tid ts dur depth =
+    { Obs.Trace.name; tid; ts; dur; depth; args = [] }
+  in
+  (* root [0,10] with two "child" calls at depth 1 *)
+  let events =
+    [ ev "root" 0 0.0 10.0 0; ev "child" 0 1.0 3.0 1; ev "child" 0 5.0 2.0 1 ]
+  in
+  let p = Obs.Prof.of_events events in
+  (match Obs.Prof.paths p with
+  | [ a; b ] ->
+    Alcotest.(check (list string)) "root path" [ "root" ] a.Obs.Prof.path;
+    Alcotest.(check int) "root calls" 1 a.Obs.Prof.calls;
+    Alcotest.(check (float 1e-9)) "root total" 10.0 a.Obs.Prof.total_s;
+    Alcotest.(check (float 1e-9)) "root self = total - children" 5.0
+      a.Obs.Prof.self_s;
+    Alcotest.(check (list string))
+      "child path" [ "root"; "child" ] b.Obs.Prof.path;
+    Alcotest.(check int) "child calls" 2 b.Obs.Prof.calls;
+    Alcotest.(check (float 1e-9)) "child total" 5.0 b.Obs.Prof.total_s;
+    Alcotest.(check (float 1e-9)) "child self" 5.0 b.Obs.Prof.self_s
+  | ns -> Alcotest.failf "expected 2 paths, got %d" (List.length ns));
+  Alcotest.(check string)
+    "golden is label + calls, name-sorted" "child 2\nroot 1\n"
+    (Obs.Prof.golden p);
+  Alcotest.(check string)
+    "collapsed stacks carry self-microseconds"
+    "root 5000000\nroot;child 5000000\n"
+    (Obs.Prof.to_collapsed p);
+  (* labels aggregate across paths *)
+  (match Obs.Prof.labels p with
+  | [ ("child", 2, ct, cs); ("root", 1, rt, rs) ] ->
+    Alcotest.(check (float 1e-9)) "child label total" 5.0 ct;
+    Alcotest.(check (float 1e-9)) "child label self" 5.0 cs;
+    Alcotest.(check (float 1e-9)) "root label total" 10.0 rt;
+    Alcotest.(check (float 1e-9)) "root label self" 5.0 rs
+  | _ -> Alcotest.fail "unexpected label aggregation");
+  Alcotest.(check bool) "empty profile renders empty" true
+    (Obs.Prof.to_collapsed Obs.Prof.empty = ""
+    && Obs.Prof.render Obs.Prof.empty = "")
+
+let collapsed_line_ok line =
+  (* "frame[;frame]* <integer-microseconds>" *)
+  match String.rindex_opt line ' ' with
+  | None -> false
+  | Some i ->
+    i > 0
+    && (match
+          int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+        with
+       | Some us -> us >= 0
+       | None -> false)
+
+let test_profile_collapsed_parseable () =
+  let obs = Obs.create ~trace:true () in
+  ignore (sweep_workload ~obs ~jobs:2);
+  let collapsed = Obs.Prof.to_collapsed (Obs.profile obs) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' collapsed)
+  in
+  Alcotest.(check bool) "collapsed output nonempty" true (lines <> []);
+  List.iter
+    (fun l ->
+      if not (collapsed_line_ok l) then
+        Alcotest.failf "bad collapsed-stack line: %S" l)
+    lines
+
+(* the timing-free golden view must be byte-identical whatever the
+   worker count or cache configuration: the same spans run either way *)
+let test_profile_golden_invariant () =
+  let golden ~jobs ~cache =
+    let obs = Obs.create ~trace:true () in
+    let ch = Fixtures.chain 5 in
+    let ctx =
+      Eval.Ctx.default |> Eval.Ctx.with_obs obs |> Eval.Ctx.with_jobs jobs
+    in
+    let ctx =
+      if cache then Eval.Ctx.with_cache (Eval.Cache.create ()) ctx else ctx
+    in
+    ignore
+      (Mtcmos.Sizing.sweep ~ctx ch.Circuits.Chain.circuit
+         ~vectors:[ ([ (1, 0) ], [ (1, 1) ]); ([ (1, 1) ], [ (1, 0) ]) ]
+         ~wls:[ 2.0; 5.0; 10.0; 20.0 ]);
+    Obs.Prof.golden (Obs.profile obs)
+  in
+  let reference = golden ~jobs:1 ~cache:false in
+  Alcotest.(check bool) "golden nonempty" true (reference <> "");
+  List.iter
+    (fun (jobs, cache) ->
+      Alcotest.(check string)
+        (Printf.sprintf "golden identical at jobs=%d cache=%b" jobs cache)
+        reference
+        (golden ~jobs ~cache))
+    [ (4, false); (1, true); (4, true) ]
+
+(* --- fast transient path: traces stay valid ------------------------ *)
+
+let test_trace_valid_fast_bypass () =
+  List.iter
+    (fun jobs ->
+      let obs = Obs.create ~trace:true () in
+      let ch = Fixtures.chain 5 in
+      let ctx =
+        Eval.Ctx.default
+        |> Eval.Ctx.with_engine Eval.Spice_level
+        |> Eval.Ctx.with_fast `Reduce_bypass
+        |> Eval.Ctx.with_obs obs |> Eval.Ctx.with_jobs jobs
+      in
+      ignore
+        (Mtcmos.Sizing.sweep ~ctx ch.Circuits.Chain.circuit
+           ~vectors:[ ([ (1, 0) ], [ (1, 1) ]) ]
+           ~wls:[ 5.0; 20.0 ]);
+      (match Obs.trace obs with
+      | None -> Alcotest.fail "trace sink expected"
+      | Some tr ->
+        (match
+           Obs.Trace.validate_string
+             (Obs.Trace.to_chrome_json ~metrics:(Obs.metrics obs) tr)
+         with
+        | Ok check ->
+          Alcotest.(check bool)
+            (Printf.sprintf "events checked at jobs=%d" jobs)
+            true
+            (check.Obs.Trace.events_checked > 0)
+        | Error msgs ->
+          Alcotest.failf "fast-bypass trace invalid at jobs=%d: %s" jobs
+            (String.concat "; " msgs)));
+      (* the bypass instrumentation actually fired *)
+      let m = Obs.metrics obs in
+      Alcotest.(check bool)
+        "bypass hit/miss counters recorded" true
+        (Obs.Metrics.count m "spice.bypass.hits"
+         + Obs.Metrics.count m "spice.bypass.misses"
+         > 0);
+      Alcotest.(check (float 0.0))
+        "fast_mode gauge says reduce-bypass" 2.0
+        (Obs.Metrics.valuef m "spice.fast_mode"))
+    [ 1; 4 ]
+
+(* --- Event_sim telemetry ------------------------------------------- *)
+
+let test_event_sim_telemetry () =
+  let module E = Netlist.Event_sim in
+  let module S = Netlist.Signal in
+  let ch = Fixtures.chain 6 in
+  let c = ch.Circuits.Chain.circuit in
+  let es = E.of_circuit c in
+  let obs = Obs.create () in
+  let state = ref (E.init es [| S.L0 |]) in
+  let steps = 8 in
+  for i = 1 to steps do
+    let v = if i mod 2 = 0 then S.L0 else S.L1 in
+    let m = E.step ~obs es !state [| v |] in
+    state := m.E.post
+  done;
+  let m = Obs.metrics obs in
+  Alcotest.(check int) "one counter tick per step" steps
+    (Obs.Metrics.count m "event_sim.steps");
+  Alcotest.(check bool)
+    "touched gates accumulated" true
+    (Obs.Metrics.count m "event_sim.touched_gates" > 0);
+  (match Obs.Metrics.get m "event_sim.touched_per_step" with
+  | Some (Obs.Metrics.Dist d) ->
+    Alcotest.(check int) "touched histogram total = steps" steps d.total
+  | _ -> Alcotest.fail "expected touched_per_step Dist");
+  (match Obs.Metrics.get m "event_sim.pending_words_per_step" with
+  | Some (Obs.Metrics.Dist d) ->
+    Alcotest.(check int) "pending-bitset histogram total = steps" steps
+      d.total
+  | _ -> Alcotest.fail "expected pending_words_per_step Dist");
+  (* disabled handle: same run, zero events *)
+  let off = Obs.disabled in
+  let st2 = ref (E.init es [| S.L0 |]) in
+  let m2 = E.step ~obs:off es !st2 [| S.L1 |] in
+  st2 := m2.E.post;
+  Alcotest.(check bool)
+    "disabled run records nothing" true
+    (Obs.Metrics.dump (Obs.metrics off) = [])
+
 (* --- QCheck properties --------------------------------------------- *)
 
 (* sharding invariance: however a stream of counter increments is
@@ -281,5 +509,17 @@ let suite =
       test_span_nesting_parallel;
     Alcotest.test_case "chrome trace validates + reconciles" `Quick
       test_chrome_trace_validates;
+    Alcotest.test_case "percentiles: bucket edges and interpolation" `Quick
+      test_percentile_edges;
+    Alcotest.test_case "prof: call tree, self time, exports" `Quick
+      test_prof_construction;
+    Alcotest.test_case "prof: collapsed stacks parse" `Quick
+      test_profile_collapsed_parseable;
+    Alcotest.test_case "prof: golden invariant in jobs and cache" `Slow
+      test_profile_golden_invariant;
+    Alcotest.test_case "trace valid under --fast reduce-bypass" `Quick
+      test_trace_valid_fast_bypass;
+    Alcotest.test_case "event_sim telemetry counters" `Quick
+      test_event_sim_telemetry;
     QCheck_alcotest.to_alcotest prop_partition_invariant;
     QCheck_alcotest.to_alcotest prop_histogram_conserves ]

@@ -353,9 +353,69 @@ let prop_concurrent_clients_identical =
           let reference = Lazy.force reference_manifest in
           Array.for_all (fun m -> m = reference) results))
 
+(* --- Latency: rolling windows, slow log, /metrics lines ------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_latency_windows () =
+  let module L = Serve.Latency in
+  let l = L.create ~slow_threshold_s:0.5 ~slow_cap:2 () in
+  let now = 1000.0 in
+  for i = 1 to 9 do
+    L.record l ~now
+      ~rid:(Printf.sprintf "r%d" i)
+      ~latency_s:0.01 ~queue_wait_s:0.001
+  done;
+  L.record l ~now ~rid:"slow1" ~latency_s:2.0 ~queue_wait_s:0.8;
+  (match L.window_percentiles l `Latency ~now ~seconds:10 with
+  | None -> Alcotest.fail "expected samples in the 10s window"
+  | Some (p50, _, p99) ->
+    Alcotest.(check bool) "p50 sits with the fast bulk" true (p50 <= 0.03);
+    Alcotest.(check bool) "p99 pulled up by the slow request" true
+      (p99 >= 0.3));
+  (* 30s later the slow request ages out of 10s but stays in 60s *)
+  let later = now +. 30.0 in
+  L.record l ~now:later ~rid:"r10" ~latency_s:0.02 ~queue_wait_s:0.0;
+  (match L.window_percentiles l `Latency ~now:later ~seconds:10 with
+  | Some (_, _, p99) ->
+    Alcotest.(check bool) "10s window dropped the slow request" true
+      (p99 <= 0.1)
+  | None -> Alcotest.fail "expected the fresh sample in the 10s window");
+  (match L.window_percentiles l `Latency ~now:later ~seconds:60 with
+  | Some (_, _, p99) ->
+    Alcotest.(check bool) "60s window still sees it" true (p99 >= 0.3)
+  | None -> Alcotest.fail "expected samples in the 60s window");
+  Alcotest.(check bool)
+    "queue-wait series tracked separately" true
+    (L.window_percentiles l `Queue_wait ~now:later ~seconds:60 <> None);
+  (* the slow log caps at slow_cap, evicting the oldest *)
+  L.record l ~now:later ~rid:"slow2" ~latency_s:0.9 ~queue_wait_s:0.1;
+  L.record l ~now:later ~rid:"slow3" ~latency_s:0.7 ~queue_wait_s:0.1;
+  (match L.slow_requests l with
+  | [ a; b ] ->
+    Alcotest.(check string) "cap evicts the oldest" "slow2" a.L.rid;
+    Alcotest.(check string) "newest kept" "slow3" b.L.rid
+  | entries ->
+    Alcotest.failf "expected 2 slow entries, got %d" (List.length entries));
+  (* /metrics extension: fixed-shape value lines + slow_request objects *)
+  let jsonl = L.to_jsonl l ~now:later in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains jsonl needle))
+    [ {|"name":"serve.latency_s.p99.60s"|};
+      {|"name":"serve.queue_wait_s.p50.10s"|};
+      {|"slow_request":{"rid":"slow3"|} ]
+
 let suite =
   [ Alcotest.test_case "round trip + spool replay" `Quick
       test_round_trip_and_replay;
+    Alcotest.test_case "latency windows, slow log, metrics lines" `Quick
+      test_latency_windows;
     Alcotest.test_case "saturation: explicit rejects, no hangs" `Quick
       test_saturation_rejects;
     Alcotest.test_case "deadline stops cleanly; resubmit resumes" `Quick
