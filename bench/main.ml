@@ -1887,6 +1887,98 @@ let speed_exp ~fast () =
     ~sub:(Printf.sprintf "sleep-adder%d" bits)
     ~ratio:adder_speedup ~floor:5.0
 
+(* ---- selective Vt + clustering gate --------------------------------------------- *)
+
+(* paper 2 baseline: one shared sleep device sized by the
+   sum-of-internal-widths rule, its standby leakage given by the same
+   subthreshold card the optimizer prices itself with *)
+let single_device_leak tech circuit ~sleep_wl =
+  snd
+    (Device.Leakage.standby_comparison ~low_vt:tech.Device.Tech.nmos
+       ~high_vt:tech.Device.Tech.sleep_nmos
+       ~total_width_wl:(Netlist.Circuit.total_pulldown_wl circuit)
+       ~sleep_wl ~vdd:tech.Device.Tech.vdd)
+
+let select_exp ~fast () =
+  header
+    "SELECT: slack-driven Vt assignment + sleep clustering vs the paper's \
+     single shared device";
+  Format.printf
+    "gate: selective co-optimization must cut standby leakage >= 2x \
+     against the sum-of-widths@.shared device at the same 10%% delay \
+     budget; the answer must be bit-identical across jobs@.";
+  let signature (r : Mtcmos.Selective.result) =
+    ( r.Mtcmos.Selective.leakage, r.Mtcmos.Selective.arrival,
+      Array.to_list r.Mtcmos.Selective.vt_high,
+      Array.to_list r.Mtcmos.Selective.sleep_wl,
+      Array.to_list r.Mtcmos.Selective.cluster_of_gate,
+      r.Mtcmos.Selective.evaluations )
+  in
+  let run ~name circuit ~clusters ~max_passes ~jobs =
+    let tech = Netlist.Circuit.tech circuit in
+    let w_paper = Netlist.Circuit.total_pulldown_wl circuit in
+    let leak_paper = single_device_leak tech circuit ~sleep_wl:w_paper in
+    let ctx = Eval.Ctx.(default |> with_jobs jobs) in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Mtcmos.Selective.optimize ~ctx ~clusters ~max_passes circuit
+        ~delay_budget:0.10
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let low =
+      Array.fold_left (fun a h -> if h then a else a + 1) 0
+        r.Mtcmos.Selective.vt_high
+    in
+    let total_wl =
+      Array.fold_left ( +. ) 0.0 r.Mtcmos.Selective.sleep_wl
+    in
+    let ratio = leak_paper /. r.Mtcmos.Selective.leakage in
+    Format.printf
+      "  %-8s paper W/L %-6.0f leak %-10s | selective leak %-10s (W/L \
+       %.1f over %d clusters, %d/%d low-Vt) ratio %.3fx slack %s \
+       [%.1f s, jobs=%d]@."
+      name w_paper
+      (eng ~unit:"A" leak_paper)
+      (eng ~unit:"A" r.Mtcmos.Selective.leakage)
+      total_wl
+      (Array.length r.Mtcmos.Selective.sleep_wl)
+      low
+      (Array.length r.Mtcmos.Selective.vt_high)
+      ratio
+      (eng ~unit:"s" r.Mtcmos.Selective.slack)
+      dt jobs;
+    (r, ratio)
+  in
+  (* adder8 at the defaults, both worker counts: the determinism
+     contract says the whole answer is a pure function of the spec *)
+  let a8 =
+    (Circuits.Ripple_adder.make t07 ~bits:8).Circuits.Ripple_adder.circuit
+  in
+  let r1, ratio_a8 = run ~name:"adder8" a8 ~clusters:4 ~max_passes:2 ~jobs:1 in
+  let r4, _ = run ~name:"adder8" a8 ~clusters:4 ~max_passes:2 ~jobs:4 in
+  if signature r1 <> signature r4 then begin
+    Format.eprintf "select: adder8 answer differs between jobs=1 and jobs=4@.";
+    exit 1
+  end;
+  Format.printf "  adder8 jobs=1 vs jobs=4: bit-identical@.";
+  if ratio_a8 < 2.0 then begin
+    Format.eprintf "select: adder8 leakage ratio %.3f < 2x@." ratio_a8;
+    exit 1
+  end;
+  (* kogge32: the wide log-depth netlist where clustering actually has
+     to work for its keep; more refinement passes in the full run *)
+  let k32 =
+    (Circuits.Kogge_stone.make t07 ~bits:32).Circuits.Kogge_stone.circuit
+  in
+  let clusters, max_passes = if fast then (2, 4) else (4, 6) in
+  let _, ratio_k32 = run ~name:"kogge32" k32 ~clusters ~max_passes ~jobs:4 in
+  if ratio_k32 < 2.0 then begin
+    Format.eprintf "select: kogge32 leakage ratio %.3f < 2x@." ratio_k32;
+    exit 1
+  end;
+  record_note ~exp:"select" ~sub:"adder8" ~ratio:ratio_a8 ~floor:2.0;
+  record_note ~exp:"select" ~sub:"kogge32" ~ratio:ratio_k32 ~floor:2.0
+
 (* ---- Bechamel microbenchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -1980,6 +2072,7 @@ let all ~fast () =
   serve_exp ~fast ();
   scale_exp ~fast ();
   speed_exp ~fast ();
+  select_exp ~fast ();
   bechamel ()
 
 let () =
@@ -2025,12 +2118,13 @@ let () =
         | "serve" -> serve_exp ~fast ()
         | "scale" -> scale_exp ~fast ()
         | "speed" -> speed_exp ~fast ()
+        | "select" -> select_exp ~fast ()
         | "bechamel" -> bechamel ()
         | other ->
           Format.eprintf
             "unknown experiment %S (fig5 fig7 table1 fig10 fig11 fig13 \
              fig14 cpu ablations extras par cache runner obs serve \
-             scale speed bechamel)@."
+             scale speed select bechamel)@."
             other;
           exit 2)
       names);

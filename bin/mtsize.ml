@@ -607,6 +607,83 @@ let sta_cmd =
     (Cmd.info "sta" ~doc:"Static critical path (vectorless baseline)")
     Term.(const run $ tech_term $ circuit_term $ wl_term $ obs_term)
 
+let select_cmd =
+  let run tech_name circuit_name vectors budget clusters objective passes
+      bounce engine fast jobs co oo =
+    let _tech, bc, vecs = or_die (setup tech_name circuit_name vectors) in
+    if budget < 0.0 then
+      or_die
+        (Error (Printf.sprintf "--delay-budget %g: must be >= 0" budget));
+    if clusters < 1 then
+      or_die (Error (Printf.sprintf "--clusters %d: must be >= 1" clusters));
+    if passes < 0 then
+      or_die (Error (Printf.sprintf "--passes %d: must be >= 0" passes));
+    let objective =
+      match Mtcmos.Selective.objective_of_string objective with
+      | Some o -> o
+      | None ->
+        or_die
+          (Error
+             (Printf.sprintf "unknown objective %S (leakage | area | mixed)"
+                objective))
+    in
+    let ctx =
+      ctx_of ~obs:oo.obs ~fast:(resolve_fast fast)
+        ~engine:(resolve_engine engine) ~jobs:(resolve_jobs jobs) co
+    in
+    let bounce_vectors = if bounce then Some vecs else None in
+    (try
+       let r =
+         Mtcmos.Selective.optimize ~ctx ~objective ~clusters
+           ~max_passes:passes ?bounce_vectors bc.circuit
+           ~delay_budget:budget
+       in
+       Format.printf "%a@." Mtcmos.Selective.pp_result r;
+       finish_cache co;
+       finish_obs ~co oo
+     with Not_found ->
+       prerr_endline
+         "mtsize: delay budget infeasible even all-low-Vt at W/L 4096";
+       finish_cache co;
+       finish_obs ~co oo;
+       exit 1)
+  in
+  let budget_term =
+    let doc =
+      "Allowed critical-arrival increase over the all-low-Vt ideal-ground \
+       baseline, as a fraction (0.1 = 10%)."
+    in
+    Arg.(value & opt float 0.1 & info [ "delay-budget" ] ~docv:"FRAC" ~doc)
+  in
+  let clusters_term =
+    let doc = "Number of sleep clusters to seed from the level bands." in
+    Arg.(value & opt int 4 & info [ "clusters" ] ~docv:"K" ~doc)
+  in
+  let objective_term =
+    let doc = "What to minimize: $(b,leakage), $(b,area) or $(b,mixed)." in
+    Arg.(value & opt string "leakage" & info [ "objective" ] ~docv:"OBJ" ~doc)
+  in
+  let passes_term =
+    let doc = "Refinement rounds for the reclaim/move phases." in
+    Arg.(value & opt int 2 & info [ "passes" ] ~docv:"N" ~doc)
+  in
+  let bounce_term =
+    let doc =
+      "Also simulate the final answer's virtual-ground bounce over the \
+       given $(b,--vectors) (default all-low -> all-high) and report the \
+       worst peak."
+    in
+    Arg.(value & flag & info [ "bounce" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "select"
+       ~doc:
+         "Selective-MTCMOS co-optimization: per-gate Vt assignment, sleep \
+          clustering and per-cluster sizing under a delay budget")
+    Term.(const run $ tech_term $ circuit_term $ vectors_term $ budget_term
+          $ clusters_term $ objective_term $ passes_term $ bounce_term
+          $ engine_term $ fast_term $ jobs_term $ cache_term $ obs_term)
+
 let energy_cmd =
   let run tech_name circuit_name wl oo =
     let _tech, bc, _ = or_die (setup tech_name circuit_name []) in
@@ -1353,7 +1430,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sweep_cmd; size_cmd; worst_cmd; simulate_cmd; compare_cmd;
-            estimate_cmd; sta_cmd; energy_cmd; wakeup_cmd; deck_cmd;
-            lint_cmd; search_cmd; workload_cmd; dot_cmd; trace_check_cmd;
-            scale_cmd; run_cmd; serve_cmd; submit_cmd;
+            estimate_cmd; sta_cmd; select_cmd; energy_cmd; wakeup_cmd;
+            deck_cmd; lint_cmd; search_cmd; workload_cmd; dot_cmd;
+            trace_check_cmd; scale_cmd; run_cmd; serve_cmd; submit_cmd;
             bench_history_cmd ]))

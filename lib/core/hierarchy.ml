@@ -23,6 +23,14 @@ let by_level circuit ~blocks =
       invalid_arg "Hierarchy.by_level: unknown gate"
     else Int.min (blocks - 1) ((gd.(gid) - 1) * blocks / max_depth)
 
+let populations circuit ~blocks =
+  let band = by_level circuit ~blocks in
+  let counts = Array.make blocks 0 in
+  Array.iter
+    (fun (g : C.gate_inst) -> counts.(band g.C.id) <- counts.(band g.C.id) + 1)
+    (C.gates circuit);
+  counts
+
 let uniform (tech : Device.Tech.t) ~wl ~blocks =
   if blocks < 1 then invalid_arg "Hierarchy.uniform: blocks < 1";
   Array.init blocks (fun _ ->

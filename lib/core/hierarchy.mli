@@ -8,11 +8,27 @@
     Exclusive Discharge Patterns"); here it serves as a built-in
     extension and an ablation against the single shared device. *)
 
+val depths : Netlist.Circuit.t -> int array
+(** Topological depth of every gate (1 for gates fed only by primary
+    inputs/ties), indexed by gate id. *)
+
 val by_level : Netlist.Circuit.t -> blocks:int -> Netlist.Circuit.gate_id -> int
 (** Partition gates by topological depth into [blocks] equal bands —
     pipeline stages discharge at different times, so banding by level
     approximates mutual exclusion.
+
+    Degenerate edge: when [blocks] exceeds the circuit's logic depth the
+    pigeonhole principle leaves some bands with no gates at all (e.g. a
+    single-gate circuit maps every gate to band 0 whatever [blocks] is).
+    The mapping is still total and in-range; consumers that size one
+    device per band must tolerate empty bands — [Selective] compacts
+    them away rather than sizing a device for zero gates.  Use
+    {!populations} to see which bands are populated.
     @raise Invalid_argument when [blocks < 1]. *)
+
+val populations : Netlist.Circuit.t -> blocks:int -> int array
+(** Gate count of each {!by_level} band; entries may be 0 when
+    [blocks] exceeds the logic depth. *)
 
 val uniform :
   Device.Tech.t -> wl:float -> blocks:int -> Breakpoint_sim.sleep_model array

@@ -6,6 +6,12 @@ type path = {
   through : C.gate_id list;
 }
 
+type gating = {
+  vt_high : bool array;
+  block_of_gate : int array;
+  sleep_wl : float array;
+}
+
 type t = {
   circuit : C.t;
   delays : float array;        (* per gate *)
@@ -13,35 +19,144 @@ type t = {
   critical_fanin : int array;  (* per net: gate id realising the arrival, -1 *)
 }
 
-let analyze ?body_effect circuit =
-  let model = Delay_model.of_tech ?body_effect (C.tech circuit) in
+let high_vt_view (tech : Device.Tech.t) =
+  { tech with
+    Device.Tech.nmos = tech.Device.Tech.sleep_nmos;
+    pmos = tech.Device.Tech.sleep_pmos }
+
+let validate_gating circuit g =
+  let n = C.num_gates circuit in
+  if Array.length g.vt_high <> n || Array.length g.block_of_gate <> n then
+    invalid_arg "Sta.analyze: gating arrays must cover every gate";
+  Array.iter
+    (fun b ->
+      if b <> -1 && (b < 0 || b >= Array.length g.sleep_wl) then
+        invalid_arg "Sta.analyze: gating block out of range")
+    g.block_of_gate
+
+(* Co-discharge sets for the gated timer: a discharge wave sweeps the
+   DAG level by level, so the low-Vt gates that pull current through one
+   cluster device simultaneously are the same-cluster gates at the same
+   topological depth (the pipeline-wave mutual exclusion Hierarchy
+   documents).  Each (cluster, depth) group shares one virtual-ground
+   equilibrium — the Fig. 8 N-inverter model, solved once per group.
+   Gates at the same depth behind different devices do NOT load each
+   other's rail: splitting a wide level across clusters is exactly how
+   the optimizer buys isolation. *)
+let codischarge_groups circuit gating depths =
   let gates = C.gates circuit in
-  let delays =
-    Array.map
-      (fun (g : C.gate_inst) ->
+  let groups = Hashtbl.create 64 in
+  Array.iter
+    (fun (g : C.gate_inst) ->
+      let b = gating.block_of_gate.(g.C.id) in
+      if (not gating.vt_high.(g.C.id))
+         && b >= 0
+         && gating.sleep_wl.(b) > 0.0
+      then begin
         let d =
           Netlist.Gate.drive (C.tech circuit) ~strength:g.C.strength
             g.C.kind
         in
+        let key = (b, depths.(g.C.id)) in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+        (* gates arrive in topological order; keep the list deterministic *)
+        Hashtbl.replace groups key
+          ({ Vground.beta_wl = d.Netlist.Gate.wl_pull_down;
+             vin = (C.tech circuit).Device.Tech.vdd }
+          :: prev)
+      end)
+    gates;
+  groups
+
+let gate_delays ?body_effect ?gating circuit =
+  let tech = C.tech circuit in
+  let low = Delay_model.of_tech ?body_effect tech in
+  let gates = C.gates circuit in
+  let rise_delay (model : Delay_model.t) ~wl_pull_up ~cl =
+    (* first-order rise delay: same formula against the pull-up *)
+    let i_up =
+      Device.Alpha_power.sat_current model.Delay_model.pmos ~wl:wl_pull_up
+        ~vgs:model.Delay_model.vdd ~vsb:0.0
+    in
+    if i_up <= 0.0 then infinity
+    else cl *. model.Delay_model.vdd /. (2.0 *. i_up)
+  in
+  match gating with
+  | None ->
+    Array.map
+      (fun (g : C.gate_inst) ->
+        let d = Netlist.Gate.drive tech ~strength:g.C.strength g.C.kind in
         let cl = C.load_capacitance circuit g.C.output in
         let fall =
-          Delay_model.cmos_gate_delay model
+          Delay_model.cmos_gate_delay low
             ~beta_wl:d.Netlist.Gate.wl_pull_down ~cl
         in
-        (* first-order rise delay: same formula against the pull-up *)
-        let pmos = model.Delay_model.pmos in
-        let i_up =
-          Device.Alpha_power.sat_current pmos
-            ~wl:d.Netlist.Gate.wl_pull_up ~vgs:model.Delay_model.vdd
-            ~vsb:0.0
-        in
-        let rise =
-          if i_up <= 0.0 then infinity
-          else cl *. model.Delay_model.vdd /. (2.0 *. i_up)
-        in
-        Float.max fall rise)
+        Float.max fall (rise_delay low ~wl_pull_up:d.Netlist.Gate.wl_pull_up ~cl))
       gates
-  in
+  | Some gt ->
+    validate_gating circuit gt;
+    let high = Delay_model.of_tech ?body_effect (high_vt_view tech) in
+    let depths = Hierarchy.depths circuit in
+    let groups = codischarge_groups circuit gt depths in
+    let resistance =
+      Array.map
+        (fun wl ->
+          if wl > 0.0 then
+            Device.Sleep.effective_resistance
+              (Device.Sleep.make tech.Device.Tech.sleep_nmos ~wl
+                 ~vdd:tech.Device.Tech.vdd)
+          else 0.0)
+        gt.sleep_wl
+    in
+    let solved = Hashtbl.create 64 in
+    let vx_of key b =
+      match Hashtbl.find_opt solved key with
+      | Some vx -> vx
+      | None ->
+        let drives = List.rev (Hashtbl.find groups key) in
+        let vx =
+          Vground.solve_resistor low.Delay_model.vg ~r:resistance.(b) drives
+        in
+        Hashtbl.add solved key vx;
+        vx
+    in
+    Array.map
+      (fun (g : C.gate_inst) ->
+        let d = Netlist.Gate.drive tech ~strength:g.C.strength g.C.kind in
+        let cl = C.load_capacitance circuit g.C.output in
+        if gt.vt_high.(g.C.id) then
+          (* a high-Vt cell sits on the real ground: no bounce, just the
+             weaker drive of the sleep-card devices *)
+          let fall =
+            Delay_model.cmos_gate_delay high
+              ~beta_wl:d.Netlist.Gate.wl_pull_down ~cl
+          in
+          Float.max fall
+            (rise_delay high ~wl_pull_up:d.Netlist.Gate.wl_pull_up ~cl)
+        else
+          let b = gt.block_of_gate.(g.C.id) in
+          let fall =
+            if b >= 0 && gt.sleep_wl.(b) > 0.0 then begin
+              let vx = vx_of (b, depths.(g.C.id)) b in
+              let i =
+                Vground.gate_current low.Delay_model.vg ~vx
+                  { Vground.beta_wl = d.Netlist.Gate.wl_pull_down;
+                    vin = low.Delay_model.vdd }
+              in
+              if i <= 0.0 then infinity
+              else cl *. low.Delay_model.vdd /. (2.0 *. i)
+            end
+            else
+              Delay_model.cmos_gate_delay low
+                ~beta_wl:d.Netlist.Gate.wl_pull_down ~cl
+          in
+          Float.max fall
+            (rise_delay low ~wl_pull_up:d.Netlist.Gate.wl_pull_up ~cl))
+      gates
+
+let analyze ?body_effect ?gating circuit =
+  let gates = C.gates circuit in
+  let delays = gate_delays ?body_effect ?gating circuit in
   let arrivals = Array.make (C.num_nets circuit) 0.0 in
   let critical_fanin = Array.make (C.num_nets circuit) (-1) in
   Array.iter

@@ -19,8 +19,31 @@ type path = {
       (** gates along the critical path, input side first *)
 }
 
-val analyze : ?body_effect:bool -> Netlist.Circuit.t -> t
-(** Run the timer once; queries below are O(1)/O(path). *)
+type gating = {
+  vt_high : bool array;
+      (** per gate: [true] selects the tech card's high-Vt (sleep) device
+          pair for the cell, which then sits on the real ground *)
+  block_of_gate : int array;
+      (** per gate: sleep-cluster index, or [-1] for an ungated gate *)
+  sleep_wl : float array;
+      (** per cluster: W/L of the shared sleep device; a value [<= 0]
+          means no device (the cluster's gates see an ideal ground) *)
+}
+(** Selective-MTCMOS view of a circuit for the timer (ROADMAP item 3).
+    Low-Vt gates in a gated cluster are slowed by the cluster device's
+    effective resistance under the co-discharge set of same-cluster,
+    same-depth low-Vt gates — a discharge wave sweeps the DAG level by
+    level, so that is the set pulling current through one device at
+    once (the Fig. 8 N-inverter model under the pipeline-wave mutual
+    exclusion [Hierarchy] documents).  Gates behind different devices
+    never load each other's rail.  High-Vt gates pay the weaker drive
+    of the sleep-card devices but see no virtual-ground bounce. *)
+
+val analyze : ?body_effect:bool -> ?gating:gating -> Netlist.Circuit.t -> t
+(** Run the timer once; queries below are O(1)/O(path).  Without
+    [gating] this is the conventional all-low-Vt, ideal-ground timer.
+    @raise Invalid_argument when the gating arrays do not cover every
+    gate or a block index is out of range. *)
 
 val gate_delay : t -> Netlist.Circuit.gate_id -> float
 (** The fixed per-gate delay used: worst of the pull-up and pull-down

@@ -48,7 +48,7 @@ let circuit_of_name tech = function
      | Some _ | None -> Error (Printf.sprintf "bad multiplier spec %S" s))
   | s when String.length s > 5 && String.sub s 0 5 = "kogge" ->
     (match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
-     | Some bits when bits >= 1 && bits <= 30 ->
+     | Some bits when bits >= 1 && bits <= 32 ->
        let k = Circuits.Kogge_stone.make tech ~bits in
        Ok { name = s; circuit = k.Circuits.Kogge_stone.circuit;
             widths = [ bits; bits ] }
@@ -167,3 +167,10 @@ let objective_name = function
   | Mtcmos.Search.Max_delay -> "delay"
   | Mtcmos.Search.Max_vx -> "vx"
   | Mtcmos.Search.Max_current -> "current"
+
+let select_objective_of_name s =
+  match Mtcmos.Selective.objective_of_string s with
+  | Some o -> Ok o
+  | None ->
+    Error
+      (Printf.sprintf "unknown select objective %S (leakage | area | mixed)" s)

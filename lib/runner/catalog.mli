@@ -37,3 +37,7 @@ val gate_of_name : string -> (Netlist.Gate.kind, string) result
 
 val objective_of_name : string -> (Mtcmos.Search.objective, string) result
 val objective_name : Mtcmos.Search.objective -> string
+
+val select_objective_of_name :
+  string -> (Mtcmos.Selective.objective, string) result
+(** ["leakage" | "area" | "mixed"] (the {!Mtcmos.Selective} objectives). *)

@@ -172,6 +172,56 @@ let exec_kind ctx tech (bc : C.bench_circuit option) (job : Spec.job) =
         ("vx", summary_json st.Mtcmos.Variation.vx_summary);
         ( "degradation_p95",
           Json.Float st.Mtcmos.Variation.degradation_p95 ) ]
+  | Spec.Select { delay_budget; clusters; objective; passes } ->
+    let bc = circuit () in
+    (match
+       Mtcmos.Selective.optimize ~ctx ~objective ~clusters
+         ~max_passes:passes bc.C.circuit ~delay_budget
+     with
+     | r ->
+       let low =
+         Array.fold_left
+           (fun a h -> if h then a else a + 1)
+           0 r.Mtcmos.Selective.vt_high
+       in
+       let cluster_json c wl =
+         let m = r.Mtcmos.Selective.members.(c) in
+         let lowc =
+           Array.fold_left
+             (fun a g -> if r.Mtcmos.Selective.vt_high.(g) then a else a + 1)
+             0 m
+         in
+         Json.Obj
+           [ ("wl", Json.Float wl);
+             ("gates", Json.Int (Array.length m));
+             ("low_vt", Json.Int lowc) ]
+       in
+       Json.Obj
+         [ ("delay_budget", Json.Float delay_budget);
+           ("objective", Json.Str (Mtcmos.Selective.objective_name objective));
+           ("base_delay", Json.Float r.Mtcmos.Selective.base_delay);
+           ("budget", Json.Float r.Mtcmos.Selective.budget);
+           ("arrival", Json.Float r.Mtcmos.Selective.arrival);
+           ("slack", Json.Float r.Mtcmos.Selective.slack);
+           ("low_vt", Json.Int low);
+           ( "high_vt",
+             Json.Int (Array.length r.Mtcmos.Selective.vt_high - low) );
+           ( "clusters",
+             Json.Arr
+               (Array.to_list
+                  (Array.mapi cluster_json r.Mtcmos.Selective.sleep_wl)) );
+           ("leakage", Json.Float r.Mtcmos.Selective.leakage);
+           ( "ungated_leakage",
+             Json.Float r.Mtcmos.Selective.ungated_leakage );
+           ("area", Json.Float r.Mtcmos.Selective.area);
+           ( "objective_value",
+             Json.Float r.Mtcmos.Selective.objective_value );
+           ("evaluations", Json.Int r.Mtcmos.Selective.evaluations);
+           ("flips_to_low", Json.Int r.Mtcmos.Selective.flips_to_low);
+           ("reclaimed", Json.Int r.Mtcmos.Selective.reclaimed);
+           ("moves", Json.Int r.Mtcmos.Selective.moves) ]
+     | exception Not_found ->
+       failwith "delay budget infeasible even all-low-Vt at W/L 4096")
 
 let error_message = function
   | Failure m -> m

@@ -44,6 +44,12 @@ type kind =
       ramps : float list option;
     }
   | Monte_carlo of { wl : float; n : int; seed : int; vector : string option }
+  | Select of {
+      delay_budget : float;
+      clusters : int;
+      objective : Mtcmos.Selective.objective;
+      passes : int;
+    }
 
 type job = {
   id : string;
@@ -66,6 +72,7 @@ let kind_name = function
   | Search _ -> "search"
   | Characterize _ -> "characterize"
   | Monte_carlo _ -> "monte-carlo"
+  | Select _ -> "select"
 
 (* ---- parsing ----------------------------------------------------- *)
 
@@ -259,15 +266,36 @@ let parse_kind kname fields =
     in
     if n < 1 then Error "(n ...): must be >= 1"
     else Ok (Monte_carlo { wl; n; seed; vector })
+  | "select" ->
+    let* () =
+      known fields
+        [ "circuit"; "delay-budget"; "clusters"; "objective"; "passes" ]
+        ~kind:kname
+    in
+    let* delay_budget = get_float fields "delay-budget" ~default:0.1 in
+    let* clusters = get_int fields "clusters" ~default:4 in
+    let* passes = get_int fields "passes" ~default:2 in
+    let* objective =
+      match get fields "objective" with
+      | None -> Ok Mtcmos.Selective.Leakage
+      | Some args ->
+        let* a = atom1 "objective" args in
+        Catalog.select_objective_of_name a
+    in
+    if delay_budget < 0.0 then Error "(delay-budget ...): must be >= 0"
+    else if clusters < 1 then Error "(clusters ...): must be >= 1"
+    else if passes < 0 then Error "(passes ...): must be >= 0"
+    else Ok (Select { delay_budget; clusters; objective; passes })
   | other ->
     Error
       (Printf.sprintf
          "unknown job kind %S (sweep | size | worst-vectors | search | \
-          characterize | monte-carlo)"
+          characterize | monte-carlo | select)"
          other)
 
 let needs_circuit = function
-  | Sweep _ | Size _ | Worst_vectors _ | Search _ | Monte_carlo _ -> true
+  | Sweep _ | Size _ | Worst_vectors _ | Search _ | Monte_carlo _ | Select _
+    -> true
   | Characterize _ -> false
 
 let parse_job = function
@@ -426,6 +454,13 @@ let sexp_of_kind = function
     @ (match vector with
        | None -> []
        | Some v -> [ Sexp.List [ Sexp.Atom "vector"; Sexp.Atom v ] ])
+  | Select { delay_budget; clusters; objective; passes } ->
+    [ Sexp.List [ Sexp.Atom "delay-budget"; num delay_budget ];
+      Sexp.List [ Sexp.Atom "clusters"; Sexp.Atom (string_of_int clusters) ];
+      Sexp.List
+        [ Sexp.Atom "objective";
+          Sexp.Atom (Mtcmos.Selective.objective_name objective) ];
+      Sexp.List [ Sexp.Atom "passes"; Sexp.Atom (string_of_int passes) ] ]
 
 let to_canonical t =
   let job j =

@@ -1,6 +1,6 @@
 (** The declarative batch job-file: a set of named circuits and a list
     of jobs ([sweep], [size], [worst-vectors], [search],
-    [characterize], [monte-carlo]) over them, with global and per-job
+    [characterize], [monte-carlo], [select]) over them, with global and per-job
     overrides of engine / worker count / Newton budget.
 
     Surface syntax (S-expressions, [;] comments):
@@ -41,6 +41,12 @@ type kind =
       ramps : float list option;
     }
   | Monte_carlo of { wl : float; n : int; seed : int; vector : string option }
+  | Select of {
+      delay_budget : float;  (** allowed arrival increase, fractional *)
+      clusters : int;
+      objective : Mtcmos.Selective.objective;
+      passes : int;  (** refinement rounds ([max_passes]) *)
+    }  (** the {!Mtcmos.Selective} co-optimizer *)
 
 type job = {
   id : string;          (** unique; [[A-Za-z0-9_.-]+] *)

@@ -16,6 +16,7 @@ let () =
       ("runner", Test_runner.suite);
       ("serve", Test_serve.suite);
       ("differential", Test_differential.suite);
+      ("selective", Test_selective.suite);
       ("scale", Test_scale.suite);
       ("speed", Test_speed.suite);
       ("integration", Test_integration.suite) ]
